@@ -1,0 +1,23 @@
+"""Ablation — co-optimizing contention and distributed transactions.
+
+Section 4.4: assigning a minimum positive weight to every star-graph
+edge makes the cut also pull a transaction's *cold* records toward its
+t-vertex, trading a little contention for fewer distributed
+transactions.  Larger minimum weight => lower distributed ratio.
+"""
+
+from repro.bench.experiments import (min_weight_ablation_rows,
+                                     print_min_weight)
+
+
+def run_ablation():
+    return min_weight_ablation_rows(weights=(0.0, 0.2, 0.5),
+                                    n_train=800, quick=True)
+
+
+def test_min_weight_trades_distribution(once):
+    rows = once(run_ablation)
+    print_min_weight(rows)
+    # distributed ratio decreases (weakly) as min_weight grows
+    ratios = [row["distributed"] for row in rows]
+    assert ratios[-1] <= ratios[0] + 0.02

@@ -1,0 +1,36 @@
+"""Fig. 7 — throughput of Hashing vs Schism vs Chiller on Instacart.
+
+Paper result: Schism beats hashing (~+50%) but neither scales with the
+number of partitions; Chiller is highest and scales almost linearly.
+This bench regenerates a scaled-down sweep and asserts the ordering.
+Full-resolution sweep: ``python -m repro.bench.experiments fig7``.
+"""
+
+from repro.bench.experiments import instacart_sweep, print_fig7
+from repro.workloads.instacart import InstacartWorkload
+
+
+def small_catalog():
+    # coverage-appropriate catalog for the quick training trace
+    return InstacartWorkload(n_products=2000, tail_exponent=0.9)
+
+
+def run_sweep():
+    return instacart_sweep(partitions=(2, 4, 8), n_train=1200,
+                           quick=True, workload_factory=small_catalog)
+
+
+def test_fig07_throughput_ordering(once):
+    rows = once(run_sweep)
+    print_fig7(rows)
+    last = rows[-1]
+    # Chiller wins at scale...
+    assert last["chiller_throughput"] > last["schism_throughput"]
+    assert last["chiller_throughput"] > last["hashing_throughput"]
+    # ...and actually scales across the sweep
+    first = rows[0]
+    chiller_scaling = (last["chiller_throughput"]
+                       / first["chiller_throughput"])
+    hashing_scaling = (last["hashing_throughput"]
+                       / first["hashing_throughput"])
+    assert chiller_scaling > hashing_scaling

@@ -1,0 +1,32 @@
+"""Fig. 9a — TPC-C throughput vs concurrent transactions per warehouse.
+
+Paper result: at 1 concurrent transaction 2PL and Chiller are on par;
+as concurrency rises, 2PL and OCC decline (contention on the district
+counter and the warehouse ytd) while Chiller keeps climbing until its
+cores saturate.  OCC is the worst hit (wasted work on validation-time
+aborts).
+"""
+
+from repro.bench.experiments import fig9_rows, print_fig9a
+
+
+def run_sweep():
+    return fig9_rows(concurrency=(1, 4, 8), quick=True)
+
+
+def test_fig09a_throughput_shape(once):
+    rows = once(run_sweep)
+    print_fig9a(rows)
+    by_conc = {row["concurrent"]: row for row in rows}
+    # near-parity at 1 concurrent transaction
+    ratio = (by_conc[1]["chiller_throughput"]
+             / by_conc[1]["2pl_throughput"])
+    assert 0.5 < ratio < 1.5
+    # at high concurrency Chiller wins big; 2PL beats OCC
+    assert (by_conc[8]["chiller_throughput"]
+            > 1.5 * by_conc[8]["2pl_throughput"])
+    assert by_conc[8]["2pl_throughput"] > by_conc[8]["occ_throughput"]
+    # Chiller gains from concurrency; 2PL loses
+    assert (by_conc[8]["chiller_throughput"]
+            > by_conc[1]["chiller_throughput"])
+    assert by_conc[8]["2pl_throughput"] < by_conc[1]["2pl_throughput"]

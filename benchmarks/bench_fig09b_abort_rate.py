@@ -1,0 +1,26 @@
+"""Fig. 9b — TPC-C abort rate vs concurrency.
+
+Paper result: 2PL's and OCC's abort rates climb steeply with the number
+of concurrent transactions per warehouse; Chiller's stays near zero
+because the two contention points live in inner regions whose lock
+spans are microscopic.
+"""
+
+from repro.bench.experiments import fig9_rows, print_fig9b
+
+
+def run_sweep():
+    return fig9_rows(concurrency=(1, 4, 8), quick=True)
+
+
+def test_fig09b_abort_shape(once):
+    rows = once(run_sweep)
+    print_fig9b(rows)
+    by_conc = {row["concurrent"]: row for row in rows}
+    assert by_conc[8]["2pl_abort_rate"] > 0.5
+    assert by_conc[8]["occ_abort_rate"] > 0.5
+    assert by_conc[8]["chiller_abort_rate"] < 0.15
+    # 2PL degrades monotonically with concurrency
+    assert (by_conc[8]["2pl_abort_rate"]
+            > by_conc[4]["2pl_abort_rate"]
+            > by_conc[1]["2pl_abort_rate"])

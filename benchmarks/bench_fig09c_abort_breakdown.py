@@ -1,0 +1,28 @@
+"""Fig. 9c — 2PL abort-rate breakdown by transaction class.
+
+Paper result: Payment starves.  NewOrder transactions keep a shared
+lock rotating on the warehouse row, so Payment's exclusive request
+almost never succeeds — close to 100% aborts at >= 4 concurrent
+transactions, far above NewOrder's own rate.  (Chiller fixes this by
+shrinking the shared-lock spans: the "commit fairness" discussion.)
+"""
+
+from repro.bench.experiments import fig9_rows, print_fig9c
+
+
+def run_sweep():
+    return fig9_rows(concurrency=(1, 4, 8), quick=True)
+
+
+def test_fig09c_payment_starvation(once):
+    rows = once(run_sweep)
+    print_fig9c(rows)
+    by_conc = {row["concurrent"]: row for row in rows}
+    high = by_conc[8]
+    assert high["2pl_payment_abort"] > 0.7
+    assert high["2pl_payment_abort"] > high["2pl_new_order_abort"]
+    assert high["2pl_payment_abort"] > high["2pl_stock_level_abort"]
+    # starvation grows with concurrency
+    assert (by_conc[8]["2pl_payment_abort"]
+            >= by_conc[4]["2pl_payment_abort"]
+            >= by_conc[1]["2pl_payment_abort"])

@@ -1,0 +1,38 @@
+"""Fig. 10 — impact of the fraction of distributed transactions.
+
+Paper result (NewOrder+Payment 50/50, remote probability swept 0-100%):
+2PL and OCC degrade steeply as more transactions cross partitions —
+badly at 5 concurrent transactions where prolonged lock spans compound
+conflicts; Chiller (5 concurrent) stays highest and degrades less than
+20% end to end.
+"""
+
+from repro.bench.experiments import fig10_rows, print_fig10
+
+
+def run_sweep():
+    return fig10_rows(percents=(0, 50, 100), quick=True)
+
+
+def test_fig10_degradation_shape(once):
+    rows = once(run_sweep)
+    print_fig10(rows)
+    first, last = rows[0], rows[-1]
+    # Chiller wins at every distribution level
+    for row in rows:
+        assert (row["chiller_5_throughput"]
+                >= row["2pl_5_throughput"])
+        assert (row["chiller_5_throughput"]
+                >= row["occ_5_throughput"])
+    # Chiller's end-to-end degradation is gentle (paper: < 20%; allow
+    # some slack for the scaled-down simulation)
+    chiller_drop = 1 - (last["chiller_5_throughput"]
+                        / first["chiller_5_throughput"])
+    assert chiller_drop < 0.35
+    # the latency-bound baselines (1 concurrent txn: every remote
+    # access directly extends the transaction) degrade much more.
+    # 2PL(5)'s *relative* drop can look small only because contention
+    # has already crushed its 0% point (Fig. 9a).
+    twopl1_drop = 1 - last["2pl_1_throughput"] / first["2pl_1_throughput"]
+    occ1_drop = 1 - last["occ_1_throughput"] / first["occ_1_throughput"]
+    assert max(twopl1_drop, occ1_drop) > chiller_drop

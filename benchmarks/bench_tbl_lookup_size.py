@@ -1,0 +1,24 @@
+"""Section 7.2.2 — lookup table size: Schism ~10x larger than Chiller.
+
+Chiller only stores placements for records above the contention
+threshold; Schism must remember where every record it placed lives.
+"""
+
+from repro.bench.setups import build_instacart_layout, build_instacart_setup
+
+
+def build_layouts():
+    setup = build_instacart_setup(4, n_train=1200)
+    schism = build_instacart_layout(setup, "schism")
+    chiller = build_instacart_layout(setup, "chiller")
+    return schism, chiller
+
+
+def test_lookup_table_sizes(once):
+    schism, chiller = once(build_layouts)
+    print(f"\nSchism lookup entries:  {schism.lookup_table_size}")
+    print(f"Chiller lookup entries: {chiller.lookup_table_size}")
+    ratio = schism.lookup_table_size / max(1, chiller.lookup_table_size)
+    print(f"ratio: {ratio:.1f}x (paper: ~10x)")
+    assert chiller.lookup_table_size > 0
+    assert ratio >= 5.0, "Chiller's lookup table should be ~10x smaller"

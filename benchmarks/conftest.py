@@ -1,0 +1,18 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates (a scaled-down cell of) one of the paper's
+tables or figures; the full sweeps live behind
+``python -m repro.bench.experiments``.  ``rounds=1`` everywhere: each
+"iteration" is a whole simulated experiment, not a microsecond kernel.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a whole-experiment callable exactly once under timing."""
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+    return run

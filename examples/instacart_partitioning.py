@@ -1,0 +1,51 @@
+"""Section 7.2 in miniature: partition the Instacart-like workload
+three ways and race them.
+
+    python examples/instacart_partitioning.py
+
+Trains hash placement, Schism's co-access min-cut, and Chiller's
+contention-aware star cut on the same basket trace, then measures
+throughput, distributed-transaction ratio, and lookup-table size —
+the data behind Figs. 7-8 and the Section 7.2.2 table.
+"""
+
+from repro.bench.experiments import instacart_config
+from repro.bench.setups import (build_instacart_layout,
+                                build_instacart_setup, make_instacart_run)
+
+N_PARTITIONS = 4
+
+
+def main():
+    print(f"training layouts on a basket trace "
+          f"({N_PARTITIONS} partitions)...")
+    setup = build_instacart_setup(N_PARTITIONS, n_train=1500)
+
+    hottest = sorted(setup.likelihoods.items(), key=lambda kv: -kv[1])[:5]
+    print("\nhottest records by contention likelihood (the 'bananas'):")
+    for (table, key), pc in hottest:
+        print(f"  {table}[{key}]  Pc={pc:.4f}")
+
+    print(f"\n{'layout':>8} {'throughput':>12} {'abort':>7} "
+          f"{'distributed':>12} {'lookup entries':>15} {'train (s)':>10}")
+    for name in ("hashing", "schism", "chiller"):
+        layout = build_instacart_layout(setup, name)
+        run = make_instacart_run(setup, layout,
+                                 instacart_config(N_PARTITIONS,
+                                                  quick=True))
+        result = run.run()
+        metrics = result.metrics
+        print(f"{name:>8} {result.throughput / 1e3:>10.0f}k "
+              f"{metrics.abort_rate():>7.2f} "
+              f"{metrics.distributed_ratio():>12.2f} "
+              f"{layout.lookup_table_size:>15} "
+              f"{layout.partition_seconds:>10.2f}")
+
+    print("\nNote the paper's point: Chiller has MORE distributed "
+          "transactions\nthan Schism yet the highest throughput — "
+          "contention, not distribution,\nis what limits scaling on "
+          "fast networks.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Thin shim so legacy editable installs work in offline environments
+that lack the ``wheel`` package (PEP 517 builds need bdist_wheel)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""Static analysis of stored procedures: op IR, keys, dependency graphs."""
+
+from .dependency import DependencyGraph
+from .keys import DerivedKey, KeyExpr, ParamKey, derived_key, param_key
+from .ops import OpKind, OpSpec, check, delete, insert, read, update
+from .procedures import (OpInstance, Placement, ProcedureRegistry,
+                         StoredProcedure)
+
+__all__ = [
+    "DependencyGraph",
+    "DerivedKey",
+    "KeyExpr",
+    "OpInstance",
+    "OpKind",
+    "OpSpec",
+    "ParamKey",
+    "Placement",
+    "ProcedureRegistry",
+    "StoredProcedure",
+    "check",
+    "delete",
+    "derived_key",
+    "insert",
+    "param_key",
+    "read",
+    "update",
+]

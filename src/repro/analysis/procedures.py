@@ -1,0 +1,293 @@
+"""Stored procedures: templates, instantiation, and semantic evaluation.
+
+A :class:`StoredProcedure` is an ordered list of :class:`~repro.analysis.ops.OpSpec`
+templates.  Procedures are *registered* once (static analysis builds the
+dependency graph then, as in Section 3.2) and *instantiated* per
+transaction: ``foreach`` templates expand into one :class:`OpInstance`
+per element of a list-valued parameter (TPC-C order lines, Instacart
+basket items).
+
+Execution engines never interpret lambdas themselves; they call the
+evaluation helpers here (:meth:`OpInstance.placement`,
+:meth:`OpInstance.concrete_key`, :meth:`OpInstance.run_update`, ...) so
+that all executors share identical transaction semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from ..storage.locks import LockMode
+from .keys import DerivedKey, ParamKey
+from .ops import OpKind, OpSpec
+
+Params = Mapping[str, Any]
+
+
+class _CtxView(Mapping[str, Any]):
+    """Read-only view of a ctx dict that rewrites template op names to
+    the instance names of the current foreach index."""
+
+    __slots__ = ("_ctx", "_alias")
+
+    def __init__(self, ctx: Mapping[str, Any], alias: Mapping[str, str]):
+        self._ctx = ctx
+        self._alias = alias
+
+    def __getitem__(self, name: str) -> Any:
+        return self._ctx[self._alias.get(name, name)]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._ctx)
+
+    def __len__(self) -> int:
+        return len(self._ctx)
+
+    def __contains__(self, name: object) -> bool:
+        return self._alias.get(name, name) in self._ctx
+
+
+class Placement:
+    """Where an op's record lives, as knowable *before* execution.
+
+    ``key`` is the concrete primary key when it is computable from the
+    transaction parameters, or a placement-equivalent hint otherwise.
+    ``exact`` distinguishes the two.  ``key is None`` means the location
+    is genuinely unknown until run time (an unhinted derived key).
+    """
+
+    __slots__ = ("table", "key", "exact")
+
+    def __init__(self, table: str, key: Any, exact: bool):
+        self.table = table
+        self.key = key
+        self.exact = exact
+
+    def known(self) -> bool:
+        return self.key is not None
+
+    def __repr__(self) -> str:
+        marker = "" if self.exact else "~"
+        return f"Placement({self.table}:{marker}{self.key!r})"
+
+
+class OpInstance:
+    """A concrete operation of one transaction."""
+
+    __slots__ = ("spec", "proc", "name", "item", "index", "_alias")
+
+    def __init__(self, spec: OpSpec, proc: "StoredProcedure",
+                 item: Any = None, index: int | None = None):
+        self.spec = spec
+        self.proc = proc
+        self.item = item
+        self.index = index
+        self.name = spec.name if index is None else f"{spec.name}[{index}]"
+        self._alias = proc._alias_map(spec, index)
+
+    # -- identity / dependencies ------------------------------------------
+
+    def dep_instance_names(self) -> list[str]:
+        """Instance names of all deps (pk + value) of this instance."""
+        deps = set(self.spec.pk_sources()) | set(self.spec.all_value_deps())
+        return [self._alias.get(d, d) for d in deps]
+
+    def pk_source_instances(self) -> list[str]:
+        return [self._alias.get(d, d) for d in self.spec.pk_sources()]
+
+    def target_instance(self) -> str | None:
+        if self.spec.target is None:
+            return None
+        return self._alias.get(self.spec.target, self.spec.target)
+
+    # -- placement (pre-execution knowledge) -------------------------------
+
+    def placement(self, params: Params) -> Placement | None:
+        """Best pre-execution knowledge of this op's record location."""
+        spec = self._record_spec()
+        if spec is None:  # CHECK: touches no record
+            return None
+        assert spec.table is not None and spec.key is not None
+        if isinstance(spec.key, ParamKey):
+            return Placement(spec.table, spec.key.resolve(params, self.item),
+                             exact=True)
+        assert isinstance(spec.key, DerivedKey)
+        if spec.key.has_partition_hint:
+            return Placement(spec.table, spec.key.hint(params, self.item),
+                             exact=False)
+        return Placement(spec.table, None, exact=False)
+
+    def lock_mode(self) -> LockMode:
+        if self.spec.lock is None:
+            raise ValueError(f"{self.name} has no lock mode")
+        return self.spec.lock
+
+    # -- execution-time evaluation ------------------------------------------
+
+    def concrete_key(self, params: Params, ctx: Mapping[str, Any]) -> Any:
+        """Resolve the actual primary key (requires pk-deps bound)."""
+        spec = self._record_spec()
+        if spec is None:
+            raise TypeError(f"{self.name} does not access a record")
+        if isinstance(spec.key, ParamKey):
+            return spec.key.resolve(params, self.item)
+        assert isinstance(spec.key, DerivedKey)
+        return spec.key.resolve(params, _CtxView(ctx, self._alias),
+                                self.item)
+
+    def run_update(self, params: Params, ctx: Mapping[str, Any]
+                   ) -> dict[str, Any]:
+        assert self.spec.update_fn is not None
+        return self.spec.update_fn(params, _CtxView(ctx, self._alias),
+                                   self.item)
+
+    def run_insert_fields(self, params: Params, ctx: Mapping[str, Any]
+                          ) -> dict[str, Any]:
+        assert self.spec.insert_fn is not None
+        return self.spec.insert_fn(params, _CtxView(ctx, self._alias),
+                                   self.item)
+
+    def run_check(self, params: Params, ctx: Mapping[str, Any]) -> bool:
+        assert self.spec.predicate is not None
+        return bool(self.spec.predicate(params, _CtxView(ctx, self._alias),
+                                        self.item))
+
+    def _record_spec(self) -> OpSpec | None:
+        """The spec whose key identifies the record this op touches."""
+        if self.spec.kind is OpKind.CHECK:
+            return None
+        if self.spec.kind in (OpKind.UPDATE, OpKind.DELETE):
+            return self.proc.op(self.spec.target)
+        return self.spec
+
+    def __repr__(self) -> str:
+        return f"OpInstance({self.name}:{self.spec.kind.value})"
+
+
+class StoredProcedure:
+    """An ordered, validated list of operation templates."""
+
+    def __init__(self, name: str, params: tuple[str, ...],
+                 ops: list[OpSpec]):
+        self.name = name
+        self.params = tuple(params)
+        self.ops = list(ops)
+        self._by_name: dict[str, OpSpec] = {}
+        self._validate()
+
+    def op(self, name: str) -> OpSpec:
+        return self._by_name[name]
+
+    def op_names(self) -> list[str]:
+        return [op.name for op in self.ops]
+
+    # -- instantiation -------------------------------------------------------
+
+    def instantiate(self, params: Params) -> list[OpInstance]:
+        """Expand templates into concrete per-transaction op instances."""
+        instances: list[OpInstance] = []
+        for spec in self.ops:
+            if spec.foreach is None:
+                instances.append(OpInstance(spec, self))
+            else:
+                items = params[spec.foreach]
+                for i, item in enumerate(items):
+                    instances.append(OpInstance(spec, self, item, i))
+        return instances
+
+    def _alias_map(self, spec: OpSpec, index: int | None) -> dict[str, str]:
+        """Template-name -> instance-name map for one foreach index."""
+        if index is None:
+            return {}
+        alias: dict[str, str] = {}
+        deps = (set(spec.pk_sources()) | set(spec.all_value_deps()))
+        for dep in deps:
+            dep_spec = self._by_name.get(dep)
+            if dep_spec is not None and dep_spec.foreach == spec.foreach:
+                alias[dep] = f"{dep}[{index}]"
+        return alias
+
+    # -- validation ------------------------------------------------------------
+
+    def _validate(self) -> None:
+        seen: set[str] = set()
+        updated_targets: set[str] = set()
+        for spec in self.ops:
+            if spec.name in seen:
+                raise ValueError(f"duplicate op name {spec.name!r}")
+            self._validate_shape(spec)
+            for dep in (set(spec.pk_sources()) | set(spec.all_value_deps())):
+                if dep not in seen:
+                    raise ValueError(
+                        f"op {spec.name!r} depends on {dep!r}, which is "
+                        f"not declared earlier in the procedure")
+            if spec.foreach is not None and spec.foreach not in self.params:
+                raise ValueError(
+                    f"op {spec.name!r} iterates over unknown parameter "
+                    f"{spec.foreach!r}")
+            if spec.kind in (OpKind.UPDATE, OpKind.DELETE):
+                target = self._by_name[spec.target]
+                if target.kind is not OpKind.READ:
+                    raise ValueError(
+                        f"op {spec.name!r} targets {spec.target!r}, which "
+                        f"is not a READ")
+                if spec.foreach != target.foreach:
+                    raise ValueError(
+                        f"op {spec.name!r} and its target must share the "
+                        f"same foreach group")
+                updated_targets.add(spec.target)
+            seen.add(spec.name)
+            self._by_name[spec.name] = spec
+        # reads that get updated later must hold the write lock up front
+        for name in updated_targets:
+            read_spec = self._by_name[name]
+            if read_spec.lock is not LockMode.EXCLUSIVE:
+                raise ValueError(
+                    f"read {name!r} is updated later; declare it with "
+                    f"for_update=True so the write lock is taken up front")
+
+    @staticmethod
+    def _validate_shape(spec: OpSpec) -> None:
+        kind = spec.kind
+        if kind in (OpKind.READ, OpKind.INSERT):
+            if spec.table is None or spec.key is None:
+                raise ValueError(f"{kind.value} op {spec.name!r} needs "
+                                 f"table and key")
+        if kind in (OpKind.UPDATE, OpKind.DELETE) and spec.target is None:
+            raise ValueError(f"{kind.value} op {spec.name!r} needs a target")
+        if kind is OpKind.UPDATE and spec.update_fn is None:
+            raise ValueError(f"update op {spec.name!r} needs set_fn")
+        if kind is OpKind.INSERT and spec.insert_fn is None:
+            raise ValueError(f"insert op {spec.name!r} needs fields_fn")
+        if kind is OpKind.CHECK and spec.predicate is None:
+            raise ValueError(f"check op {spec.name!r} needs a predicate")
+
+    def __repr__(self) -> str:
+        return f"StoredProcedure({self.name}, {len(self.ops)} ops)"
+
+
+class ProcedureRegistry:
+    """Registered procedures with their (cached) dependency graphs."""
+
+    def __init__(self) -> None:
+        self._procs: dict[str, StoredProcedure] = {}
+        self._graphs: dict[str, Any] = {}
+
+    def register(self, proc: StoredProcedure) -> None:
+        from .dependency import DependencyGraph  # local: avoid cycle
+        if proc.name in self._procs:
+            raise ValueError(f"procedure {proc.name!r} already registered")
+        self._procs[proc.name] = proc
+        self._graphs[proc.name] = DependencyGraph.from_procedure(proc)
+
+    def get(self, name: str) -> StoredProcedure:
+        return self._procs[name]
+
+    def graph(self, name: str) -> Any:
+        return self._graphs[name]
+
+    def names(self) -> list[str]:
+        return list(self._procs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._procs

@@ -1,0 +1,12 @@
+"""Benchmark harness: driver, metrics, and per-figure experiments."""
+
+from .harness import RunConfig, RunResult, build_database, run_benchmark
+from .metrics import Metrics
+
+__all__ = [
+    "Metrics",
+    "RunConfig",
+    "RunResult",
+    "build_database",
+    "run_benchmark",
+]

@@ -1,0 +1,339 @@
+"""Parameter sweeps regenerating every table and figure of the paper.
+
+Each ``figN_rows`` function returns plain dict rows (so tests can assert
+shapes) and has a printer producing the same series the paper plots.
+Run from the command line::
+
+    python -m repro.bench.experiments fig7 fig8 fig9a fig9b fig9c fig10
+    python -m repro.bench.experiments lookup cost reorder minweight
+    python -m repro.bench.experiments all        # everything (slow-ish)
+    python -m repro.bench.experiments all --quick
+
+Absolute throughput differs from the paper (their 8-node InfiniBand
+testbed vs our discrete-event simulator); the *shapes* — orderings,
+scaling trends, crossovers — are the reproduction target (see
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, Sequence
+
+from ..workloads.instacart import InstacartWorkload
+from ..workloads.tpcc import TpccScale, TpccWorkload
+from .harness import RunConfig
+from .setups import (build_instacart_layout, build_instacart_setup,
+                     make_instacart_run, make_tpcc_run)
+
+INSTACART_LAYOUTS = ("hashing", "schism", "chiller")
+TPCC_EXECUTORS = ("2pl", "occ", "chiller")
+
+
+# -- Section 7.2: Instacart (Figs. 7 & 8, lookup size, partitioner cost) ----
+
+def instacart_config(n_partitions: int, quick: bool = False,
+                     seed: int = 2) -> RunConfig:
+    return RunConfig(n_partitions=n_partitions,
+                     concurrent_per_engine=4,
+                     horizon_us=4_000.0 if quick else 12_000.0,
+                     warmup_us=500.0 if quick else 2_000.0,
+                     seed=seed, n_replicas=1, route_by_data=True)
+
+
+def instacart_sweep(partitions: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
+                    n_train: int = 3000, quick: bool = False,
+                    seed: int = 2,
+                    layouts: Sequence[str] = INSTACART_LAYOUTS,
+                    workload_factory=InstacartWorkload) -> list[dict]:
+    """One row per partition count with every layout's metrics.
+
+    Feeds Fig. 7 (throughput), Fig. 8 (distributed ratio), the lookup
+    table comparison, and the partitioner cost comparison.
+    ``workload_factory`` lets scaled-down callers shrink the catalog so
+    the training trace still covers it (Schism needs coverage to show
+    its locality advantage).
+    """
+    rows = []
+    for k in partitions:
+        workload = workload_factory()
+        setup = build_instacart_setup(k, n_train=n_train,
+                                      workload=workload, seed=seed)
+        row: dict = {"partitions": k}
+        for name in layouts:
+            layout = build_instacart_layout(setup, name, seed=seed)
+            run = make_instacart_run(
+                setup, layout, instacart_config(k, quick, seed))
+            result = run.run()
+            metrics = result.metrics
+            row[f"{name}_throughput"] = result.throughput
+            row[f"{name}_distributed"] = metrics.distributed_ratio()
+            row[f"{name}_abort_rate"] = metrics.abort_rate()
+            row[f"{name}_lookup"] = layout.lookup_table_size
+            row[f"{name}_edges"] = layout.graph_edges
+            row[f"{name}_train_s"] = layout.partition_seconds
+        rows.append(row)
+    return rows
+
+
+def print_fig7(rows: list[dict]) -> None:
+    print("\n== Fig. 7: throughput (K txns/sec) vs number of partitions ==")
+    print(f"{'parts':>5} " + "".join(f"{n:>12}" for n in INSTACART_LAYOUTS))
+    for row in rows:
+        cells = "".join(f"{row[f'{n}_throughput'] / 1e3:>12.0f}"
+                        for n in INSTACART_LAYOUTS)
+        print(f"{row['partitions']:>5} {cells}")
+
+
+def print_fig8(rows: list[dict]) -> None:
+    print("\n== Fig. 8: ratio of distributed transactions ==")
+    print(f"{'parts':>5} " + "".join(f"{n:>12}" for n in INSTACART_LAYOUTS))
+    for row in rows:
+        cells = "".join(f"{row[f'{n}_distributed']:>12.2f}"
+                        for n in INSTACART_LAYOUTS)
+        print(f"{row['partitions']:>5} {cells}")
+
+
+def print_lookup(rows: list[dict]) -> None:
+    print("\n== Section 7.2.2: lookup table size (entries) ==")
+    print(f"{'parts':>5} {'schism':>10} {'chiller':>10} {'ratio':>8}")
+    for row in rows:
+        schism = row["schism_lookup"]
+        chiller = max(1, row["chiller_lookup"])
+        print(f"{row['partitions']:>5} {schism:>10} "
+              f"{row['chiller_lookup']:>10} {schism / chiller:>8.1f}x")
+
+
+def print_cost(rows: list[dict]) -> None:
+    print("\n== Section 7.2.2: graph size and partitioning cost ==")
+    print(f"{'parts':>5} {'schism edges':>13} {'star edges':>11} "
+          f"{'schism s':>9} {'chiller s':>10} {'speedup':>8}")
+    for row in rows:
+        speed = row["schism_train_s"] / max(1e-9, row["chiller_train_s"])
+        print(f"{row['partitions']:>5} {row['schism_edges']:>13} "
+              f"{row['chiller_edges']:>11} {row['schism_train_s']:>9.2f} "
+              f"{row['chiller_train_s']:>10.2f} {speed:>8.1f}x")
+
+
+# -- Section 7.3: TPC-C concurrency sweep (Figs. 9a, 9b, 9c) ---------------
+
+def tpcc_config(n_partitions: int, concurrent: int, quick: bool = False,
+                seed: int = 3) -> RunConfig:
+    return RunConfig(n_partitions=n_partitions,
+                     concurrent_per_engine=concurrent,
+                     horizon_us=5_000.0 if quick else 15_000.0,
+                     warmup_us=500.0 if quick else 2_000.0,
+                     seed=seed, n_replicas=1)
+
+
+def fig9_rows(concurrency: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
+              n_partitions: int = 4, quick: bool = False,
+              seed: int = 3) -> list[dict]:
+    """Throughput + abort rates per executor per concurrency level."""
+    rows = []
+    for concurrent in concurrency:
+        row: dict = {"concurrent": concurrent}
+        for name in TPCC_EXECUTORS:
+            run = make_tpcc_run(
+                name, tpcc_config(n_partitions, concurrent, quick, seed))
+            result = run.run()
+            metrics = result.metrics
+            row[f"{name}_throughput"] = result.throughput
+            row[f"{name}_abort_rate"] = metrics.abort_rate()
+            if name == "2pl":
+                for proc in ("new_order", "payment", "stock_level"):
+                    row[f"2pl_{proc}_abort"] = metrics.abort_rate(proc)
+        rows.append(row)
+    return rows
+
+
+def print_fig9a(rows: list[dict]) -> None:
+    print("\n== Fig. 9a: TPC-C throughput (K txns/sec) vs concurrent "
+          "txns/warehouse ==")
+    print(f"{'conc':>4} " + "".join(f"{n:>10}" for n in TPCC_EXECUTORS))
+    for row in rows:
+        cells = "".join(f"{row[f'{n}_throughput'] / 1e3:>10.0f}"
+                        for n in TPCC_EXECUTORS)
+        print(f"{row['concurrent']:>4} {cells}")
+
+
+def print_fig9b(rows: list[dict]) -> None:
+    print("\n== Fig. 9b: abort rate vs concurrent txns/warehouse ==")
+    print(f"{'conc':>4} " + "".join(f"{n:>10}" for n in TPCC_EXECUTORS))
+    for row in rows:
+        cells = "".join(f"{row[f'{n}_abort_rate']:>10.2f}"
+                        for n in TPCC_EXECUTORS)
+        print(f"{row['concurrent']:>4} {cells}")
+
+
+def print_fig9c(rows: list[dict]) -> None:
+    print("\n== Fig. 9c: 2PL abort rate by transaction class ==")
+    procs = ("new_order", "payment", "stock_level")
+    print(f"{'conc':>4} " + "".join(f"{p:>12}" for p in procs))
+    for row in rows:
+        cells = "".join(f"{row[f'2pl_{p}_abort']:>12.2f}" for p in procs)
+        print(f"{row['concurrent']:>4} {cells}")
+
+
+# -- Section 7.4: impact of distributed transactions (Fig. 10) --------------
+
+FIG10_MIX = (("new_order", 0.5), ("payment", 0.5))
+FIG10_SERIES = (("2pl", 1), ("occ", 1), ("2pl", 5), ("occ", 5),
+                ("chiller", 5))
+
+
+def fig10_rows(percents: Sequence[int] = (0, 20, 40, 60, 80, 100),
+               n_partitions: int = 4, quick: bool = False,
+               seed: int = 5) -> list[dict]:
+    """Throughput vs fraction of distributed transactions."""
+    rows = []
+    for percent in percents:
+        row: dict = {"percent": percent}
+        for name, concurrent in FIG10_SERIES:
+            workload = TpccWorkload(
+                TpccScale(n_warehouses=n_partitions),
+                n_partitions=n_partitions, mix=FIG10_MIX,
+                payment_remote_prob=percent / 100.0,
+                new_order_remote_prob=percent / 100.0)
+            run = make_tpcc_run(
+                name, tpcc_config(n_partitions, concurrent, quick, seed),
+                workload=workload)
+            result = run.run()
+            row[f"{name}_{concurrent}_throughput"] = result.throughput
+        rows.append(row)
+    return rows
+
+
+def print_fig10(rows: list[dict]) -> None:
+    print("\n== Fig. 10: throughput (K txns/sec) vs % distributed "
+          "transactions ==")
+    header = "".join(f"{f'{n}({c})':>12}" for n, c in FIG10_SERIES)
+    print(f"{'%dist':>5} {header}")
+    for row in rows:
+        cells = "".join(
+            f"{row[f'{n}_{c}_throughput'] / 1e3:>12.0f}"
+            for n, c in FIG10_SERIES)
+        print(f"{row['percent']:>5} {cells}")
+
+
+# -- Ablations ---------------------------------------------------------------
+
+def reorder_ablation_rows(n_partitions: int = 4, n_train: int = 1200,
+                          quick: bool = False, seed: int = 2,
+                          ) -> list[dict]:
+    """Two-region execution without contention-aware partitioning.
+
+    The paper's Section 1 claim: "re-ordering operations without
+    re-considering the partitioning scheme only leads to limited
+    performance improvements."  Series: plain 2PL on hashing; two-region
+    execution on the hashing layout; two-region on Schism's layout;
+    full Chiller (two-region + contention-aware layout).
+    """
+    setup = build_instacart_setup(n_partitions, n_train=n_train,
+                                  seed=seed)
+    config = instacart_config(n_partitions, quick, seed)
+    rows = []
+    combos = (("hashing", "2pl", "2PL on hashing"),
+              ("hashing", "chiller", "two-region on hashing"),
+              ("schism", "chiller", "two-region on Schism"),
+              ("chiller", "chiller", "full Chiller"))
+    for layout_name, executor_name, label in combos:
+        layout = build_instacart_layout(setup, layout_name, seed=seed)
+        run = make_instacart_run(setup, layout, config,
+                                 executor_override=executor_name)
+        result = run.run()
+        rows.append({
+            "label": label,
+            "layout": layout_name,
+            "executor": executor_name,
+            "throughput": result.throughput,
+            "abort_rate": result.metrics.abort_rate(),
+            "distributed": result.metrics.distributed_ratio(),
+        })
+    return rows
+
+
+def print_reorder(rows: list[dict]) -> None:
+    print("\n== Ablation: execution model vs partitioning layout ==")
+    print(f"{'configuration':<26} {'K txns/s':>9} {'abort':>7} "
+          f"{'distrib':>8}")
+    for row in rows:
+        print(f"{row['label']:<26} {row['throughput'] / 1e3:>9.0f} "
+              f"{row['abort_rate']:>7.2f} {row['distributed']:>8.2f}")
+
+
+def min_weight_ablation_rows(weights: Sequence[float] = (0.0, 0.05, 0.2,
+                                                         0.5),
+                             n_partitions: int = 4, n_train: int = 1200,
+                             quick: bool = False,
+                             seed: int = 2) -> list[dict]:
+    """Section 4.4: a minimum edge weight co-optimizes contention and
+    the number of distributed transactions."""
+    setup = build_instacart_setup(n_partitions, n_train=n_train,
+                                  seed=seed)
+    config = instacart_config(n_partitions, quick, seed)
+    rows = []
+    for weight in weights:
+        layout = build_instacart_layout(setup, "chiller", seed=seed,
+                                        min_weight=weight)
+        run = make_instacart_run(setup, layout, config)
+        result = run.run()
+        rows.append({
+            "min_weight": weight,
+            "throughput": result.throughput,
+            "abort_rate": result.metrics.abort_rate(),
+            "distributed": result.metrics.distributed_ratio(),
+        })
+    return rows
+
+
+def print_min_weight(rows: list[dict]) -> None:
+    print("\n== Ablation: star-graph minimum edge weight (Section 4.4) ==")
+    print(f"{'min_w':>6} {'K txns/s':>9} {'abort':>7} {'distrib':>8}")
+    for row in rows:
+        print(f"{row['min_weight']:>6.2f} {row['throughput'] / 1e3:>9.0f} "
+              f"{row['abort_rate']:>7.2f} {row['distributed']:>8.2f}")
+
+
+# -- CLI ---------------------------------------------------------------------
+
+def main(argv: Iterable[str] | None = None) -> None:
+    args = list(sys.argv[1:] if argv is None else argv)
+    quick = "--quick" in args
+    args = [a for a in args if not a.startswith("--")]
+    wanted = set(args) or {"fig7"}
+    if "all" in wanted:
+        wanted = {"fig7", "fig8", "fig9a", "fig9b", "fig9c", "fig10",
+                  "lookup", "cost", "reorder", "minweight"}
+
+    if wanted & {"fig7", "fig8", "lookup", "cost"}:
+        partitions = (2, 4, 8) if quick else (2, 3, 4, 5, 6, 7, 8)
+        rows = instacart_sweep(partitions, quick=quick)
+        if "fig7" in wanted:
+            print_fig7(rows)
+        if "fig8" in wanted:
+            print_fig8(rows)
+        if "lookup" in wanted:
+            print_lookup(rows)
+        if "cost" in wanted:
+            print_cost(rows)
+    if wanted & {"fig9a", "fig9b", "fig9c"}:
+        concurrency = (1, 2, 4, 8) if quick else (1, 2, 3, 4, 5, 6, 7, 8)
+        rows = fig9_rows(concurrency, quick=quick)
+        if "fig9a" in wanted:
+            print_fig9a(rows)
+        if "fig9b" in wanted:
+            print_fig9b(rows)
+        if "fig9c" in wanted:
+            print_fig9c(rows)
+    if "fig10" in wanted:
+        percents = (0, 50, 100) if quick else (0, 20, 40, 60, 80, 100)
+        print_fig10(fig10_rows(percents, quick=quick))
+    if "reorder" in wanted:
+        print_reorder(reorder_ablation_rows(quick=quick))
+    if "minweight" in wanted:
+        print_min_weight(min_weight_ablation_rows(quick=quick))
+
+
+if __name__ == "__main__":
+    main()

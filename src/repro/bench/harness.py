@@ -1,0 +1,150 @@
+"""Benchmark driver: build a database, run a workload, collect metrics.
+
+The driver mirrors the paper's setup: each server pins one execution
+engine which keeps up to ``concurrent`` transactions in flight (worker
+coroutines); an aborted transaction retries after a short randomized
+backoff — NO_WAIT systems retry at the client, and the abort *rate*
+counts every attempt.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable
+
+from .._util import make_rng
+from ..analysis import ProcedureRegistry
+from ..sim import Cluster, NetworkConfig, Sleep
+from ..storage import Catalog
+from ..txn import BaseExecutor, Database, ExecConfig, HistoryRecorder
+from .metrics import APP_ABORTS, Metrics
+
+
+@dataclass
+class RunConfig:
+    """One benchmark run's knobs."""
+
+    n_partitions: int = 4
+    concurrent_per_engine: int = 1
+    horizon_us: float = 50_000.0
+    """Stop admitting new transactions at this simulated time."""
+
+    warmup_us: float = 5_000.0
+    """Commits before this time are excluded from throughput."""
+
+    seed: int = 7
+    retry_aborts: bool = True
+    retry_backoff_us: float = 10.0
+    max_attempts: int = 50
+    n_replicas: int = 1
+    track_spans: bool = False
+    record_history: bool = False
+    network: NetworkConfig | None = None
+    exec_config: ExecConfig | None = None
+    homes: tuple[int, ...] | None = None
+    """Engines that generate transactions (default: all)."""
+
+    route_by_data: bool = False
+    """Dispatch each transaction to the partition owning most of its
+    data (requires the workload to implement ``route``/``rebind``).
+    This is how the Fig. 7/8 deployments route client requests."""
+
+
+@dataclass
+class RunResult:
+    """Everything a single run produced."""
+
+    metrics: Metrics
+    database: Database
+    history: HistoryRecorder | None
+    config: RunConfig
+    end_time: float
+
+    @property
+    def throughput(self) -> float:
+        """Committed txns/sec in the measurement window."""
+        window_end = max(self.config.horizon_us,
+                         self.config.warmup_us + 1.0)
+        return self.metrics.throughput(self.config.warmup_us, window_end)
+
+    @property
+    def abort_rate(self) -> float:
+        return self.metrics.abort_rate()
+
+
+def build_database(workload, catalog: Catalog, config: RunConfig,
+                   ) -> tuple[Database, Cluster]:
+    """Create the cluster, register procedures, and load the data."""
+    cluster = Cluster(config.n_partitions, config.network)
+    registry = ProcedureRegistry()
+    for proc in workload.procedures():
+        registry.register(proc)
+    db = Database(cluster, catalog, workload.tables(), registry,
+                  n_replicas=config.n_replicas,
+                  track_spans=config.track_spans)
+    workload.populate(db.loader())
+    return db, cluster
+
+
+def run_benchmark(workload, executor: BaseExecutor,
+                  config: RunConfig) -> RunResult:
+    """Drive ``workload`` through ``executor`` until the horizon."""
+    db = executor.db
+    cluster = db.cluster
+    metrics = Metrics()
+    homes: Iterable[int] = (config.homes if config.homes is not None
+                            else range(config.n_partitions))
+
+    routed_queues: dict[int, deque] = {home: deque() for home in homes}
+
+    def next_routed(home: int, rng: random.Random):
+        """Data-affinity dispatch: serve a queued request routed to this
+        engine, else generate until one routes here (foreign ones are
+        queued for their owners; after a bounded number of tries the
+        last request is executed here anyway, like an overloaded
+        router shedding work)."""
+        queue = routed_queues[home]
+        if queue:
+            return queue.popleft()
+        request = workload.next_request(home, rng)
+        for _ in range(20):
+            target = workload.route(request, db.partition_of)
+            if target == home or target not in routed_queues:
+                break
+            routed_queues[target].append(workload.rebind(request,
+                                                         target))
+            if queue:
+                return queue.popleft()
+            request = workload.next_request(home, rng)
+        return workload.rebind(request, home)
+
+    def worker(home: int, slot: int):
+        rng = make_rng(config.seed, "worker", home, slot)
+        while cluster.sim.now < config.horizon_us:
+            if config.route_by_data:
+                request = next_routed(home, rng)
+            else:
+                request = workload.next_request(home, rng)
+            attempts = 0
+            while True:
+                outcome = yield from executor.execute(request)
+                metrics.add(outcome)
+                attempts += 1
+                retryable = (not outcome.committed
+                             and outcome.reason not in APP_ABORTS
+                             and config.retry_aborts
+                             and attempts < config.max_attempts
+                             and cluster.sim.now < config.horizon_us)
+                if not retryable:
+                    break
+                yield Sleep(rng.uniform(0.0, config.retry_backoff_us))
+
+    for home in homes:
+        for slot in range(config.concurrent_per_engine):
+            cluster.engine(home).spawn(worker(home, slot))
+    cluster.run()
+    return RunResult(metrics=metrics, database=db,
+                     history=executor.history, config=config,
+                     end_time=cluster.sim.now)

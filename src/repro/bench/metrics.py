@@ -1,0 +1,121 @@
+"""Run metrics: throughput, abort rates, fairness, latency.
+
+One :class:`Metrics` instance collects every transaction attempt's
+:class:`~repro.txn.common.Outcome`.  Abort *rate* is aborts over all
+attempts (retries count as fresh attempts, matching how the paper's
+NO_WAIT systems report it); throughput counts commits per simulated
+second inside the measurement window.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..txn.common import AbortReason, Outcome
+
+APP_ABORTS = frozenset({AbortReason.LOGICAL, AbortReason.READ_MISS})
+"""Abort reasons decided by the application, not by contention."""
+
+
+@dataclass
+class Metrics:
+    """Aggregated outcomes of one benchmark run."""
+
+    outcomes: list[Outcome] = field(default_factory=list)
+
+    def add(self, outcome: Outcome) -> None:
+        self.outcomes.append(outcome)
+
+    # -- counts ----------------------------------------------------------
+
+    @property
+    def attempts(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def commits(self) -> int:
+        return sum(1 for o in self.outcomes if o.committed)
+
+    @property
+    def aborts(self) -> int:
+        return self.attempts - self.commits
+
+    def aborts_by_reason(self) -> Counter:
+        return Counter(o.reason for o in self.outcomes if not o.committed)
+
+    def commits_by_proc(self) -> Counter:
+        return Counter(o.proc for o in self.outcomes if o.committed)
+
+    def attempts_by_proc(self) -> Counter:
+        return Counter(o.proc for o in self.outcomes)
+
+    # -- rates ------------------------------------------------------------
+
+    def abort_rate(self, proc: str | None = None,
+                   include_app_aborts: bool = False) -> float:
+        """Aborts / attempts.  Application aborts (failed CHECKs and the
+        TPC-C 1% rollback read-misses) are excluded by default: they are
+        workload semantics, not contention."""
+        outcomes = [o for o in self.outcomes
+                    if proc is None or o.proc == proc]
+        if not include_app_aborts:
+            outcomes = [o for o in outcomes
+                        if o.committed or o.reason not in APP_ABORTS]
+        if not outcomes:
+            return 0.0
+        aborted = sum(1 for o in outcomes if not o.committed)
+        return aborted / len(outcomes)
+
+    def throughput(self, window_start: float, window_end: float) -> float:
+        """Committed transactions per simulated *second* in the window."""
+        if window_end <= window_start:
+            raise ValueError("empty measurement window")
+        commits = sum(1 for o in self.outcomes
+                      if o.committed and window_start <= o.end < window_end)
+        return commits / ((window_end - window_start) / 1e6)
+
+    def distributed_ratio(self) -> float:
+        """Fraction of committed transactions spanning >1 partition."""
+        committed = [o for o in self.outcomes if o.committed]
+        if not committed:
+            return 0.0
+        return sum(1 for o in committed if o.distributed) / len(committed)
+
+    def two_region_ratio(self) -> float:
+        """Fraction of committed transactions run as two-region."""
+        committed = [o for o in self.outcomes if o.committed]
+        if not committed:
+            return 0.0
+        return (sum(1 for o in committed if o.used_two_region)
+                / len(committed))
+
+    # -- latency ------------------------------------------------------------
+
+    def latencies(self, proc: str | None = None,
+                  committed_only: bool = True) -> list[float]:
+        return [o.latency for o in self.outcomes
+                if (proc is None or o.proc == proc)
+                and (o.committed or not committed_only)]
+
+    def mean_latency(self, proc: str | None = None) -> float:
+        values = self.latencies(proc)
+        return sum(values) / len(values) if values else 0.0
+
+    def percentile_latency(self, q: float, proc: str | None = None) -> float:
+        values = sorted(self.latencies(proc))
+        if not values:
+            return 0.0
+        index = min(len(values) - 1, int(q * len(values)))
+        return values[index]
+
+    # -- fairness (Fig. 9c) ----------------------------------------------------
+
+    def commit_share(self) -> dict[str, float]:
+        """Per-procedure share of all commits (starvation shows up as a
+        class's share collapsing)."""
+        commits = self.commits_by_proc()
+        total = sum(commits.values())
+        if total == 0:
+            return {}
+        return {proc: count / total for proc, count in commits.items()}

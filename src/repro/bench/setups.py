@@ -1,0 +1,254 @@
+"""Experiment setups: wire workloads, layouts, and executors together.
+
+Two families, one per evaluation section of the paper:
+
+* **TPC-C** (Section 7.3/7.4): warehouse partitioning for everyone
+  (``ModuloScheme``), so only the execution models differ.  Chiller's
+  hot-record table is derived from sampled statistics through the
+  contention model — warehouses and districts clear the threshold,
+  customers/stock do not.
+
+* **Instacart** (Section 7.2): layouts differ.  A training trace feeds
+  hash placement (baseline), Schism's co-access min-cut, or Chiller's
+  contention-aware star-graph cut; runtime then drives the NewOrder-like
+  grocery procedure against the chosen layout.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Literal
+
+from ..analysis import ProcedureRegistry
+from ..core import (ChillerExecutor, ChillerPartitionerConfig,
+                    HotRecordTable, StatsService, partition_workload,
+                    sample_from_request)
+from ..partitioning import (ModuloScheme, SchismConfig, partition_schism)
+from ..sim import Cluster
+from ..storage import Catalog
+from ..txn import (Database, HistoryRecorder, OccExecutor, TwoPLExecutor)
+from ..workloads.instacart import InstacartWorkload
+from ..workloads.tpcc import (REPLICATED_TABLES, TpccScale, TpccWorkload,
+                              tpcc_routing)
+from .harness import RunConfig, RunResult, run_benchmark
+
+ExecutorName = Literal["2pl", "occ", "chiller"]
+
+
+# -- TPC-C ------------------------------------------------------------------
+
+def tpcc_hot_table_from_stats(workload: TpccWorkload, scheme,
+                              n_samples: int = 2000,
+                              threshold: float = 0.05,
+                              seed: int = 17) -> HotRecordTable:
+    """Run the paper's statistics pipeline over a sampled trace.
+
+    The Poisson model flags the warehouse rows (written by every
+    Payment, read by every NewOrder) and the ten district rows per
+    warehouse (incremented by every NewOrder); customers and stock fall
+    below the threshold.
+    """
+    from .._util import make_rng
+    registry = ProcedureRegistry()
+    for proc in workload.procedures():
+        registry.register(proc)
+    stats = StatsService(sample_rate=1.0, lock_window_us=10.0)
+    rng = make_rng(seed, "tpcc-stats")
+    for i in range(n_samples):
+        home = i % workload.n_partitions
+        stats.record(sample_from_request(registry,
+                                         workload.next_request(home, rng)))
+    likelihoods = stats.likelihoods_from_txn_rate(
+        txns_per_second=100_000.0 * workload.n_partitions)
+    return HotRecordTable.from_stats(likelihoods, threshold,
+                                     scheme.partition_of)
+
+
+@dataclass
+class TpccRun:
+    """Everything needed to execute one TPC-C cell."""
+
+    workload: TpccWorkload
+    database: Database
+    executor: object
+    config: RunConfig
+    hot_table: HotRecordTable | None = None
+
+    def run(self) -> RunResult:
+        return run_benchmark(self.workload, self.executor, self.config)
+
+
+def make_tpcc_run(executor_name: ExecutorName,
+                  config: RunConfig,
+                  workload: TpccWorkload | None = None,
+                  hot_from_stats: bool = False) -> TpccRun:
+    """Build a TPC-C database + executor over warehouse partitioning."""
+    workload = workload or TpccWorkload(
+        TpccScale(n_warehouses=config.n_partitions),
+        n_partitions=config.n_partitions)
+    cluster = Cluster(config.n_partitions, config.network)
+    registry = ProcedureRegistry()
+    for proc in workload.procedures():
+        registry.register(proc)
+    scheme = ModuloScheme(config.n_partitions, routing=tpcc_routing)
+    catalog = Catalog(config.n_partitions, scheme,
+                      replicated_tables=REPLICATED_TABLES)
+    db = Database(cluster, catalog, workload.tables(), registry,
+                  n_replicas=config.n_replicas,
+                  track_spans=config.track_spans)
+    workload.populate(db.loader())
+    history = HistoryRecorder() if config.record_history else None
+    hot_table = None
+    if executor_name == "2pl":
+        executor = TwoPLExecutor(db, config.exec_config, history)
+    elif executor_name == "occ":
+        executor = OccExecutor(db, config.exec_config, history)
+    elif executor_name == "chiller":
+        if hot_from_stats:
+            hot_table = tpcc_hot_table_from_stats(workload, scheme)
+        else:
+            hot_table = tpcc_static_hot_table(workload, scheme)
+        executor = ChillerExecutor(db, hot_table, config.exec_config,
+                                   history)
+    else:
+        raise ValueError(f"unknown executor {executor_name!r}")
+    return TpccRun(workload, db, executor, config, hot_table)
+
+
+def tpcc_static_hot_table(workload: TpccWorkload,
+                          scheme) -> HotRecordTable:
+    """The analytically-known TPC-C hot set: warehouses + districts."""
+    from ..workloads.tpcc import DISTRICTS_PER_WAREHOUSE
+    entries = {}
+    for w in range(workload.scale.n_warehouses):
+        entries[("warehouse", w)] = scheme.partition_of("warehouse", w)
+        for d in range(DISTRICTS_PER_WAREHOUSE):
+            entries[("district", (w, d))] = scheme.partition_of(
+                "district", (w, d))
+    return HotRecordTable(entries)
+
+
+# -- Instacart ------------------------------------------------------------------
+
+LayoutName = Literal["hashing", "schism", "chiller"]
+
+
+@dataclass
+class InstacartLayout:
+    """A trained layout plus its diagnostics."""
+
+    name: str
+    scheme: object
+    hot_table: HotRecordTable
+    lookup_table_size: int
+    graph_edges: int
+    partition_seconds: float
+    executor_name: ExecutorName = "2pl"
+
+
+@dataclass
+class InstacartSetup:
+    """Shared training artifacts for one Instacart configuration."""
+
+    workload: InstacartWorkload
+    n_partitions: int
+    samples: list = field(default_factory=list)
+    likelihoods: dict = field(default_factory=dict)
+
+
+def build_instacart_setup(n_partitions: int,
+                          n_train: int = 1500,
+                          workload: InstacartWorkload | None = None,
+                          seed: int = 7,
+                          lock_window_us: float = 10.0,
+                          assumed_tps: float = 400_000.0,
+                          ) -> InstacartSetup:
+    """Generate the training trace and contention statistics."""
+    workload = workload or InstacartWorkload()
+    registry = ProcedureRegistry()
+    for proc in workload.procedures():
+        registry.register(proc)
+    trace = workload.trace(n_train, n_partitions, seed=seed)
+    stats = StatsService(sample_rate=1.0, lock_window_us=lock_window_us)
+    for request in trace:
+        stats.record(sample_from_request(registry, request))
+    likelihoods = stats.likelihoods_from_txn_rate(assumed_tps)
+    return InstacartSetup(workload, n_partitions,
+                          samples=stats.samples,
+                          likelihoods=likelihoods)
+
+
+def build_instacart_layout(setup: InstacartSetup, name: LayoutName,
+                           seed: int = 7,
+                           eps: float = 0.15,
+                           hot_threshold: float = 0.02,
+                           min_weight: float = 0.0,
+                           n_tries: int = 2) -> InstacartLayout:
+    """Train one of the three layouts the Fig. 7/8 experiment compares."""
+    k = setup.n_partitions
+    fallback = ModuloScheme(k)  # stock by product id, orders by home
+    if name == "hashing":
+        return InstacartLayout("hashing", fallback,
+                               HotRecordTable.empty(), 0, 0, 0.0, "2pl")
+    if name == "schism":
+        start = time.perf_counter()
+        result = partition_schism(
+            setup.samples, k, SchismConfig(eps=eps, seed=seed))
+        elapsed = time.perf_counter() - start
+        return InstacartLayout("schism", result.scheme(fallback),
+                               HotRecordTable.empty(),
+                               result.lookup_table_size(),
+                               result.n_edges, elapsed, "2pl")
+    if name == "chiller":
+        start = time.perf_counter()
+        result = partition_workload(
+            setup.samples, setup.likelihoods, k,
+            ChillerPartitionerConfig(eps=eps, seed=seed,
+                                     hot_threshold=hot_threshold,
+                                     min_weight=min_weight))
+        elapsed = time.perf_counter() - start
+        return InstacartLayout("chiller", result.scheme(fallback),
+                               result.hot_table,
+                               result.lookup_table_size(),
+                               result.star.graph.n_edges, elapsed,
+                               "chiller")
+    raise ValueError(f"unknown layout {name!r}")
+
+
+def make_instacart_run(setup: InstacartSetup, layout: InstacartLayout,
+                       config: RunConfig,
+                       executor_override: ExecutorName | None = None,
+                       ) -> TpccRun:
+    """Build the runtime database for one trained layout.
+
+    ``executor_override`` supports the ablations: e.g. two-region
+    execution over a Schism or hash layout ("reorder-only").
+    """
+    cluster = Cluster(config.n_partitions, config.network)
+    registry = ProcedureRegistry()
+    for proc in setup.workload.procedures():
+        registry.register(proc)
+    catalog = Catalog(config.n_partitions, layout.scheme)
+    db = Database(cluster, catalog, setup.workload.tables(), registry,
+                  n_replicas=config.n_replicas,
+                  track_spans=config.track_spans)
+    setup.workload.populate(db.loader())
+    history = HistoryRecorder() if config.record_history else None
+    executor_name = executor_override or layout.executor_name
+    if executor_name == "2pl":
+        executor = TwoPLExecutor(db, config.exec_config, history)
+    elif executor_name == "occ":
+        executor = OccExecutor(db, config.exec_config, history)
+    else:
+        hot_table = layout.hot_table
+        if not len(hot_table):
+            # two-region execution over a foreign layout: hot records
+            # from the stats, placements from that layout
+            from ..core.lookup import HotRecordTable as Hot
+            hot_table = Hot.from_stats(
+                setup.likelihoods, 0.02,
+                lambda table, key: catalog.partition_of(table, key))
+        executor = ChillerExecutor(db, hot_table, config.exec_config,
+                                   history)
+    return TpccRun(setup.workload, db, executor, config, None)

@@ -1,0 +1,30 @@
+"""Chiller's core: contention model, partitioner, two-region execution."""
+
+from .chiller import ChillerExecutor, InnerRequest
+from .contention import contention_likelihood, likelihoods_from_rates, normalize
+from .lookup import HotRecordTable
+from .partitioner import (ChillerPartitionerConfig, ChillerPartitioning,
+                          partition_workload)
+from .regions import RegionPlan, RegionPlanner
+from .stargraph import StarGraph, build_star_graph, partition_star_graph
+from .stats import StatsService, TxnSample, sample_from_request
+
+__all__ = [
+    "ChillerExecutor",
+    "ChillerPartitionerConfig",
+    "ChillerPartitioning",
+    "HotRecordTable",
+    "InnerRequest",
+    "RegionPlan",
+    "RegionPlanner",
+    "StarGraph",
+    "StatsService",
+    "TxnSample",
+    "build_star_graph",
+    "contention_likelihood",
+    "likelihoods_from_rates",
+    "normalize",
+    "partition_star_graph",
+    "partition_workload",
+    "sample_from_request",
+]

@@ -1,0 +1,342 @@
+"""Chiller's two-region transaction executor (paper Sections 3 and 5).
+
+Protocol per transaction (Fig. 3b):
+
+1. Plan regions (:class:`~repro.core.regions.RegionPlanner`).  No
+   admissible hot record -> run the plain 2PL+2PC path.
+2. **Outer phase 1**: lock+read every outer record (dependency-layered
+   parallel rounds), evaluating outer CHECKs as they become ready.  Any
+   failure aborts normally.
+3. **Inner region**: delegate the inner ops to the inner host via one
+   RPC carrying all outer bindings.  The inner host locks, reads,
+   checks, applies, and *commits unilaterally* — its locks are released
+   after a purely local critical section, which is the whole point: the
+   hot records' contention span shrinks from >= 2 network round trips to
+   microseconds.  On success it fires the Fig. 6 replication protocol
+   (replicas apply in channel order and acknowledge the *coordinator*,
+   not the inner host, which has already moved on).
+4. **Outer phase 2**: after the inner reply *and* all inner-replica
+   acks, evaluate outer writes (they may consume values computed in the
+   inner region, e.g. the flight example's ``cost``), replicate them,
+   apply, and release.  Nothing can abort past the inner commit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Mapping
+
+from ..analysis import OpInstance, OpKind
+from ..replication import InnerReplicaAck, InnerReplicate, ReplicaWrite
+from ..sim import Await, Compute, OneSided, Rpc, Signal
+from ..storage import LockMode
+from ..txn import Database, ExecConfig, HistoryRecorder
+from ..txn.common import AbortReason, TxnRequest
+from ..txn.executor import BaseExecutor, TxnState
+from .lookup import HotRecordTable
+from .regions import RegionPlan, RegionPlanner
+
+RPC_INNER = "chiller_inner"
+RPC_REPLICATE = "chiller_replicate"
+RPC_ACK = "chiller_ack"
+
+_ABORT_BY_STATUS = {
+    "conflict": AbortReason.INNER_CONFLICT,
+    "missing": AbortReason.READ_MISS,
+    "duplicate": AbortReason.DUPLICATE_KEY,
+    "logical": AbortReason.LOGICAL,
+}
+
+
+@dataclass(frozen=True)
+class InnerRequest:
+    """Coordinator -> inner host: execute and commit these operations."""
+
+    txn_id: int
+    proc: str
+    params: Mapping[str, Any]
+    inner_names: tuple[str, ...]
+    ctx: Mapping[str, Any]
+    coordinator: int
+
+
+class _AckState:
+    __slots__ = ("signal", "expected", "received")
+
+    def __init__(self, expected: int):
+        self.signal = Signal()
+        self.expected = expected
+        self.received = 0
+
+
+class ChillerExecutor(BaseExecutor):
+    """Two-region execution over a contention-aware layout."""
+
+    name = "chiller"
+
+    def __init__(self, db: Database, hot_table: HotRecordTable,
+                 config: ExecConfig | None = None,
+                 history: HistoryRecorder | None = None):
+        super().__init__(db, config, history)
+        self.hot_table = hot_table
+        self._pending_acks: dict[int, _AckState] = {}
+        db.register_rpc(RPC_INNER, self._inner_handler)
+        db.register_rpc(RPC_REPLICATE, self._replicate_handler)
+        db.register_rpc(RPC_ACK, self._ack_handler)
+
+    def make_planner(self, home: int) -> RegionPlanner:
+        return RegionPlanner(
+            self.hot_table,
+            lambda table, key: self.db.partition_of(table, key,
+                                                    reader=home))
+
+    # -- coordinator ---------------------------------------------------------
+
+    def execute(self, request: TxnRequest) -> Generator:
+        state = self.new_state(request)
+        plan = self.make_planner(request.home).plan(state.instances,
+                                                    request.params)
+        if not plan.two_region:
+            return (yield from self._execute_normal(state))
+        return (yield from self._execute_two_region(state, plan))
+
+    def _execute_normal(self, state: TxnState) -> Generator:
+        """Cold transactions run exactly like the 2PL baseline."""
+        ok = yield from self.lock_read_phase(state)
+        if not ok:
+            yield from self.abort_release(state)
+            return self.finish(state)
+        writes = self.evaluate_writes(state)
+        yield from self.replicate(state, writes)
+        yield from self.commit_phase(state, writes)
+        return self.finish(state)
+
+    def _execute_two_region(self, state: TxnState,
+                            plan: RegionPlan) -> Generator:
+        state.used_two_region = True
+        state.inner_host = plan.inner_host
+        assert plan.inner_host is not None
+        state.pending_checks = [inst for inst in plan.outer
+                                if inst.spec.kind is OpKind.CHECK]
+
+        ok = yield from self.lock_read_phase(state, ops=plan.outer)
+        if not ok:
+            yield from self.abort_release(state)
+            return self.finish(state)
+
+        expected_acks = self._expected_acks(plan.inner_host)
+        if expected_acks:
+            self._pending_acks[state.txn_id] = _AckState(expected_acks)
+        inner_request = InnerRequest(
+            txn_id=state.txn_id, proc=state.request.proc,
+            params=state.request.params,
+            inner_names=tuple(inst.name for inst in plan.inner),
+            ctx=dict(state.ctx), coordinator=state.request.home)
+        if plan.inner_host == state.request.home:
+            # the coordinator is the inner host: run it inline on this
+            # engine (still consuming this core's CPU)
+            reply = yield from self._inner_body(plan.inner_host,
+                                                inner_request)
+        else:
+            reply = yield Rpc(plan.inner_host, (RPC_INNER, inner_request))
+
+        status, ctx_delta, inner_reads, inner_versions = reply
+        if status != "ok":
+            self._pending_acks.pop(state.txn_id, None)
+            state.abort_reason = _ABORT_BY_STATUS[status]
+            yield from self.abort_release(state)
+            return self.finish(state)
+
+        state.ctx.update(ctx_delta)
+        state.reads.extend(inner_reads)
+        state.write_versions.extend(inner_versions)
+
+        if expected_acks:
+            acks = self._pending_acks[state.txn_id]
+            yield Await(acks.signal)
+            del self._pending_acks[state.txn_id]
+
+        writes = self.evaluate_writes(state, ops=plan.outer)
+        yield from self.replicate(state, writes)
+        yield from self.commit_phase(state, writes)
+        state.touched.add(plan.inner_host)
+        return self.finish(state)
+
+    def _expected_acks(self, inner_host: int) -> int:
+        if not self.cfg.replicate or self.db.replicas is None:
+            return 0
+        return len(self.db.replicas.replica_servers(inner_host))
+
+    # -- inner host ------------------------------------------------------------
+
+    def _inner_handler(self, server_id: int, src: int,
+                       body: InnerRequest) -> Generator:
+        return (yield from self._inner_body(server_id, body))
+
+    def _inner_body(self, server_id: int, req: InnerRequest) -> Generator:
+        """Execute the inner region locally; commit unilaterally.
+
+        The inner region runs "from beginning to end with no stall"
+        (Section 3.3): one contiguous CPU block for its logic, then one
+        atomic local critical section that locks, reads, checks,
+        applies, and releases.  Concurrent inner regions on the same
+        partition are therefore serialized by the host's core instead
+        of conflicting — the paper's "conflicts are most likely handled
+        sequentially in the inner region".
+        """
+        cfg = self.cfg
+        store = self.db.store(server_id)
+        proc = self.db.registry.get(req.proc)
+        by_name = {inst.name: inst
+                   for inst in proc.instantiate(req.params)}
+        instances = [by_name[name] for name in req.inner_names]
+
+        n_record_ops = sum(1 for inst in instances
+                           if inst.spec.kind is not OpKind.CHECK)
+        n_checks = len(instances) - n_record_ops
+        n_writes = sum(1 for inst in instances if inst.spec.is_write())
+        # every inner operation is local to this host by construction
+        yield Compute(cfg.cpu_local_op_us * n_record_ops
+                      + cfg.cpu_check_us * n_checks
+                      + cfg.cpu_apply_us * max(1, n_writes))
+        result = yield OneSided(
+            server_id,
+            lambda: self._inner_critical_section(store, instances, req))
+        status, ctx_delta, reads, versions, writes = result
+        if status == "ok":
+            self._replicate_inner(server_id, req, writes)
+        return (status, ctx_delta, reads, versions)
+
+    def _inner_critical_section(self, store, instances: list[OpInstance],
+                                req: InnerRequest) -> tuple:
+        """Lock, read, check, apply, and release — one atomic event.
+
+        With ``bypass_inner_locks`` the section does not *acquire*
+        locks (H-store style); it still refuses to proceed past a lock
+        someone else holds (an outer region owns the record).
+        """
+        ctx: dict[str, Any] = dict(req.ctx)
+        owner = ("inner", req.txn_id)
+        bypass = self.cfg.bypass_inner_locks
+        reads: list[tuple[tuple[str, Any], int]] = []
+        locations: dict[str, tuple[str, Any]] = {}
+
+        def fail(status: str) -> tuple:
+            store.release_all(owner)
+            return (status, {}, [], [], [])
+
+        def acquire(table: str, key: Any, mode) -> bool:
+            if bypass:
+                lock = store.table(table).lock_for(key)
+                return lock.is_free() or lock.held_by(owner) is not None
+            return store.try_lock(table, key, mode, owner)
+
+        for inst in instances:
+            kind = inst.spec.kind
+            if kind is OpKind.READ:
+                table = inst.spec.table
+                key = inst.concrete_key(req.params, ctx)
+                if not acquire(table, key, inst.lock_mode()):
+                    return fail("conflict")
+                result = store.read(table, key)
+                if result is None:
+                    return fail("missing")
+                fields, version = result
+                ctx[inst.name] = fields
+                locations[inst.name] = (table, key)
+                reads.append(((table, key), version))
+            elif kind is OpKind.INSERT:
+                table = inst.spec.table
+                key = inst.concrete_key(req.params, ctx)
+                locations[inst.name] = (table, key)
+                if not acquire(table, key, LockMode.EXCLUSIVE):
+                    return fail("conflict")
+                if store.read(table, key) is not None:
+                    return fail("duplicate")
+            elif kind is OpKind.CHECK:
+                if not inst.run_check(req.params, ctx):
+                    return fail("logical")
+            # UPDATE/DELETE: applied below at the commit point
+
+        writes = []
+        for inst in instances:
+            kind = inst.spec.kind
+            if kind is OpKind.UPDATE:
+                target = inst.target_instance()
+                if target not in locations:
+                    raise RuntimeError(
+                        f"inner update {inst.name!r} has no inner target "
+                        f"read {target!r}; region planner bug")
+                table, key = locations[target]
+                writes.append(("update", table, key,
+                               inst.run_update(req.params, ctx)))
+            elif kind is OpKind.INSERT:
+                table, key = locations[inst.name]
+                writes.append(("insert", table, key,
+                               inst.run_insert_fields(req.params, ctx)))
+            elif kind is OpKind.DELETE:
+                table, key = locations[inst.target_instance()]
+                writes.append(("delete", table, key, None))
+
+        versions = _inner_commit_op(store, writes, owner)()
+        ctx_delta = {name: ctx[name] for name in req.inner_names
+                     if name in ctx}
+        return ("ok", ctx_delta, reads, versions, writes)
+
+    def _replicate_inner(self, server_id: int, req: InnerRequest,
+                         writes: list[tuple]) -> None:
+        """Fig. 6: fire replication messages and move on immediately."""
+        if not self.cfg.replicate or self.db.replicas is None:
+            return
+        shipped = tuple(ReplicaWrite(kind, table, key, values)
+                        for kind, table, key, values in writes)
+        message = InnerReplicate(txn_id=req.txn_id, partition=server_id,
+                                 writes=shipped,
+                                 coordinator=req.coordinator)
+        engine = self.db.cluster.engine(server_id)
+        for rserver in self.db.replicas.replica_servers(server_id):
+            engine.post(rserver, (RPC_REPLICATE, message))
+
+    # -- replica and ack handlers --------------------------------------------
+
+    def _replicate_handler(self, server_id: int, src: int,
+                           body: InnerReplicate) -> Generator:
+        """Apply the inner write-set on a replica, ack the coordinator."""
+        yield Compute(self.cfg.cpu_replica_apply_us
+                      * max(1, len(body.writes)))
+        self.db.replicas.apply(server_id, body.partition, body.writes)
+        self.db.cluster.engine(server_id).post(
+            body.coordinator,
+            (RPC_ACK, InnerReplicaAck(body.txn_id, server_id)))
+        return None
+
+    def _ack_handler(self, server_id: int, src: int,
+                     body: InnerReplicaAck) -> Generator:
+        acks = self._pending_acks.get(body.txn_id)
+        if acks is not None:
+            acks.received += 1
+            if acks.received == acks.expected:
+                acks.signal.fire()
+        return None
+        yield  # pragma: no cover - generator marker
+
+
+def _inner_commit_op(store, writes: list[tuple], owner):
+    """Apply the inner region's writes and release its locks atomically."""
+    def op() -> list:
+        versions: list[tuple[tuple[str, Any], int]] = []
+        for kind, table, key, values in writes:
+            rid = (table, key)
+            if kind == "update":
+                store.write(table, key, values)
+                versions.append((rid, store.version_of(table, key)))
+            elif kind == "insert":
+                store.insert(table, key, values)
+                versions.append((rid, 0))
+            else:
+                old = store.version_of(table, key)
+                store.delete(table, key)
+                versions.append((rid, (old or 0) + 1))
+        store.release_all(owner)
+        return versions
+    return op

@@ -1,0 +1,210 @@
+"""The run-time region decision (paper Section 3.3).
+
+Given a transaction's concrete operation instances, the hot-record
+table, and the dependency structure, decide:
+
+1. whether to run as a *two-region* transaction at all (any admissible
+   hot record?) — otherwise fall back to plain 2PL+2PC;
+2. the **inner host**: the partition holding the most admissible hot
+   records (only one partition may commit unilaterally);
+3. the split: every operation whose record provably lives on the inner
+   host — *and* whose pk-descendants all provably live there too — runs
+   in the inner region; everything else is outer.  CHECKs run in the
+   outer region when all their inputs come from outer reads (cheap early
+   abort at the coordinator), otherwise inside the inner region.
+
+A hot record h is *admissible* (step 1's rule) iff every operation
+pk-dependent on h has a known placement on h's own partition; a child
+whose key is still unknown, or known to live elsewhere, blocks h — it
+could not be locked after the inner region committed unilaterally.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from ..analysis import OpInstance, OpKind
+from .lookup import HotRecordTable
+
+PlacementFn = Callable[[str, Any], int]
+"""(table, key) -> partition id, with replicated tables pre-bound."""
+
+
+@dataclass
+class RegionPlan:
+    """The outer/inner split for one transaction."""
+
+    two_region: bool
+    inner_host: int | None
+    inner: list[OpInstance] = field(default_factory=list)
+    outer: list[OpInstance] = field(default_factory=list)
+    hot_inner_records: int = 0
+    blocked_hot_records: int = 0
+
+    def inner_names(self) -> list[str]:
+        return [inst.name for inst in self.inner]
+
+
+class RegionPlanner:
+    """Plans two-region execution for instantiated transactions."""
+
+    def __init__(self, hot_table: HotRecordTable,
+                 placement: PlacementFn):
+        self.hot_table = hot_table
+        self.placement = placement
+
+    def plan(self, instances: list[OpInstance],
+             params: Mapping[str, Any]) -> RegionPlan:
+        placements = self._placements(instances, params)
+        children = _pk_children(instances)
+        by_name = {inst.name: inst for inst in instances}
+
+        hot_reads: list[tuple[OpInstance, int]] = []
+        blocked = 0
+        for inst in instances:
+            if inst.spec.kind is not OpKind.READ:
+                continue
+            info = placements.get(inst.name)
+            if info is None or not info[2]:
+                continue  # unknown or inexact: cannot be a hot candidate
+            table, key, _exact, pid = info[0], info[1], info[2], info[3]
+            if not self.hot_table.is_hot(table, key):
+                continue
+            if self._subtree_on(inst.name, pid, children, placements):
+                hot_reads.append((inst, pid))
+            else:
+                blocked += 1
+
+        if not hot_reads:
+            return RegionPlan(two_region=False, inner_host=None,
+                              outer=list(instances),
+                              blocked_hot_records=blocked)
+
+        votes = Counter(pid for _inst, pid in hot_reads)
+        inner_host = min(votes, key=lambda pid: (-votes[pid], pid))
+
+        inner_names: set[str] = set()
+        for inst in instances:
+            info = placements.get(inst.name)
+            if info is None or info[3] != inner_host:
+                continue
+            if self._subtree_on(inst.name, inner_host, children,
+                                placements):
+                inner_names.add(inst.name)
+        # updates/deletes ride with their target read's region
+        for inst in instances:
+            if inst.spec.kind in (OpKind.UPDATE, OpKind.DELETE):
+                if inst.target_instance() in inner_names:
+                    inner_names.add(inst.name)
+                else:
+                    inner_names.discard(inst.name)
+
+        inner, outer = [], []
+        outer_bindings = {
+            inst.name for inst in instances
+            if inst.spec.kind is OpKind.READ
+            and inst.name not in inner_names}
+        for inst in instances:
+            if inst.spec.kind is OpKind.CHECK:
+                deps = set(inst.dep_instance_names())
+                if deps <= outer_bindings:
+                    outer.append(inst)
+                else:
+                    inner.append(inst)
+            elif inst.name in inner_names:
+                inner.append(inst)
+            else:
+                outer.append(inst)
+
+        hot_on_host = {inst.name for inst, pid in hot_reads
+                       if pid == inner_host}
+        inner = self._reorder_hot_last(inner, hot_on_host, children)
+        self._assert_no_inner_to_outer_pk_edge(inner, outer, by_name)
+        return RegionPlan(two_region=True, inner_host=inner_host,
+                          inner=inner, outer=outer,
+                          hot_inner_records=votes[inner_host],
+                          blocked_hot_records=blocked)
+
+    @staticmethod
+    def _reorder_hot_last(inner: list[OpInstance], hot_names: set[str],
+                          children: Mapping[str, list[str]],
+                          ) -> list[OpInstance]:
+        """The paper's idea (1): postpone the hot records' lock
+        acquisition to the very end of the inner region.
+
+        The late set is the hot reads plus everything that *must*
+        follow them: pk-descendants (their keys need the hot values)
+        and any op value-depending on a late op (CHECK predicates,
+        updates of hot reads).  Relative program order is preserved
+        inside both groups, so every dependency stays forward.
+        """
+        late = set(hot_names)
+        stack = list(hot_names)
+        while stack:
+            for child in children.get(stack.pop(), ()):
+                if child not in late:
+                    late.add(child)
+                    stack.append(child)
+        changed = True
+        while changed:
+            changed = False
+            for inst in inner:
+                if inst.name in late:
+                    continue
+                if any(dep in late for dep in inst.dep_instance_names()):
+                    late.add(inst.name)
+                    changed = True
+        early = [inst for inst in inner if inst.name not in late]
+        tail = [inst for inst in inner if inst.name in late]
+        return early + tail
+
+    # -- internals ---------------------------------------------------------
+
+    def _placements(self, instances: list[OpInstance],
+                    params: Mapping[str, Any],
+                    ) -> dict[str, tuple[str, Any, bool, int]]:
+        """name -> (table, key-or-hint, exact, partition); absent when
+        the location is unknowable before execution."""
+        out: dict[str, tuple[str, Any, bool, int]] = {}
+        for inst in instances:
+            placement = inst.placement(params)
+            if placement is None or not placement.known():
+                continue
+            pid = self.placement(placement.table, placement.key)
+            out[inst.name] = (placement.table, placement.key,
+                              placement.exact, pid)
+        return out
+
+    def _subtree_on(self, name: str, pid: int,
+                    children: Mapping[str, list[str]],
+                    placements: Mapping[str, tuple],
+                    ) -> bool:
+        """All pk-descendants of ``name`` provably live on ``pid``."""
+        stack = list(children.get(name, ()))
+        while stack:
+            descendant = stack.pop()
+            info = placements.get(descendant)
+            if info is None or info[3] != pid:
+                return False
+            stack.extend(children.get(descendant, ()))
+        return True
+
+    @staticmethod
+    def _assert_no_inner_to_outer_pk_edge(inner, outer, by_name) -> None:
+        inner_names = {inst.name for inst in inner}
+        for inst in outer:
+            for parent in inst.pk_source_instances():
+                if parent in inner_names:
+                    raise RuntimeError(
+                        f"illegal region split: outer op {inst.name!r} "
+                        f"pk-depends on inner op {parent!r}")
+
+
+def _pk_children(instances: list[OpInstance]) -> dict[str, list[str]]:
+    children: dict[str, list[str]] = defaultdict(list)
+    for inst in instances:
+        for parent in inst.pk_source_instances():
+            children[parent].append(inst.name)
+    return children

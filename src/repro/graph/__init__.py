@@ -1,0 +1,20 @@
+"""Multilevel balanced graph partitioning (the METIS substitute)."""
+
+from .coarsen import CoarseLevel, coarsen, coarsen_once, heavy_edge_matching
+from .graph import WeightedGraph
+from .initial import initial_partition
+from .partition import part_graph
+from .refine import rebalance, refine, swap_refine
+
+__all__ = [
+    "CoarseLevel",
+    "WeightedGraph",
+    "coarsen",
+    "coarsen_once",
+    "heavy_edge_matching",
+    "initial_partition",
+    "part_graph",
+    "rebalance",
+    "refine",
+    "swap_refine",
+]

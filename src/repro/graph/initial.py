@@ -1,0 +1,85 @@
+"""Initial k-way partitioning of the coarsest graph (greedy growing).
+
+Seeds one region per partition, then repeatedly assigns the unassigned
+vertex with the strongest connection to a non-full partition.  Quality
+is rough — the FM refinement pass during uncoarsening does the real
+work — but greedy growing gives it a connected, roughly balanced start.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .graph import WeightedGraph
+
+
+def initial_partition(graph: WeightedGraph, k: int, eps: float,
+                      rng: random.Random) -> list[int]:
+    """Greedy-growing k-way assignment honoring the balance cap."""
+    n = graph.n_vertices
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if k == 1:
+        return [0] * n
+    capacity = _capacity(graph, k, eps)
+    assignment = [-1] * n
+    loads = [0.0] * k
+
+    seeds = rng.sample(range(n), min(k, n))
+    for part, seed in enumerate(seeds):
+        assignment[seed] = part
+        loads[part] += graph.vertex_weights[seed]
+
+    # connection[v][p] = total edge weight from v into partition p
+    connection: list[dict[int, float]] = [{} for _ in range(n)]
+    frontier: set[int] = set()
+    for seed in seeds:
+        for u, weight in graph.neighbors(seed).items():
+            if assignment[u] == -1:
+                part = assignment[seed]
+                connection[u][part] = connection[u].get(part, 0.0) + weight
+                frontier.add(u)
+
+    unassigned = [v for v in range(n) if assignment[v] == -1]
+    rng.shuffle(unassigned)
+    remaining = set(unassigned)
+
+    while remaining:
+        candidate, best_part = _pick(frontier, remaining, connection,
+                                     loads, graph, capacity)
+        if candidate is None:
+            # frontier exhausted or every connected part full:
+            # place the heaviest remaining vertex on the lightest part
+            candidate = max(remaining,
+                            key=lambda v: graph.vertex_weights[v])
+            best_part = min(range(k), key=lambda p: loads[p])
+        assignment[candidate] = best_part
+        loads[best_part] += graph.vertex_weights[candidate]
+        remaining.discard(candidate)
+        frontier.discard(candidate)
+        for u, weight in graph.neighbors(candidate).items():
+            if assignment[u] == -1:
+                connection[u][best_part] = (
+                    connection[u].get(best_part, 0.0) + weight)
+                frontier.add(u)
+    return assignment
+
+
+def _capacity(graph: WeightedGraph, k: int, eps: float) -> float:
+    mu = graph.total_vertex_weight() / k
+    return (1.0 + eps) * mu
+
+
+def _pick(frontier: set[int], remaining: set[int],
+          connection: list[dict[int, float]], loads: list[float],
+          graph: WeightedGraph, capacity: float):
+    """Strongest (vertex, partition) attachment that respects capacity."""
+    best_vertex, best_part, best_weight = None, None, -1.0
+    for v in frontier:
+        if v not in remaining:
+            continue
+        for part, weight in connection[v].items():
+            if weight > best_weight and (
+                    loads[part] + graph.vertex_weights[v] <= capacity):
+                best_vertex, best_part, best_weight = v, part, weight
+    return best_vertex, best_part

@@ -1,0 +1,35 @@
+"""Wire-level types shared by the replication protocols."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class ReplicaWrite:
+    """One record mutation shipped to a replica."""
+
+    kind: str               # "update" | "insert" | "delete"
+    table: str
+    key: Any
+    values: dict[str, Any] | None = None
+
+
+@dataclass(frozen=True)
+class InnerReplicate:
+    """Inner host -> replica: apply this inner-region write-set, then
+    acknowledge directly to the *coordinator* (paper Fig. 6)."""
+
+    txn_id: int
+    partition: int
+    writes: tuple[ReplicaWrite, ...]
+    coordinator: int
+
+
+@dataclass(frozen=True)
+class InnerReplicaAck:
+    """Replica -> coordinator: inner-region writes are durable here."""
+
+    txn_id: int
+    replica_server: int

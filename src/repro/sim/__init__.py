@@ -1,0 +1,34 @@
+"""Discrete-event simulation substrate (clock, CPU, network, coroutines).
+
+This package stands in for the paper's physical testbed: an
+InfiniBand-connected cluster running coroutine-based execution engines.
+See DESIGN.md ("Substitutions") for the latency calibration rationale.
+"""
+
+from .cluster import Cluster, Server
+from .coroutines import (All, Await, Compute, Coroutine, Effect, Engine,
+                         OneSided, Rpc, Signal, Sleep)
+from .cpu import Core
+from .events import EventHandle, Simulator
+from .network import Network, NetworkConfig, NetworkStats
+
+__all__ = [
+    "All",
+    "Await",
+    "Cluster",
+    "Compute",
+    "Core",
+    "Coroutine",
+    "Effect",
+    "Engine",
+    "EventHandle",
+    "Network",
+    "NetworkConfig",
+    "NetworkStats",
+    "OneSided",
+    "Rpc",
+    "Server",
+    "Signal",
+    "Simulator",
+    "Sleep",
+]

@@ -1,0 +1,53 @@
+"""Cluster wiring: N servers, each a (storage slot, execution engine) pair.
+
+The simulation layer stays ignorant of the database layer: ``storage`` is
+an opaque slot that `repro.txn` / `repro.core` fill with a
+:class:`~repro.storage.partition.Partition` (and replicas).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .coroutines import Engine
+from .events import Simulator
+from .network import Network, NetworkConfig
+
+
+class Server:
+    """One simulated machine: an engine plus whatever storage it hosts."""
+
+    def __init__(self, server_id: int, engine: Engine):
+        self.id = server_id
+        self.engine = engine
+        self.storage: Any = None
+
+    def __repr__(self) -> str:
+        return f"Server({self.id})"
+
+
+class Cluster:
+    """A set of servers sharing one simulator and one network."""
+
+    def __init__(self, n_servers: int,
+                 config: NetworkConfig | None = None,
+                 sim: Simulator | None = None):
+        if n_servers <= 0:
+            raise ValueError("cluster needs at least one server")
+        self.sim = sim or Simulator()
+        self.network = Network(self.sim, config)
+        self.servers = [Server(i, Engine(self.sim, self.network, i))
+                        for i in range(n_servers)]
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    def server(self, server_id: int) -> Server:
+        return self.servers[server_id]
+
+    def engine(self, server_id: int) -> Engine:
+        return self.servers[server_id].engine
+
+    def run(self, max_events: int | None = None) -> None:
+        """Drive the simulation until quiescence."""
+        self.sim.run(max_events)

@@ -1,0 +1,133 @@
+"""RDMA-flavoured network model.
+
+Two transport primitives, mirroring the NAM-DB substrate Chiller builds on:
+
+* **One-sided verbs** (:meth:`Network.one_sided`): the operation executes
+  against the *target's storage* at arrival time without consuming any
+  CPU at the target — the NIC does the work.  This is how the outer
+  region reads, writes, and lock words (via CAS) are accessed remotely.
+
+* **Messages / RPCs** (:meth:`Network.send`): delivered to a handler at
+  the target; whatever the handler does (e.g. executing an inner region)
+  costs target CPU.  Delivery on each (src, dst) channel is FIFO, the
+  in-order property the paper's inner-region replication relies on
+  (RDMA queue-pair semantics).
+
+All latencies are configurable through :class:`NetworkConfig`; the
+defaults put a network round trip at ~27x a local storage access,
+consistent with the paper's "at least an order of magnitude" premise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .events import Simulator
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Latency and overhead constants, in microseconds."""
+
+    local_access_us: float = 0.15
+    """A storage operation against the local partition."""
+
+    one_way_us: float = 1.7
+    """One-way propagation between two servers (InfiniBand EDR class)."""
+
+    verb_overhead_us: float = 0.3
+    """NIC processing added to each one-sided verb at the target."""
+
+    rpc_overhead_us: float = 0.4
+    """Dispatch overhead added when delivering a message to a handler."""
+
+    def one_sided_rtt(self) -> float:
+        """Completion time of a remote one-sided verb."""
+        return 2 * self.one_way_us + self.verb_overhead_us
+
+    def message_delay(self) -> float:
+        """Delivery delay of a one-way message."""
+        return self.one_way_us + self.rpc_overhead_us
+
+
+@dataclass
+class NetworkStats:
+    """Counters for traffic accounting (used in experiment reports)."""
+
+    one_sided_local: int = 0
+    one_sided_remote: int = 0
+    messages: int = 0
+    bytes_by_kind: dict[str, int] = field(default_factory=dict)
+
+    def total_remote_ops(self) -> int:
+        return self.one_sided_remote + self.messages
+
+
+class Network:
+    """Connects ``n_servers`` simulated servers with FIFO channels."""
+
+    def __init__(self, sim: Simulator, config: NetworkConfig | None = None):
+        self._sim = sim
+        self.config = config or NetworkConfig()
+        self.stats = NetworkStats()
+        self._handlers: dict[int, Callable[[int, Any], None]] = {}
+        self._last_delivery: dict[tuple[int, int], float] = {}
+
+    def register_handler(self, server_id: int,
+                         handler: Callable[[int, Any], None]) -> None:
+        """Install the message handler for ``server_id``.
+
+        The handler receives ``(src_server_id, payload)``.
+        """
+        self._handlers[server_id] = handler
+
+    def one_sided(self, src: int, dst: int, op: Callable[[], Any],
+                  on_complete: Callable[[Any], None]) -> None:
+        """Run ``op`` against ``dst`` as a one-sided verb.
+
+        ``op`` executes at arrival time (no target CPU involved); its
+        return value is delivered back to ``on_complete`` at ``src`` after
+        the return trip.  Local operations (``src == dst``) only pay the
+        local access latency.
+        """
+        cfg = self.config
+        if src == dst:
+            self.stats.one_sided_local += 1
+            self._sim.schedule(cfg.local_access_us,
+                               lambda: on_complete(op()))
+            return
+        self.stats.one_sided_remote += 1
+        arrive = self._fifo_time(src, dst,
+                                 cfg.one_way_us + cfg.verb_overhead_us)
+
+        def _at_target() -> None:
+            result = op()
+            self._sim.schedule_at(
+                self._fifo_time(dst, src, self.config.one_way_us,
+                                base=self._sim.now),
+                lambda: on_complete(result))
+
+        self._sim.schedule_at(arrive, _at_target)
+
+    def send(self, src: int, dst: int, payload: Any) -> None:
+        """Deliver ``payload`` to ``dst``'s registered handler (FIFO)."""
+        if dst not in self._handlers:
+            raise KeyError(f"server {dst} has no registered message handler")
+        self.stats.messages += 1
+        delay = (self.config.local_access_us if src == dst
+                 else self.config.message_delay())
+        arrive = self._fifo_time(src, dst, delay)
+        handler = self._handlers[dst]
+        self._sim.schedule_at(arrive, lambda: handler(src, payload))
+
+    def _fifo_time(self, src: int, dst: int, delay: float,
+                   base: float | None = None) -> float:
+        """Next delivery time on the (src, dst) channel, kept monotonic."""
+        key = (src, dst)
+        when = (base if base is not None else self._sim.now) + delay
+        last = self._last_delivery.get(key, 0.0)
+        if when <= last:
+            when = last + 1e-9
+        self._last_delivery[key] = when
+        return when

@@ -1,0 +1,23 @@
+"""NAM-DB-style storage: records, lock-embedding buckets, partitions."""
+
+from .bucket import Bucket, BucketStore
+from .catalog import Catalog, PlacementScheme
+from .locks import LockMode, LockWord
+from .partition import ContentionSpanTracker, PartitionStore, TableSpec
+from .record import Key, Record, RecordId, record_id
+
+__all__ = [
+    "Bucket",
+    "BucketStore",
+    "Catalog",
+    "ContentionSpanTracker",
+    "Key",
+    "LockMode",
+    "LockWord",
+    "PartitionStore",
+    "PlacementScheme",
+    "Record",
+    "RecordId",
+    "TableSpec",
+    "record_id",
+]

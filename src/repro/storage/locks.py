@@ -1,0 +1,86 @@
+"""Shared/exclusive lock words with NO_WAIT semantics.
+
+Chiller embeds the lock directly in the bucket header so remote engines
+can manipulate it with one-sided RDMA atomics instead of messaging a lock
+manager (Section 6).  We model that lock word here: acquisition either
+succeeds immediately or fails immediately (NO_WAIT — the caller must
+abort), which also rules out deadlocks, as in the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class LockMode(enum.Enum):
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+
+class LockWord:
+    """A shared/exclusive lock with owner tracking and NO_WAIT acquire."""
+
+    __slots__ = ("_shared", "_exclusive")
+
+    def __init__(self) -> None:
+        self._shared: set[object] = set()
+        self._exclusive: object | None = None
+
+    def try_acquire(self, mode: LockMode, owner: object) -> bool:
+        """Attempt to acquire; returns False (caller aborts) on conflict.
+
+        Re-entrant for the same owner.  A sole shared holder may upgrade
+        to exclusive.
+        """
+        if mode is LockMode.SHARED:
+            if self._exclusive is not None and self._exclusive != owner:
+                return False
+            self._shared.add(owner)
+            return True
+        if self._exclusive == owner:
+            return True
+        if self._exclusive is not None:
+            return False
+        others = self._shared - {owner}
+        if others:
+            return False
+        self._exclusive = owner
+        self._shared.discard(owner)
+        return True
+
+    def release(self, owner: object) -> None:
+        """Release whatever ``owner`` holds; raises if it holds nothing."""
+        held = False
+        if self._exclusive == owner:
+            self._exclusive = None
+            held = True
+        if owner in self._shared:
+            self._shared.discard(owner)
+            held = True
+        if not held:
+            raise KeyError(f"{owner!r} does not hold this lock")
+
+    def held_by(self, owner: object) -> LockMode | None:
+        """The mode ``owner`` currently holds, or None."""
+        if self._exclusive == owner:
+            return LockMode.EXCLUSIVE
+        if owner in self._shared:
+            return LockMode.SHARED
+        return None
+
+    def is_free(self) -> bool:
+        return self._exclusive is None and not self._shared
+
+    def holders(self) -> set[object]:
+        """All owners currently holding the lock (any mode)."""
+        out = set(self._shared)
+        if self._exclusive is not None:
+            out.add(self._exclusive)
+        return out
+
+    def __repr__(self) -> str:
+        if self._exclusive is not None:
+            return f"LockWord(X by {self._exclusive!r})"
+        if self._shared:
+            return f"LockWord(S by {len(self._shared)})"
+        return "LockWord(free)"

@@ -1,0 +1,192 @@
+"""A partition: per-table bucket stores plus lock bookkeeping.
+
+``PartitionStore`` exposes exactly the operations that execution engines
+ship to (possibly remote) partitions — lock/unlock via the bucket's
+embedded lock word, record read/write/insert/delete — and records
+*contention spans* (time from lock acquisition to release) so experiments
+can report how long hot records stay locked.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from .bucket import BucketStore
+from .locks import LockMode, LockWord
+from .record import Key, Record
+
+
+class TableSpec:
+    """Configuration for creating one table inside every partition."""
+
+    __slots__ = ("name", "n_buckets", "bucket_capacity")
+
+    def __init__(self, name: str, n_buckets: int = 1024,
+                 bucket_capacity: int = 8):
+        self.name = name
+        self.n_buckets = n_buckets
+        self.bucket_capacity = bucket_capacity
+
+
+class ContentionSpanTracker:
+    """Per-record lock statistics: hold times and conflict outcomes.
+
+    Besides contention spans (lock-hold durations), it counts lock
+    attempts and NO_WAIT conflicts, which lets experiments compare the
+    *measured* per-record conflict probability against the Poisson
+    model's prediction (Section 4.1).
+    """
+
+    def __init__(self) -> None:
+        self.total_span: dict[tuple[str, Key], float] = {}
+        self.acquisitions: dict[tuple[str, Key], int] = {}
+        self.attempts: dict[tuple[str, Key], int] = {}
+        self.conflicts: dict[tuple[str, Key], int] = {}
+
+    def record(self, table: str, key: Key, span: float) -> None:
+        rid = (table, key)
+        self.total_span[rid] = self.total_span.get(rid, 0.0) + span
+        self.acquisitions[rid] = self.acquisitions.get(rid, 0) + 1
+
+    def record_attempt(self, table: str, key: Key,
+                       conflicted: bool) -> None:
+        rid = (table, key)
+        self.attempts[rid] = self.attempts.get(rid, 0) + 1
+        if conflicted:
+            self.conflicts[rid] = self.conflicts.get(rid, 0) + 1
+
+    def mean_span(self, table: str, key: Key) -> float:
+        rid = (table, key)
+        count = self.acquisitions.get(rid, 0)
+        if count == 0:
+            return 0.0
+        return self.total_span[rid] / count
+
+    def conflict_rate(self, table: str, key: Key) -> float:
+        """Measured P(lock attempt fails) for one record."""
+        rid = (table, key)
+        attempts = self.attempts.get(rid, 0)
+        if attempts == 0:
+            return 0.0
+        return self.conflicts.get(rid, 0) / attempts
+
+
+class PartitionStore:
+    """All tables of one partition, with NO_WAIT lock operations."""
+
+    def __init__(self, partition_id: int,
+                 tables: Iterable[TableSpec],
+                 now_fn: Callable[[], float] | None = None,
+                 track_spans: bool = False):
+        self.partition_id = partition_id
+        self._tables: dict[str, BucketStore] = {}
+        for spec in tables:
+            self.create_table(spec)
+        self._now = now_fn or (lambda: 0.0)
+        self.spans = ContentionSpanTracker() if track_spans else None
+        # owner -> list of (table, key, lock_word, acquire_time)
+        self._held: dict[object, list[tuple[str, Key, LockWord, float]]] = {}
+
+    # -- schema ---------------------------------------------------------
+
+    def create_table(self, spec: TableSpec) -> None:
+        if spec.name in self._tables:
+            raise ValueError(f"table {spec.name!r} already exists")
+        self._tables[spec.name] = BucketStore(
+            spec.name, spec.n_buckets, spec.bucket_capacity)
+
+    def table(self, name: str) -> BucketStore:
+        store = self._tables.get(name)
+        if store is None:
+            raise KeyError(f"no table {name!r} in partition "
+                           f"{self.partition_id}")
+        return store
+
+    def table_names(self) -> list[str]:
+        return list(self._tables)
+
+    # -- loading ----------------------------------------------------------
+
+    def load(self, table: str, key: Key, fields: dict[str, Any]) -> None:
+        """Bulk-load one record (no locking; used before the run starts)."""
+        self.table(table).put(Record(key, dict(fields)))
+
+    # -- lock operations (shipped as one-sided verbs) ---------------------
+
+    def try_lock(self, table: str, key: Key, mode: LockMode,
+                 owner: object) -> bool:
+        """NO_WAIT acquire on the bucket lock guarding ``key``."""
+        lock = self.table(table).lock_for(key)
+        already = lock.held_by(owner) is not None
+        acquired = lock.try_acquire(mode, owner)
+        if self.spans is not None:
+            self.spans.record_attempt(table, key, not acquired)
+        if not acquired:
+            return False
+        if not already:
+            self._held.setdefault(owner, []).append(
+                (table, key, lock, self._now()))
+        return True
+
+    def unlock(self, table: str, key: Key, owner: object) -> None:
+        lock = self.table(table).lock_for(key)
+        lock.release(owner)
+        entries = self._held.get(owner, [])
+        for i, (tbl, k, word, acquired) in enumerate(entries):
+            if word is lock and tbl == table:
+                if self.spans is not None:
+                    self.spans.record(tbl, k, self._now() - acquired)
+                entries.pop(i)
+                break
+        if not entries:
+            self._held.pop(owner, None)
+
+    def release_all(self, owner: object) -> int:
+        """Release every lock ``owner`` holds here; returns count released."""
+        entries = self._held.pop(owner, [])
+        released = set()
+        for table, key, lock, acquired in entries:
+            if id(lock) not in released:
+                lock.release(owner)
+                released.add(id(lock))
+            if self.spans is not None:
+                self.spans.record(table, key, self._now() - acquired)
+        return len(entries)
+
+    def locks_held(self, owner: object) -> int:
+        return len(self._held.get(owner, []))
+
+    def is_locked(self, table: str, key: Key) -> bool:
+        return not self.table(table).lock_for(key).is_free()
+
+    # -- record operations (shipped as one-sided verbs) --------------------
+
+    def read(self, table: str, key: Key) -> tuple[dict[str, Any], int] | None:
+        """Return (fields copy, version), or None if the key is absent."""
+        record = self.table(table).get(key)
+        if record is None:
+            return None
+        return record.snapshot(), record.version
+
+    def version_of(self, table: str, key: Key) -> int | None:
+        record = self.table(table).get(key)
+        return None if record is None else record.version
+
+    def write(self, table: str, key: Key, updates: dict[str, Any]) -> bool:
+        """Apply ``updates`` in place; returns False if key is absent."""
+        record = self.table(table).get(key)
+        if record is None:
+            return False
+        record.apply(updates)
+        return True
+
+    def insert(self, table: str, key: Key, fields: dict[str, Any]) -> bool:
+        """Insert a new record; False if it already exists."""
+        return self.table(table).insert(Record(key, dict(fields)))
+
+    def delete(self, table: str, key: Key) -> bool:
+        return self.table(table).delete(key)
+
+    def __repr__(self) -> str:
+        sizes = {name: len(store) for name, store in self._tables.items()}
+        return f"PartitionStore(p{self.partition_id}, {sizes})"

@@ -1,0 +1,26 @@
+"""Transaction processing: database wiring, 2PL+2PC and OCC baselines."""
+
+from .common import (AbortReason, BufferedWrite, CommitLog, Outcome,
+                     TxnRequest, WriteKind, next_txn_id)
+from .database import Database
+from .executor import BaseExecutor, ExecConfig, TxnState
+from .history import HistoryRecorder
+from .occ import OccExecutor
+from .twopl import TwoPLExecutor
+
+__all__ = [
+    "AbortReason",
+    "BaseExecutor",
+    "BufferedWrite",
+    "CommitLog",
+    "Database",
+    "ExecConfig",
+    "HistoryRecorder",
+    "OccExecutor",
+    "Outcome",
+    "TwoPLExecutor",
+    "TxnRequest",
+    "TxnState",
+    "WriteKind",
+    "next_txn_id",
+]

@@ -1,0 +1,87 @@
+"""Shared transaction types: requests, outcomes, buffered writes."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+_txn_counter = itertools.count(1)
+
+
+def next_txn_id() -> int:
+    """Globally unique transaction id (process-wide, deterministic)."""
+    return next(_txn_counter)
+
+
+@dataclass(frozen=True)
+class TxnRequest:
+    """One transaction to execute: a procedure name plus its parameters."""
+
+    proc: str
+    params: Mapping[str, Any]
+    home: int = 0
+    """Server id of the coordinating execution engine."""
+
+
+class AbortReason(enum.Enum):
+    LOCK_CONFLICT = "lock_conflict"
+    VALIDATION = "validation"      # OCC validation failure
+    LOGICAL = "logical"            # a CHECK predicate failed
+    READ_MISS = "read_miss"        # referenced record does not exist
+    DUPLICATE_KEY = "duplicate_key"
+    INNER_CONFLICT = "inner_conflict"  # inner host failed its local locks
+
+
+class WriteKind(enum.Enum):
+    UPDATE = "update"
+    INSERT = "insert"
+    DELETE = "delete"
+
+
+@dataclass
+class BufferedWrite:
+    """A write evaluated at the coordinator, applied at commit time."""
+
+    kind: WriteKind
+    table: str
+    key: Any
+    values: dict[str, Any] | None = None
+
+
+@dataclass
+class Outcome:
+    """The result of one transaction attempt."""
+
+    txn_id: int
+    proc: str
+    committed: bool
+    reason: AbortReason | None = None
+    start: float = 0.0
+    end: float = 0.0
+    partitions: frozenset[int] = frozenset()
+    inner_host: int | None = None
+    used_two_region: bool = False
+
+    @property
+    def latency(self) -> float:
+        return self.end - self.start
+
+    @property
+    def distributed(self) -> bool:
+        return len(self.partitions) > 1
+
+    def __repr__(self) -> str:
+        status = "commit" if self.committed else f"abort({self.reason.value})"
+        return f"Outcome(t{self.txn_id} {self.proc} {status})"
+
+
+@dataclass
+class CommitLog:
+    """Read/write versions of one committed transaction (for the
+    serializability checker)."""
+
+    txn_id: int
+    reads: list[tuple[tuple[str, Any], int]] = field(default_factory=list)
+    writes: list[tuple[tuple[str, Any], int]] = field(default_factory=list)

@@ -1,0 +1,103 @@
+"""Database composition: cluster + storage + catalog + procedures.
+
+One partition per server (as in the paper's evaluation: each execution
+engine owns one partition/warehouse).  The database wires partition
+stores into the simulated servers, creates replicas, installs the RPC
+dispatcher, and offers the record-loading path that keeps primary and
+replica copies consistent at start-up.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from ..analysis import ProcedureRegistry
+from ..replication import ReplicaManager
+from ..sim import Cluster, Coroutine
+from ..storage import Catalog, PartitionStore, TableSpec
+
+
+RpcFactory = Callable[[int, int, Any], Coroutine]
+"""(server_id, src_server, body) -> handler coroutine returning the reply."""
+
+
+class Database:
+    """A distributed in-memory database over a simulated cluster."""
+
+    def __init__(self, cluster: Cluster, catalog: Catalog,
+                 tables: Iterable[TableSpec],
+                 registry: ProcedureRegistry,
+                 n_replicas: int = 1,
+                 track_spans: bool = False):
+        if catalog.n_partitions != len(cluster):
+            raise ValueError(
+                f"catalog has {catalog.n_partitions} partitions but the "
+                f"cluster has {len(cluster)} servers (1:1 expected)")
+        self.cluster = cluster
+        self.catalog = catalog
+        self.registry = registry
+        self.tables = list(tables)
+        now_fn = lambda: cluster.sim.now  # noqa: E731 - tiny closure
+        for server in cluster.servers:
+            server.storage = PartitionStore(server.id, self.tables,
+                                            now_fn=now_fn,
+                                            track_spans=track_spans)
+        self.replicas: ReplicaManager | None = None
+        if n_replicas > 0:
+            self.replicas = ReplicaManager(len(cluster), n_replicas,
+                                           self.tables, now_fn=now_fn)
+        self._rpc_kinds: dict[str, RpcFactory] = {}
+        for server in cluster.servers:
+            server.engine.set_rpc_handler(self._dispatcher(server.id))
+
+    # -- placement ---------------------------------------------------------
+
+    def partition_of(self, table: str, key: Any,
+                     reader: int | None = None) -> int:
+        return self.catalog.partition_of(table, key, reader)
+
+    def store(self, partition: int) -> PartitionStore:
+        """Primary store of ``partition``."""
+        return self.cluster.server(partition).storage
+
+    @property
+    def n_partitions(self) -> int:
+        return self.catalog.n_partitions
+
+    # -- loading ------------------------------------------------------------
+
+    def load(self, table: str, key: Any, fields: dict[str, Any]) -> None:
+        """Load one record into its primary partition and all replicas.
+
+        Records of replicated tables are copied to every partition.
+        """
+        if table in self.catalog.replicated_tables:
+            for partition in range(self.n_partitions):
+                self.store(partition).load(table, key, fields)
+            return
+        partition = self.partition_of(table, key)
+        self.store(partition).load(table, key, fields)
+        if self.replicas is not None:
+            self.replicas.load(partition, table, key, fields)
+
+    def loader(self) -> Callable[[str, Any, dict[str, Any]], None]:
+        """A ``load(table, key, fields)`` callable for workload populate
+        functions."""
+        return self.load
+
+    # -- RPC dispatch --------------------------------------------------------
+
+    def register_rpc(self, kind: str, factory: RpcFactory) -> None:
+        """Register a handler-coroutine factory for message kind ``kind``."""
+        if kind in self._rpc_kinds:
+            raise ValueError(f"RPC kind {kind!r} already registered")
+        self._rpc_kinds[kind] = factory
+
+    def _dispatcher(self, server_id: int):
+        def handle(src: int, request: Any) -> Coroutine:
+            kind, body = request
+            factory = self._rpc_kinds.get(kind)
+            if factory is None:
+                raise KeyError(f"no RPC handler for kind {kind!r}")
+            return factory(server_id, src, body)
+        return handle

@@ -1,0 +1,416 @@
+"""Shared coordinator machinery for all execution models.
+
+All executors (traditional 2PL+2PC, OCC, and Chiller's two-region model)
+drive transactions the same way: resolve operation instances into
+*dependency layers* (everything whose primary key is computable goes into
+one parallel network round; pk-dependent operations wait for the next
+layer), buffer writes at the coordinator, and apply them at commit while
+releasing locks.  The differences — when locks are taken, whether a
+validation phase exists, whether an inner region is delegated — live in
+the subclasses.
+
+Buffering writes until commit means an aborted transaction never has to
+undo anything: releasing its locks is the entire rollback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable
+
+from ..analysis import OpInstance, OpKind
+from ..replication import ReplicaWrite
+from ..sim import All, Compute, OneSided
+from ..storage import LockMode, PartitionStore
+from .common import (AbortReason, BufferedWrite, CommitLog, Outcome,
+                     TxnRequest, WriteKind, next_txn_id)
+from .database import Database
+from .history import HistoryRecorder
+
+
+@dataclass(frozen=True)
+class ExecConfig:
+    """CPU cost and behaviour knobs for the execution engines.
+
+    The CPU constants are per-coordinator-action, in microseconds; they
+    are what makes throughput saturate once an engine's core is busy
+    (Fig. 9a's plateau).
+    """
+
+    cpu_dispatch_us: float = 0.4
+    """Assembling and issuing one batch of network operations."""
+
+    cpu_op_us: float = 0.25
+    """Coordinator-side logic per *remote* record operation (posting
+    and completing an RDMA verb costs real CPU)."""
+
+    cpu_local_op_us: float = 0.08
+    """Per-operation cost against the local partition (plain memory
+    access path).  The local/remote CPU gap is what makes locality pay
+    off even when coroutines hide network latency."""
+
+    cpu_apply_us: float = 0.15
+    """Evaluating and applying one buffered write at commit time."""
+
+    cpu_check_us: float = 0.1
+    """Evaluating one CHECK predicate."""
+
+    cpu_replica_apply_us: float = 0.05
+    """A replica applying one shipped record value (a memcpy, cheaper
+    than evaluating the write at the coordinator)."""
+
+    replicate: bool = True
+    """Ship write-sets to replicas before commit (paper Section 5)."""
+
+    bypass_inner_locks: bool = False
+    """Section 3.3's optional optimization: skip lock acquisition inside
+    the inner region, relying on the host core's serialization — legal
+    only when no transaction ever touches inner records through an
+    outer region (guaranteeable for TPC-C's warehouse/district rows,
+    not in general; the paper's implementation leaves it off, as we do
+    by default).  Conflicting locks held by outer regions still abort
+    the inner region."""
+
+
+@dataclass
+class TxnState:
+    """Mutable per-transaction execution state at the coordinator."""
+
+    txn_id: int
+    request: TxnRequest
+    instances: list[OpInstance]
+    start: float
+    ctx: dict[str, Any] = field(default_factory=dict)
+    locations: dict[str, tuple[str, Any, int]] = field(default_factory=dict)
+    touched: set[int] = field(default_factory=set)
+    reads: list[tuple[tuple[str, Any], int]] = field(default_factory=list)
+    write_versions: list[tuple[tuple[str, Any], int]] = field(
+        default_factory=list)
+    pending_checks: list[OpInstance] = field(default_factory=list)
+    abort_reason: AbortReason | None = None
+    inner_host: int | None = None
+    used_two_region: bool = False
+
+    @property
+    def params(self) -> Any:
+        return self.request.params
+
+
+class BaseExecutor:
+    """Common machinery; subclasses implement :meth:`execute`."""
+
+    name = "base"
+
+    def __init__(self, db: Database, config: ExecConfig | None = None,
+                 history: HistoryRecorder | None = None):
+        self.db = db
+        self.cfg = config or ExecConfig()
+        self.history = history
+
+    def execute(self, request: TxnRequest) -> Generator:
+        """Coroutine executing one transaction; returns an Outcome."""
+        raise NotImplementedError
+
+    # -- state setup ------------------------------------------------------
+
+    def new_state(self, request: TxnRequest) -> TxnState:
+        proc = self.db.registry.get(request.proc)
+        instances = proc.instantiate(request.params)
+        state = TxnState(txn_id=next_txn_id(), request=request,
+                         instances=instances,
+                         start=self.db.cluster.sim.now)
+        state.pending_checks = [inst for inst in instances
+                                if inst.spec.kind is OpKind.CHECK]
+        return state
+
+    # -- layered lock+read phase ---------------------------------------------
+
+    def lock_read_phase(self, state: TxnState,
+                        ops: Iterable[OpInstance] | None = None,
+                        locking: bool = True) -> Generator:
+        """Execute READ (and INSERT-lock) ops in dependency layers.
+
+        With ``locking=False`` this is an OCC read phase: reads take no
+        locks and inserts defer entirely to validation.  Returns True on
+        success; on failure ``state.abort_reason`` is set.
+        """
+        if ops is None:
+            ops = state.instances
+        pending = [inst for inst in ops
+                   if inst.spec.kind in (OpKind.READ, OpKind.INSERT)]
+        if not (yield from self.run_ready_checks(state)):
+            return False
+        while pending:
+            batch = [inst for inst in pending if self._resolvable(state,
+                                                                  inst)]
+            if not batch:
+                raise RuntimeError(
+                    f"txn {state.txn_id}: ops {[i.name for i in pending]} "
+                    f"can never resolve their keys (dependency bug)")
+            pending = [inst for inst in pending if inst not in batch]
+            ok = yield from self._run_layer(state, batch, locking)
+            if not ok:
+                return False
+            if not (yield from self.run_ready_checks(state)):
+                return False
+        return True
+
+    def _resolvable(self, state: TxnState, inst: OpInstance) -> bool:
+        return all(src in state.ctx for src in inst.pk_source_instances())
+
+    def _run_layer(self, state: TxnState, batch: list[OpInstance],
+                   locking: bool) -> Generator:
+        cfg = self.cfg
+        home = state.request.home
+        effects = []
+        metas: list[tuple[OpInstance, str, Any, int]] = []
+        cpu = cfg.cpu_dispatch_us
+        for inst in batch:
+            table, key = self._resolve_record(state, inst)
+            pid = self.db.partition_of(table, key,
+                                       reader=state.request.home)
+            state.locations[inst.name] = (table, key, pid)
+            if inst.spec.kind is OpKind.READ:
+                state.touched.add(pid)
+                op = (_lock_read_op(self.db.store(pid), table, key,
+                                    inst.lock_mode(), state.txn_id)
+                      if locking else
+                      _plain_read_op(self.db.store(pid), table, key))
+                effects.append(OneSided(pid, op))
+                metas.append((inst, "read", key, pid))
+                cpu += (cfg.cpu_local_op_us if pid == home
+                        else cfg.cpu_op_us)
+            else:  # INSERT: reserve the bucket now (2PL); skip under OCC
+                if locking:
+                    state.touched.add(pid)
+                    effects.append(OneSided(
+                        pid, _lock_insert_op(self.db.store(pid), table, key,
+                                             state.txn_id)))
+                    metas.append((inst, "insert", key, pid))
+                    cpu += (cfg.cpu_local_op_us if pid == home
+                            else cfg.cpu_op_us)
+        if not effects:
+            return True
+        yield Compute(cpu)
+        results = yield All(effects)
+        for (inst, action, key, pid), result in zip(metas, results):
+            status = result[0]
+            if status == "conflict":
+                state.abort_reason = AbortReason.LOCK_CONFLICT
+                return False
+            if status == "missing":
+                state.abort_reason = AbortReason.READ_MISS
+                return False
+            if status == "duplicate":
+                state.abort_reason = AbortReason.DUPLICATE_KEY
+                return False
+            if action == "read":
+                _, fields, version = result
+                table = state.locations[inst.name][0]
+                state.ctx[inst.name] = fields
+                state.reads.append(((table, key), version))
+        return True
+
+    def _resolve_record(self, state: TxnState,
+                        inst: OpInstance) -> tuple[str, Any]:
+        spec = inst.spec
+        if spec.kind in (OpKind.UPDATE, OpKind.DELETE):
+            target = inst.target_instance()
+            table, key, _pid = state.locations[target]
+            return table, key
+        table = spec.table
+        assert table is not None
+        return table, inst.concrete_key(state.params, state.ctx)
+
+    # -- checks ------------------------------------------------------------
+
+    def run_ready_checks(self, state: TxnState) -> Generator:
+        """Evaluate CHECKs whose deps are bound; False on logical abort."""
+        still_pending = []
+        for inst in state.pending_checks:
+            if all(dep in state.ctx for dep in inst.dep_instance_names()):
+                yield Compute(self.cfg.cpu_check_us)
+                if not inst.run_check(state.params, state.ctx):
+                    state.abort_reason = AbortReason.LOGICAL
+                    return False
+            else:
+                still_pending.append(inst)
+        state.pending_checks = still_pending
+        return True
+
+    # -- write evaluation and commit -----------------------------------------
+
+    def evaluate_writes(self, state: TxnState,
+                        ops: Iterable[OpInstance] | None = None,
+                        ) -> dict[int, list[BufferedWrite]]:
+        """Evaluate write ops against the bound ctx; group by partition."""
+        if ops is None:
+            ops = state.instances
+        by_partition: dict[int, list[BufferedWrite]] = {}
+        for inst in ops:
+            kind = inst.spec.kind
+            if kind is OpKind.UPDATE:
+                target = inst.target_instance()
+                table, key, pid = state.locations[target]
+                write = BufferedWrite(WriteKind.UPDATE, table, key,
+                                      inst.run_update(state.params,
+                                                      state.ctx))
+            elif kind is OpKind.INSERT:
+                table, key, pid = self._insert_location(state, inst)
+                write = BufferedWrite(WriteKind.INSERT, table, key,
+                                      inst.run_insert_fields(state.params,
+                                                             state.ctx))
+            elif kind is OpKind.DELETE:
+                target = inst.target_instance()
+                table, key, pid = state.locations[target]
+                write = BufferedWrite(WriteKind.DELETE, table, key)
+            else:
+                continue
+            by_partition.setdefault(pid, []).append(write)
+        return by_partition
+
+    def _insert_location(self, state: TxnState,
+                         inst: OpInstance) -> tuple[str, Any, int]:
+        location = state.locations.get(inst.name)
+        if location is not None:
+            return location
+        table = inst.spec.table
+        assert table is not None
+        key = inst.concrete_key(state.params, state.ctx)
+        pid = self.db.partition_of(table, key, reader=state.request.home)
+        state.locations[inst.name] = (table, key, pid)
+        return table, key, pid
+
+    def replicate(self, state: TxnState,
+                  writes: dict[int, list[BufferedWrite]]) -> Generator:
+        """Ship write-sets to every replica of every written partition."""
+        if not self.cfg.replicate or self.db.replicas is None or not writes:
+            return
+        replicas = self.db.replicas
+        effects = []
+        for pid, partition_writes in writes.items():
+            shipped = tuple(_to_replica_write(w) for w in partition_writes)
+            for rserver in replicas.replica_servers(pid):
+                effects.append(OneSided(
+                    rserver,
+                    _replica_apply_op(replicas, rserver, pid, shipped)))
+        if effects:
+            yield Compute(self.cfg.cpu_dispatch_us)
+            yield All(effects)
+
+    def commit_phase(self, state: TxnState,
+                     writes: dict[int, list[BufferedWrite]],
+                     partitions: Iterable[int] | None = None) -> Generator:
+        """Apply buffered writes and release all locks, one round."""
+        targets = set(partitions if partitions is not None
+                      else state.touched)
+        targets |= set(writes)
+        if not targets:
+            return
+        total_writes = sum(len(ws) for ws in writes.values())
+        yield Compute(self.cfg.cpu_dispatch_us
+                      + self.cfg.cpu_apply_us * total_writes)
+        effects = [OneSided(pid,
+                            _commit_op(self.db.store(pid),
+                                       writes.get(pid, []), state.txn_id))
+                   for pid in sorted(targets)]
+        results = yield All(effects)
+        for versions in results:
+            state.write_versions.extend(versions)
+
+    def abort_release(self, state: TxnState) -> Generator:
+        """Release every lock the transaction holds (its full rollback)."""
+        if not state.touched:
+            return
+        yield Compute(self.cfg.cpu_dispatch_us)
+        yield All([OneSided(pid, _release_op(self.db.store(pid),
+                                             state.txn_id))
+                   for pid in sorted(state.touched)])
+
+    # -- outcome -----------------------------------------------------------
+
+    def finish(self, state: TxnState) -> Outcome:
+        committed = state.abort_reason is None
+        if committed and self.history is not None:
+            self.history.record(CommitLog(state.txn_id,
+                                          reads=state.reads,
+                                          writes=state.write_versions))
+        return Outcome(txn_id=state.txn_id, proc=state.request.proc,
+                       committed=committed, reason=state.abort_reason,
+                       start=state.start, end=self.db.cluster.sim.now,
+                       partitions=frozenset(state.touched),
+                       inner_host=state.inner_host,
+                       used_two_region=state.used_two_region)
+
+
+# -- one-sided closures (run atomically at the target partition) ------------
+
+def _lock_read_op(store: PartitionStore, table: str, key: Any,
+                  mode: LockMode, txn_id: int) -> Callable[[], tuple]:
+    def op() -> tuple:
+        if not store.try_lock(table, key, mode, txn_id):
+            return ("conflict",)
+        result = store.read(table, key)
+        if result is None:
+            return ("missing",)
+        fields, version = result
+        return ("ok", fields, version)
+    return op
+
+
+def _plain_read_op(store: PartitionStore, table: str,
+                   key: Any) -> Callable[[], tuple]:
+    def op() -> tuple:
+        result = store.read(table, key)
+        if result is None:
+            return ("missing",)
+        fields, version = result
+        return ("ok", fields, version)
+    return op
+
+
+def _lock_insert_op(store: PartitionStore, table: str, key: Any,
+                    txn_id: int) -> Callable[[], tuple]:
+    def op() -> tuple:
+        if not store.try_lock(table, key, LockMode.EXCLUSIVE, txn_id):
+            return ("conflict",)
+        if store.read(table, key) is not None:
+            return ("duplicate",)
+        return ("ok",)
+    return op
+
+
+def _commit_op(store: PartitionStore, writes: list[BufferedWrite],
+               txn_id: int) -> Callable[[], list]:
+    def op() -> list:
+        versions: list[tuple[tuple[str, Any], int]] = []
+        for write in writes:
+            rid = (write.table, write.key)
+            if write.kind is WriteKind.UPDATE:
+                store.write(write.table, write.key, write.values)
+                versions.append((rid, store.version_of(write.table,
+                                                       write.key)))
+            elif write.kind is WriteKind.INSERT:
+                store.insert(write.table, write.key, write.values)
+                versions.append((rid, 0))
+            else:
+                old = store.version_of(write.table, write.key)
+                store.delete(write.table, write.key)
+                versions.append((rid, (old or 0) + 1))
+        store.release_all(txn_id)
+        return versions
+    return op
+
+
+def _release_op(store: PartitionStore, txn_id: int) -> Callable[[], int]:
+    return lambda: store.release_all(txn_id)
+
+
+def _to_replica_write(write: BufferedWrite) -> ReplicaWrite:
+    return ReplicaWrite(write.kind.value, write.table, write.key,
+                        write.values)
+
+
+def _replica_apply_op(replicas, rserver: int, pid: int,
+                      writes: tuple[ReplicaWrite, ...]) -> Callable[[], None]:
+    return lambda: replicas.apply(rserver, pid, writes)

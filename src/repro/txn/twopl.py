@@ -1,0 +1,35 @@
+"""Traditional distributed 2PL (NO_WAIT) with two-phase commit.
+
+The baseline of the paper's Fig. 3a: the coordinator acquires locks and
+reads during the execution phase (in dependency layers, one parallel
+network round per layer), piggybacks the prepare onto the last execution
+step (possible because NO_WAIT means every participant already holds all
+its locks — nothing non-deterministic is left to veto), replicates the
+write-set, then commits and releases in one final round.  The contention
+span of *every* record is therefore at least two message delays,
+regardless of how hot it is — which is precisely what Chiller attacks.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from .common import Outcome, TxnRequest
+from .executor import BaseExecutor
+
+
+class TwoPLExecutor(BaseExecutor):
+    """Distributed 2PL NO_WAIT + 2PC coordinator."""
+
+    name = "2pl"
+
+    def execute(self, request: TxnRequest) -> Generator:
+        state = self.new_state(request)
+        ok = yield from self.lock_read_phase(state)
+        if not ok:
+            yield from self.abort_release(state)
+            return self.finish(state)
+        writes = self.evaluate_writes(state)
+        yield from self.replicate(state, writes)
+        yield from self.commit_phase(state, writes)
+        return self.finish(state)

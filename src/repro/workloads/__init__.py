@@ -1,0 +1,26 @@
+"""Workloads: TPC-C, synthetic Instacart, YCSB, bank, flight booking."""
+
+from .bank import BankWorkload, audit_procedure, transfer_procedure
+from .base import Workload
+from .flightbooking import (FLIGHT_TABLES, flight_booking_procedure,
+                            flight_routing, populate)
+from .instacart import InstacartWorkload, grocery_order_procedure
+from .tpcc import TpccScale, TpccWorkload
+from .ycsb import YcsbWorkload, ycsb_procedure
+
+__all__ = [
+    "BankWorkload",
+    "FLIGHT_TABLES",
+    "InstacartWorkload",
+    "TpccScale",
+    "TpccWorkload",
+    "Workload",
+    "YcsbWorkload",
+    "audit_procedure",
+    "flight_booking_procedure",
+    "flight_routing",
+    "grocery_order_procedure",
+    "populate",
+    "transfer_procedure",
+    "ycsb_procedure",
+]

@@ -1,0 +1,36 @@
+"""Workload interface shared by TPC-C, Instacart, YCSB, and bank demos.
+
+A workload owns its schema (table specs), its stored procedures, its
+initial data, and a request generator.  The driver
+(:mod:`repro.bench.harness`) asks each execution engine's generator for
+the next :class:`~repro.txn.common.TxnRequest` to run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol
+
+from ..analysis import StoredProcedure
+from ..storage import TableSpec
+from ..txn.common import TxnRequest
+
+
+class Workload(Protocol):
+    """What the harness needs from a benchmark workload."""
+
+    def tables(self) -> list[TableSpec]:
+        """Table specs instantiated in every partition."""
+        ...  # pragma: no cover - protocol
+
+    def procedures(self) -> list[StoredProcedure]:
+        """Stored procedures to register."""
+        ...  # pragma: no cover - protocol
+
+    def populate(self, load) -> None:
+        """Load initial records through ``load(table, key, fields)``."""
+        ...  # pragma: no cover - protocol
+
+    def next_request(self, home: int, rng: random.Random) -> TxnRequest:
+        """Generate the next transaction for engine ``home``."""
+        ...  # pragma: no cover - protocol

@@ -1,0 +1,27 @@
+"""Full TPC-C workload: schema, loader, procedures, generator."""
+
+from .generator import INVALID_ITEM_ID, STANDARD_MIX, TpccWorkload
+from .loader import TpccScale, load_tpcc
+from .procedures import (all_procedures, delivery_procedure,
+                         new_order_procedure, order_status_procedure,
+                         payment_procedure, stock_level_procedure)
+from .schema import (DISTRICTS_PER_WAREHOUSE, REPLICATED_TABLES,
+                     tpcc_routing, tpcc_tables)
+
+__all__ = [
+    "DISTRICTS_PER_WAREHOUSE",
+    "INVALID_ITEM_ID",
+    "REPLICATED_TABLES",
+    "STANDARD_MIX",
+    "TpccScale",
+    "TpccWorkload",
+    "all_procedures",
+    "delivery_procedure",
+    "load_tpcc",
+    "new_order_procedure",
+    "order_status_procedure",
+    "payment_procedure",
+    "stock_level_procedure",
+    "tpcc_routing",
+    "tpcc_tables",
+]

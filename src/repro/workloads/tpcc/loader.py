@@ -1,0 +1,82 @@
+"""TPC-C initial population (scaled-down cardinalities, configurable).
+
+Spec cardinalities (100k items, 3k customers/district, 3k orders) are
+scaled to laptop-simulation size by default; every knob is adjustable.
+Each district starts with ``initial_orders`` existing orders, the most
+recent ``undelivered_orders`` of which still have new_order rows — so
+OrderStatus always finds an order and Delivery has work from the start.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .schema import DISTRICTS_PER_WAREHOUSE
+
+
+@dataclass(frozen=True)
+class TpccScale:
+    n_warehouses: int = 4
+    n_items: int = 1000
+    customers_per_district: int = 30
+    initial_orders: int = 10
+    undelivered_orders: int = 5
+    initial_stock: int = 50
+
+
+def load_tpcc(load, scale: TpccScale) -> None:
+    """Populate all nine tables through ``load(table, key, fields)``."""
+    for i_id in range(scale.n_items):
+        load("item", i_id, {
+            "i_price": 1.0 + (i_id % 100) * 0.5,
+            "i_name": f"item-{i_id}",
+        })
+    for w_id in range(scale.n_warehouses):
+        _load_warehouse(load, scale, w_id)
+
+
+def _load_warehouse(load, scale: TpccScale, w_id: int) -> None:
+    load("warehouse", w_id, {
+        "w_name": f"wh-{w_id}",
+        "w_tax": 0.05 + (w_id % 10) * 0.005,
+        "w_ytd": 0.0,
+    })
+    for i_id in range(scale.n_items):
+        load("stock", (w_id, i_id), {
+            "s_quantity": scale.initial_stock,
+            "s_ytd": 0,
+            "s_order_cnt": 0,
+            "s_remote_cnt": 0,
+        })
+    for d_id in range(DISTRICTS_PER_WAREHOUSE):
+        _load_district(load, scale, w_id, d_id)
+
+
+def _load_district(load, scale: TpccScale, w_id: int, d_id: int) -> None:
+    first = scale.initial_orders - scale.undelivered_orders
+    load("district", (w_id, d_id), {
+        "d_tax": 0.05 + (d_id % 10) * 0.002,
+        "d_ytd": 0.0,
+        "d_next_o_id": scale.initial_orders,
+        "d_next_del_o_id": first,
+    })
+    for c_id in range(scale.customers_per_district):
+        load("customer", (w_id, d_id, c_id), {
+            "c_balance": 1000.0,
+            "c_ytd_payment": 0.0,
+            "c_payment_cnt": 0,
+            "c_delivery_cnt": 0,
+            "c_credit": "GC",
+            "c_last": f"cust-{w_id}-{d_id}-{c_id}",
+        })
+    for o_id in range(scale.initial_orders):
+        c_id = o_id % scale.customers_per_district
+        load("order", (w_id, d_id, o_id), {
+            "o_c_id": c_id,
+            "o_entry_d": 0,
+            "o_carrier_id": 1 if o_id < first else None,
+            "o_ol_cnt": 5,
+            "o_total": 100.0,
+        })
+        if o_id >= first:
+            load("new_order", (w_id, d_id, o_id), {})

@@ -1,0 +1,55 @@
+"""TPC-C schema: the nine tables, keyed for warehouse partitioning.
+
+Primary keys (all routed by their first component, the warehouse id,
+except ``item`` which is read-only and replicated to every partition):
+
+==============  =======================================
+table           primary key
+==============  =======================================
+warehouse       w_id
+district        (w_id, d_id)
+customer        (w_id, d_id, c_id)
+history         (w_id, d_id, c_id, h_id)
+order           (w_id, d_id, o_id)
+new_order       (w_id, d_id, o_id)
+order_line      (w_id, d_id, o_id, ol_number)
+item            i_id            (replicated, read-only)
+stock           (w_id, i_id)
+==============  =======================================
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...storage import TableSpec
+
+DISTRICTS_PER_WAREHOUSE = 10
+
+REPLICATED_TABLES = frozenset({"item"})
+
+
+def tpcc_tables(n_items: int = 1000,
+                customers_per_district: int = 30) -> list[TableSpec]:
+    """Table specs sized so hot rows rarely share buckets."""
+    return [
+        TableSpec("warehouse", n_buckets=64),
+        TableSpec("district", n_buckets=256),
+        TableSpec("customer",
+                  n_buckets=4 * DISTRICTS_PER_WAREHOUSE
+                  * customers_per_district),
+        TableSpec("history", n_buckets=4096),
+        TableSpec("order", n_buckets=4096),
+        TableSpec("new_order", n_buckets=4096),
+        TableSpec("order_line", n_buckets=8192),
+        TableSpec("item", n_buckets=4 * n_items),
+        TableSpec("stock", n_buckets=4 * n_items),
+    ]
+
+
+def tpcc_routing(table: str, key: Any) -> Any:
+    """Route every row by its warehouse id (item never routes: it is
+    replicated and resolved to the reader's partition by the catalog)."""
+    if isinstance(key, tuple):
+        return key[0]
+    return key

@@ -1,0 +1,93 @@
+"""A minimal YCSB-style key-value micro-workload.
+
+Useful for focused contention experiments: every transaction reads and
+optionally updates a handful of keys drawn either uniformly or from a
+zipf-like skewed distribution.  This is the scalpel version of the bank
+workload — no transfers, no invariants, just tunable conflict rates.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..analysis import StoredProcedure, param_key, read, update
+from ..storage import TableSpec
+from ..txn.common import TxnRequest
+from ._zipf import power_law_weights
+from .base import Workload
+
+
+def ycsb_procedure() -> StoredProcedure:
+    """Read ``read_keys``; read-modify-write ``write_keys``."""
+    return StoredProcedure(
+        "ycsb", params=("read_keys", "write_keys"),
+        ops=[
+            read("r", "usertable",
+                 key=param_key(lambda p, k: k), foreach="read_keys"),
+            read("w", "usertable",
+                 key=param_key(lambda p, k: k), for_update=True,
+                 foreach="write_keys"),
+            update("w_upd", target="w", foreach="write_keys",
+                   set_fn=lambda p, ctx, k:
+                       {"counter": ctx["w"]["counter"] + 1}),
+        ])
+
+
+class YcsbWorkload(Workload):
+    """Configurable read/write mix over one table."""
+
+    def __init__(self, n_keys: int = 10_000,
+                 reads_per_txn: int = 8,
+                 writes_per_txn: int = 2,
+                 zipf_exponent: float = 0.0,
+                 seed: int = 1):
+        self.n_keys = n_keys
+        self.reads_per_txn = reads_per_txn
+        self.writes_per_txn = writes_per_txn
+        self.zipf_exponent = zipf_exponent
+        if zipf_exponent > 0.0:
+            import itertools
+            weights = power_law_weights(n_keys,
+                                        tail_exponent=zipf_exponent)
+            self._cum_weights = list(itertools.accumulate(weights))
+        else:
+            self._cum_weights = None
+
+    def tables(self) -> list[TableSpec]:
+        return [TableSpec("usertable", n_buckets=4 * self.n_keys)]
+
+    def procedures(self) -> list[StoredProcedure]:
+        return [ycsb_procedure()]
+
+    def populate(self, load) -> None:
+        for key in range(self.n_keys):
+            load("usertable", key, {"counter": 0})
+
+    def next_request(self, home: int, rng: random.Random) -> TxnRequest:
+        total = self.reads_per_txn + self.writes_per_txn
+        keys: list[int] = []
+        seen: set[int] = set()
+        while len(keys) < total:
+            key = self._pick(rng)
+            if key not in seen:
+                keys.append(key)
+                seen.add(key)
+        return TxnRequest("ycsb", {
+            "read_keys": keys[:self.reads_per_txn],
+            "write_keys": keys[self.reads_per_txn:],
+        }, home=home)
+
+    def _pick(self, rng: random.Random) -> int:
+        if self._cum_weights is None:
+            return rng.randrange(self.n_keys)
+        return rng.choices(range(self.n_keys),
+                           cum_weights=self._cum_weights, k=1)[0]
+
+
+def expected_counter_total(db, n_keys: int) -> int:
+    """Sum of all counters (equals total committed write ops)."""
+    total = 0
+    for key in range(n_keys):
+        pid = db.partition_of("usertable", key)
+        total += db.store(pid).read("usertable", key)[0]["counter"]
+    return total

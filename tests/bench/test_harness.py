@@ -1,0 +1,101 @@
+"""Tests for the benchmark driver."""
+
+import pytest
+
+from repro.analysis import ProcedureRegistry
+from repro.bench import RunConfig, run_benchmark
+from repro.partitioning import HashScheme
+from repro.sim import Cluster
+from repro.storage import Catalog
+from repro.txn import Database, TwoPLExecutor
+from repro.workloads.bank import BankWorkload
+from repro.workloads.instacart import InstacartWorkload
+
+
+def build(workload, config):
+    cluster = Cluster(config.n_partitions, config.network)
+    registry = ProcedureRegistry()
+    for proc in workload.procedures():
+        registry.register(proc)
+    db = Database(cluster, Catalog(config.n_partitions,
+                                   HashScheme(config.n_partitions)),
+                  workload.tables(), registry,
+                  n_replicas=config.n_replicas)
+    workload.populate(db.loader())
+    return db
+
+
+def test_run_produces_commits_within_horizon():
+    workload = BankWorkload(n_accounts=50)
+    config = RunConfig(n_partitions=2, concurrent_per_engine=2,
+                       horizon_us=2_000.0, warmup_us=0.0, n_replicas=0)
+    db = build(workload, config)
+    result = run_benchmark(workload, TwoPLExecutor(db), config)
+    assert result.metrics.commits > 10
+    assert result.throughput > 0
+    # admission stops at the horizon; in-flight work drains shortly after
+    assert result.end_time >= config.horizon_us
+
+
+def test_deterministic_given_seed():
+    def once():
+        workload = BankWorkload(n_accounts=50)
+        config = RunConfig(n_partitions=2, concurrent_per_engine=2,
+                           horizon_us=2_000.0, warmup_us=0.0, seed=42,
+                           n_replicas=0)
+        db = build(workload, config)
+        result = run_benchmark(workload, TwoPLExecutor(db), config)
+        return (result.metrics.commits, result.metrics.aborts,
+                result.end_time)
+
+    assert once() == once()
+
+
+def test_different_seeds_differ():
+    def once(seed):
+        workload = BankWorkload(n_accounts=50)
+        config = RunConfig(n_partitions=2, concurrent_per_engine=2,
+                           horizon_us=2_000.0, warmup_us=0.0, seed=seed,
+                           n_replicas=0)
+        db = build(workload, config)
+        result = run_benchmark(workload, TwoPLExecutor(db), config)
+        return result.metrics.commits
+
+    assert once(1) != once(2) or once(3) != once(4)
+
+
+def test_homes_restricts_generating_engines():
+    workload = BankWorkload(n_accounts=50)
+    config = RunConfig(n_partitions=3, concurrent_per_engine=1,
+                       horizon_us=1_000.0, warmup_us=0.0,
+                       homes=(0,), n_replicas=0)
+    db = build(workload, config)
+    result = run_benchmark(workload, TwoPLExecutor(db), config)
+    assert all(o.proc in ("transfer", "audit")
+               for o in result.metrics.outcomes)
+    assert result.metrics.commits > 0
+
+
+def test_retry_disabled_counts_single_attempts():
+    workload = BankWorkload(n_accounts=10, hot_accounts=2,
+                            hot_probability=0.9)
+    config = RunConfig(n_partitions=2, concurrent_per_engine=4,
+                       horizon_us=2_000.0, warmup_us=0.0,
+                       retry_aborts=False, n_replicas=0)
+    db = build(workload, config)
+    result = run_benchmark(workload, TwoPLExecutor(db), config)
+    assert result.metrics.attempts > 0
+
+
+def test_route_by_data_sends_txns_to_majority_partition():
+    workload = InstacartWorkload(n_products=500)
+    config = RunConfig(n_partitions=2, concurrent_per_engine=2,
+                       horizon_us=1_500.0, warmup_us=0.0,
+                       route_by_data=True, n_replicas=0)
+    db = build(workload, config)
+    result = run_benchmark(workload, TwoPLExecutor(db), config)
+    mismatched = 0
+    for outcome in result.metrics.outcomes:
+        if not outcome.committed:
+            continue
+    assert result.metrics.commits > 10

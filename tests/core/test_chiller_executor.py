@@ -1,0 +1,182 @@
+"""Tests for the two-region Chiller executor (Sections 3 and 5)."""
+
+import pytest
+
+from repro.analysis import ProcedureRegistry
+from repro.core import ChillerExecutor, HotRecordTable
+from repro.partitioning import HashScheme
+from repro.sim import Cluster
+from repro.storage import Catalog, LockMode
+from repro.txn import AbortReason, Database, HistoryRecorder, TxnRequest
+from repro.workloads.flightbooking import (FLIGHT_TABLES, flight_booking_procedure,
+                                           flight_routing, populate)
+
+
+def make_flight_db(n_partitions=3, n_replicas=0, hot_flights=(7,)):
+    cluster = Cluster(n_partitions)
+    registry = ProcedureRegistry()
+    registry.register(flight_booking_procedure())
+    scheme = HashScheme(n_partitions, routing=flight_routing)
+    catalog = Catalog(n_partitions, scheme)
+    db = Database(cluster, catalog, FLIGHT_TABLES, registry,
+                  n_replicas=n_replicas)
+    populate(db.loader())
+    hot = HotRecordTable({("flight", f): scheme.partition_of("flight", f)
+                          for f in hot_flights})
+    executor = ChillerExecutor(db, hot, history=HistoryRecorder())
+    return db, cluster, executor, scheme
+
+
+def run_txn(cluster, executor, request):
+    outcomes = []
+    cluster.engine(request.home).spawn(executor.execute(request),
+                                       outcomes.append)
+    cluster.run()
+    assert len(outcomes) == 1
+    return outcomes[0]
+
+
+def booking(db, home=None, flight=7, cust=3):
+    flight_pid = db.partition_of("flight", flight)
+    if home is None:  # pick a coordinator that is NOT the inner host
+        home = (flight_pid + 1) % db.n_partitions
+    return TxnRequest("book_flight",
+                      {"flight_id": flight, "cust_id": cust}, home=home)
+
+
+def test_hot_flight_booking_runs_two_region():
+    db, cluster, executor, scheme = make_flight_db()
+    outcome = run_txn(cluster, executor, booking(db))
+    assert outcome.committed
+    assert outcome.used_two_region
+    assert outcome.inner_host == scheme.partition_of("flight", 7)
+
+
+def test_booking_semantics_applied():
+    db, cluster, executor, _ = make_flight_db()
+    outcome = run_txn(cluster, executor, booking(db))
+    assert outcome.committed
+    fpid = db.partition_of("flight", 7)
+    flight = db.store(fpid).read("flight", 7)[0]
+    assert flight["seats"] == 199
+    seat = db.store(fpid).read("seats", (7, 200))
+    assert seat is not None
+    assert seat[0]["cust"] == 3
+    cpid = db.partition_of("customer", 3)
+    customer = db.store(cpid).read("customer", 3)[0]
+    assert customer["balance"] < 10_000.0  # debited by the ticket cost
+
+
+def test_cold_flight_falls_back_to_normal_execution():
+    db, cluster, executor, _ = make_flight_db(hot_flights=())
+    outcome = run_txn(cluster, executor, booking(db))
+    assert outcome.committed
+    assert not outcome.used_two_region
+    assert outcome.inner_host is None
+
+
+def test_inner_lock_conflict_aborts_and_cleans_outer():
+    db, cluster, executor, _ = make_flight_db()
+    fpid = db.partition_of("flight", 7)
+    db.store(fpid).try_lock("flight", 7, LockMode.EXCLUSIVE, "intruder")
+    outcome = run_txn(cluster, executor, booking(db))
+    assert not outcome.committed
+    assert outcome.reason is AbortReason.INNER_CONFLICT
+    # the outer region's locks (customer, tax) must be released
+    cpid = db.partition_of("customer", 3)
+    assert not db.store(cpid).is_locked("customer", 3)
+    # nothing was applied anywhere
+    assert db.store(fpid).read("flight", 7)[0]["seats"] == 200
+    assert db.store(cpid).read("customer", 3)[0]["balance"] == 10_000.0
+
+
+def test_inner_logical_abort_no_partial_effects():
+    db, cluster, executor, _ = make_flight_db()
+    fpid = db.partition_of("flight", 7)
+    db.store(fpid).write("flight", 7, {"seats": 0})  # sold out
+    outcome = run_txn(cluster, executor, booking(db))
+    assert not outcome.committed
+    assert outcome.reason is AbortReason.LOGICAL
+    cpid = db.partition_of("customer", 3)
+    assert db.store(cpid).read("customer", 3)[0]["balance"] == 10_000.0
+    assert not db.store(fpid).is_locked("flight", 7)
+
+
+def test_coordinator_co_located_with_inner_host():
+    """When the coordinator's partition IS the inner host, the inner
+    region runs inline without an RPC."""
+    db, cluster, executor, scheme = make_flight_db()
+    fpid = scheme.partition_of("flight", 7)
+    before = db.cluster.network.stats.messages
+    outcome = run_txn(cluster, executor, booking(db, home=fpid))
+    assert outcome.committed
+    assert outcome.used_two_region
+    # no inner RPC was needed (no messages unless replication)
+    assert db.cluster.network.stats.messages == before
+
+
+def test_outer_update_uses_inner_computed_value():
+    """The customer debit (outer phase 2) consumes the ticket cost,
+    which depends on the flight price read in the INNER region."""
+    db, cluster, executor, _ = make_flight_db()
+    outcome = run_txn(cluster, executor, booking(db))
+    assert outcome.committed
+    cpid = db.partition_of("customer", 3)
+    balance = db.store(cpid).read("customer", 3)[0]["balance"]
+    # price = 100 + 7 = 107; customer 3 is in state 3 -> rate 0.065
+    assert balance == pytest.approx(10_000.0 - 107.0 * 1.065)
+
+
+def test_inner_replication_reaches_replicas_and_acks():
+    db, cluster, executor, scheme = make_flight_db(n_replicas=1)
+    outcome = run_txn(cluster, executor, booking(db))
+    assert outcome.committed
+    fpid = scheme.partition_of("flight", 7)
+    for rserver in db.replicas.replica_servers(fpid):
+        replica = db.replicas.store_on(rserver, fpid)
+        assert replica.read("flight", 7)[0]["seats"] == 199
+        assert replica.read("seats", (7, 200)) is not None
+    # no dangling ack state
+    assert executor._pending_acks == {}
+
+
+def test_inner_abort_skips_replication():
+    db, cluster, executor, scheme = make_flight_db(n_replicas=1)
+    fpid = scheme.partition_of("flight", 7)
+    db.store(fpid).write("flight", 7, {"seats": 0})
+    outcome = run_txn(cluster, executor, booking(db))
+    assert not outcome.committed
+    for rserver in db.replicas.replica_servers(fpid):
+        replica = db.replicas.store_on(rserver, fpid)
+        # the replica still has the loaded value (200): the failed inner
+        # region must not replicate anything
+        assert replica.read("flight", 7)[0]["seats"] == 200
+    assert executor._pending_acks == {}
+
+
+def test_outcome_partitions_include_inner_host():
+    db, cluster, executor, scheme = make_flight_db()
+    outcome = run_txn(cluster, executor, booking(db))
+    assert scheme.partition_of("flight", 7) in outcome.partitions
+
+
+def test_history_includes_inner_reads_and_writes():
+    db, cluster, executor, _ = make_flight_db()
+    run_txn(cluster, executor, booking(db))
+    log = executor.history.commits[0]
+    read_rids = {rid for rid, _ in log.reads}
+    write_rids = {rid for rid, _ in log.writes}
+    assert ("flight", 7) in read_rids
+    assert ("flight", 7) in write_rids
+    assert ("seats", (7, 200)) in write_rids
+    assert ("customer", 3) in write_rids
+
+
+def test_two_sequential_bookings_get_distinct_seats():
+    db, cluster, executor, _ = make_flight_db()
+    assert run_txn(cluster, executor, booking(db, cust=3)).committed
+    assert run_txn(cluster, executor, booking(db, cust=4)).committed
+    fpid = db.partition_of("flight", 7)
+    assert db.store(fpid).read("flight", 7)[0]["seats"] == 198
+    assert db.store(fpid).read("seats", (7, 200)) is not None
+    assert db.store(fpid).read("seats", (7, 199)) is not None

@@ -1,0 +1,82 @@
+"""Tests for the Poisson contention-likelihood model (Section 4.1)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import contention_likelihood, likelihoods_from_rates, normalize
+
+
+def test_no_writes_means_no_contention():
+    """Shared locks are compatible: lambda_w = 0 -> Pc = 0 exactly."""
+    assert contention_likelihood(0.0, 0.0) == pytest.approx(0.0)
+    assert contention_likelihood(0.0, 100.0) == pytest.approx(0.0)
+
+
+def test_matches_closed_form():
+    lw, lr = 0.7, 1.3
+    expected = 1 - math.exp(-lw) - lw * math.exp(-lw) * math.exp(-lr)
+    assert contention_likelihood(lw, lr) == pytest.approx(expected)
+
+
+def test_matches_two_term_derivation():
+    """The closed form equals P(ww conflict) + P(rw conflict)."""
+    lw, lr = 0.9, 0.4
+    p_w0 = math.exp(-lw)
+    p_w1 = lw * math.exp(-lw)
+    p_r0 = math.exp(-lr)
+    ww = (1 - p_w0 - p_w1) * p_r0          # >=2 writes, no reads
+    rw = (1 - p_w0) * (1 - p_r0)           # >=1 write, >=1 read
+    assert contention_likelihood(lw, lr) == pytest.approx(ww + rw)
+
+
+def test_heavy_write_rate_saturates_to_one():
+    assert contention_likelihood(50.0, 0.0) == pytest.approx(1.0, abs=1e-6)
+
+
+def test_negative_rates_rejected():
+    with pytest.raises(ValueError):
+        contention_likelihood(-0.1, 0.0)
+    with pytest.raises(ValueError):
+        contention_likelihood(0.0, -0.1)
+
+
+@given(st.floats(0.0, 20.0), st.floats(0.0, 20.0))
+def test_likelihood_is_a_probability(lw, lr):
+    value = contention_likelihood(lw, lr)
+    assert -1e-12 <= value <= 1.0
+
+
+@given(st.floats(0.001, 10.0), st.floats(0.0, 10.0), st.floats(0.01, 5.0))
+def test_monotone_in_read_rate_when_writes_exist(lw, lr, delta):
+    """More readers of a written record -> more read-write conflicts."""
+    assert (contention_likelihood(lw, lr + delta)
+            >= contention_likelihood(lw, lr) - 1e-12)
+
+
+@given(st.floats(0.0, 10.0), st.floats(0.0, 10.0), st.floats(0.01, 5.0))
+def test_monotone_in_write_rate(lw, lr, delta):
+    assert (contention_likelihood(lw + delta, lr)
+            >= contention_likelihood(lw, lr) - 1e-12)
+
+
+def test_likelihoods_from_rates():
+    rates = {("t", 1): (1.0, 2.0), ("t", 2): (0.0, 5.0)}
+    out = likelihoods_from_rates(rates)
+    assert out[("t", 2)] == pytest.approx(0.0)
+    assert out[("t", 1)] > 0.0
+
+
+def test_normalize_peaks_at_one():
+    values = {("t", 1): 0.2, ("t", 2): 0.4, ("t", 3): 0.0}
+    out = normalize(values)
+    assert out[("t", 2)] == pytest.approx(1.0)
+    assert out[("t", 1)] == pytest.approx(0.5)
+    assert out[("t", 3)] == pytest.approx(0.0)
+
+
+def test_normalize_all_zero_and_empty():
+    assert normalize({}) == {}
+    out = normalize({("t", 1): 0.0})
+    assert out[("t", 1)] == 0.0

@@ -1,0 +1,160 @@
+"""Region planner edge cases beyond the paper-example tests."""
+
+from repro.analysis import (StoredProcedure, check, derived_key, insert,
+                            param_key, read, update)
+from repro.core import HotRecordTable, RegionPlanner
+
+
+class Placement:
+    def __init__(self, mapping, default=0):
+        self.mapping = mapping
+        self.default = default
+
+    def __call__(self, table, key):
+        return self.mapping.get((table, key), self.default)
+
+
+def simple_proc():
+    return StoredProcedure(
+        "p", params=("a", "b"),
+        ops=[
+            read("ra", "t", key=param_key("a"), for_update=True),
+            read("rb", "t", key=param_key("b"), for_update=True),
+            update("ua", target="ra",
+                   set_fn=lambda p, c, i: {"v": c["ra"]["v"] + 1}),
+            update("ub", target="rb",
+                   set_fn=lambda p, c, i: {"v": c["rb"]["v"] + 1}),
+        ])
+
+
+def plan_for(proc, params, hot, placement):
+    planner = RegionPlanner(HotRecordTable(hot), placement)
+    return planner.plan(proc.instantiate(params), params)
+
+
+def test_no_hot_records_means_normal_execution():
+    plan = plan_for(simple_proc(), {"a": 1, "b": 2}, {},
+                    Placement({("t", 1): 0, ("t", 2): 1}))
+    assert not plan.two_region
+    assert plan.inner_host is None
+    assert len(plan.outer) == 4
+
+
+def test_single_hot_record_defines_inner_host():
+    plan = plan_for(simple_proc(), {"a": 1, "b": 2},
+                    {("t", 1): 0},
+                    Placement({("t", 1): 0, ("t", 2): 1}))
+    assert plan.two_region
+    assert plan.inner_host == 0
+    assert set(plan.inner_names()) == {"ra", "ua"}
+
+
+def test_inner_host_majority_vote():
+    """Step 2: the partition with the most hot records wins."""
+    proc = StoredProcedure(
+        "p3", params=("a", "b", "c"),
+        ops=[
+            read("ra", "t", key=param_key("a"), for_update=True),
+            read("rb", "t", key=param_key("b"), for_update=True),
+            read("rc", "t", key=param_key("c"), for_update=True),
+            update("ua", target="ra", set_fn=lambda p, c, i: {}),
+            update("ub", target="rb", set_fn=lambda p, c, i: {}),
+            update("uc", target="rc", set_fn=lambda p, c, i: {}),
+        ])
+    placement = Placement({("t", 1): 0, ("t", 2): 1, ("t", 3): 1})
+    hot = {("t", 1): 0, ("t", 2): 1, ("t", 3): 1}
+    plan = plan_for(proc, {"a": 1, "b": 2, "c": 3}, hot, placement)
+    assert plan.inner_host == 1
+    assert {"rb", "rc"} <= set(plan.inner_names())
+    # the losing hot record stays outer (long span, as the paper warns)
+    assert "ra" in {i.name for i in plan.outer}
+
+
+def test_cold_records_colocated_with_inner_host_join_inner():
+    """Section 4.3: r-vertices in the t-vertex's partition execute in
+    the inner region even when cold."""
+    plan = plan_for(simple_proc(), {"a": 1, "b": 2},
+                    {("t", 1): 0},
+                    Placement({("t", 1): 0, ("t", 2): 0}))
+    assert set(plan.inner_names()) == {"ra", "rb", "ua", "ub"}
+    assert plan.outer == []
+
+
+def test_hot_reads_reordered_last_within_inner():
+    """Idea (1): the hot record's lock is acquired at the end of the
+    inner region, after the cold co-located ops."""
+    plan = plan_for(simple_proc(), {"a": 1, "b": 2},
+                    {("t", 1): 0},
+                    Placement({("t", 1): 0, ("t", 2): 0}))
+    names = plan.inner_names()
+    assert names.index("ra") > names.index("rb")
+
+
+def test_unknown_derived_placement_stays_outer():
+    proc = StoredProcedure(
+        "pd", params=("a",),
+        ops=[
+            read("ra", "t", key=param_key("a"), for_update=True),
+            read("rx", "t",
+                 key=derived_key(("ra",),
+                                 lambda p, ctx, i: ctx["ra"]["next"])),
+            update("ua", target="ra", set_fn=lambda p, c, i: {}),
+        ])
+    # ra is hot but rx (pk-child, unknown placement) blocks it: rule (b)
+    plan = plan_for(proc, {"a": 1}, {("t", 1): 0},
+                    Placement({("t", 1): 0}))
+    assert not plan.two_region
+    assert plan.blocked_hot_records == 1
+
+
+def test_insert_with_matching_hint_allows_inner():
+    proc = StoredProcedure(
+        "pi", params=("a",),
+        ops=[
+            read("ra", "t", key=param_key("a"), for_update=True),
+            insert("ix", "t2",
+                   key=derived_key(("ra",),
+                                   lambda p, ctx, i: ctx["ra"]["next"],
+                                   partition_hint=lambda p, i: p["a"]),
+                   fields_fn=lambda p, c, i: {}),
+            update("ua", target="ra", set_fn=lambda p, c, i: {}),
+        ])
+    placement = Placement({("t", 1): 2, ("t2", 1): 2}, default=2)
+    plan = plan_for(proc, {"a": 1}, {("t", 1): 2}, placement)
+    assert plan.two_region
+    assert set(plan.inner_names()) == {"ra", "ix", "ua"}
+
+
+def test_check_depending_only_on_outer_reads_stays_outer():
+    proc = StoredProcedure(
+        "pc", params=("a", "b"),
+        ops=[
+            read("ra", "t", key=param_key("a"), for_update=True),
+            read("rb", "t", key=param_key("b")),
+            check("cb", deps=("rb",),
+                  predicate=lambda p, c, i: c["rb"]["v"] > 0),
+            update("ua", target="ra", set_fn=lambda p, c, i: {}),
+        ])
+    plan = plan_for(proc, {"a": 1, "b": 2}, {("t", 1): 0},
+                    Placement({("t", 1): 0, ("t", 2): 1}))
+    assert plan.two_region
+    outer_names = {i.name for i in plan.outer}
+    assert "cb" in outer_names  # early abort at the coordinator
+
+
+def test_check_depending_on_inner_read_goes_inner():
+    proc = StoredProcedure(
+        "pc2", params=("a", "b"),
+        ops=[
+            read("ra", "t", key=param_key("a"), for_update=True),
+            read("rb", "t", key=param_key("b")),
+            check("ca", deps=("ra", "rb"),
+                  predicate=lambda p, c, i: c["ra"]["v"] > 0),
+            update("ua", target="ra", set_fn=lambda p, c, i: {}),
+        ])
+    plan = plan_for(proc, {"a": 1, "b": 2}, {("t", 1): 0},
+                    Placement({("t", 1): 0, ("t", 2): 1}))
+    assert "ca" in plan.inner_names()
+    # and it is ordered after the hot read it consumes
+    names = plan.inner_names()
+    assert names.index("ca") > names.index("ra")

@@ -1,0 +1,108 @@
+"""Focused tests for coarsening and refinement internals."""
+
+import random
+
+import pytest
+
+from repro.graph import (WeightedGraph, coarsen, initial_partition,
+                         rebalance, refine, swap_refine)
+
+
+def path_graph(n, weight=1.0):
+    g = WeightedGraph()
+    for _ in range(n):
+        g.add_vertex(1.0)
+    for i in range(n - 1):
+        g.add_edge(i, i + 1, weight)
+    return g
+
+
+def test_coarsen_reaches_target():
+    g = path_graph(256)
+    levels = coarsen(g, 32, random.Random(1))
+    assert levels
+    assert levels[-1].graph.n_vertices <= 64  # halves each level
+    # weights preserved at every level
+    for level in levels:
+        assert level.graph.total_vertex_weight() == pytest.approx(256.0)
+
+
+def test_projection_round_trip():
+    g = path_graph(64)
+    levels = coarsen(g, 8, random.Random(2))
+    coarse = levels[-1].graph
+    assignment = [i % 2 for i in range(coarse.n_vertices)]
+    for level in reversed(levels):
+        assignment = level.project(assignment)
+    assert len(assignment) == 64
+    assert set(assignment) <= {0, 1}
+
+
+def test_initial_partition_covers_all_vertices():
+    g = path_graph(40)
+    assignment = initial_partition(g, 4, 0.2, random.Random(3))
+    assert len(assignment) == 40
+    assert set(assignment) == {0, 1, 2, 3}
+    assert g.is_balanced(assignment, 4, 0.2)
+
+
+def test_initial_partition_k1():
+    g = path_graph(5)
+    assert initial_partition(g, 1, 0.1, random.Random(1)) == [0] * 5
+
+
+def test_initial_partition_invalid_k():
+    g = path_graph(5)
+    with pytest.raises(ValueError):
+        initial_partition(g, 0, 0.1, random.Random(1))
+
+
+def test_refine_reduces_cut():
+    g = path_graph(20)
+    # deliberately awful: alternating assignment cuts every edge
+    assignment = [i % 2 for i in range(20)]
+    before = g.edge_cut(assignment)
+    refine(g, assignment, 2, eps=0.2)
+    assert g.edge_cut(assignment) < before
+    assert g.is_balanced(assignment, 2, 0.2)
+
+
+def test_refine_never_worsens_cut():
+    rng = random.Random(5)
+    g = WeightedGraph()
+    for _ in range(30):
+        g.add_vertex(1.0)
+    for _ in range(80):
+        u, v = rng.randrange(30), rng.randrange(30)
+        if u != v:
+            g.add_edge(u, v, rng.uniform(0.1, 2.0))
+    assignment = [rng.randrange(3) for _ in range(30)]
+    assignment = rebalance(g, assignment, 3, 0.3)
+    before = g.edge_cut(assignment)
+    refine(g, assignment, 3, eps=0.3)
+    assert g.edge_cut(assignment) <= before + 1e-9
+
+
+def test_swap_refine_fixes_tight_balance():
+    """Two vertices stuck on the wrong sides can only be fixed by a
+    swap when the balance cap forbids single moves."""
+    g = WeightedGraph()
+    for _ in range(4):
+        g.add_vertex(1.0)
+    # pairs (0,1) and (2,3) heavy; start split across
+    g.add_edge(0, 1, 10.0)
+    g.add_edge(2, 3, 10.0)
+    g.add_edge(0, 2, 0.1)
+    assignment = [0, 1, 1, 0]  # cuts both heavy edges
+    swap_refine(g, assignment, 2, eps=0.0)
+    assert g.edge_cut(assignment) == pytest.approx(0.1)
+    assert g.is_balanced(assignment, 2, 0.0)
+
+
+def test_rebalance_enforces_cap():
+    g = WeightedGraph()
+    for _ in range(10):
+        g.add_vertex(1.0)
+    assignment = [0] * 10  # everything on one side
+    rebalance(g, assignment, 2, eps=0.1)
+    assert g.is_balanced(assignment, 2, 0.1)

@@ -1,0 +1,152 @@
+"""Multilevel partitioner tests: correctness, balance, cut quality."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro._util import make_rng
+from repro.graph import (WeightedGraph, coarsen, coarsen_once,
+                         heavy_edge_matching, part_graph)
+
+
+def two_cliques(n_per=6, bridge_weight=0.1):
+    """Two heavy cliques joined by one light bridge edge."""
+    g = WeightedGraph()
+    for _ in range(2 * n_per):
+        g.add_vertex(1.0)
+    for base in (0, n_per):
+        for i in range(n_per):
+            for j in range(i + 1, n_per):
+                g.add_edge(base + i, base + j, 10.0)
+    g.add_edge(0, n_per, bridge_weight)
+    return g
+
+
+def test_two_cliques_split_on_the_bridge():
+    g = two_cliques()
+    assignment = part_graph(g, 2, eps=0.1, seed=3)
+    assert g.edge_cut(assignment) == pytest.approx(0.1)
+    assert g.is_balanced(assignment, 2, 0.1)
+    # each clique wholly on one side
+    assert len({assignment[i] for i in range(6)}) == 1
+    assert len({assignment[i] for i in range(6, 12)}) == 1
+
+
+def test_k1_trivial():
+    g = two_cliques()
+    assert part_graph(g, 1) == [0] * g.n_vertices
+
+
+def test_k_larger_than_vertices_rejected():
+    g = WeightedGraph.from_edges(2, [(0, 1, 1.0)])
+    with pytest.raises(ValueError):
+        part_graph(g, 3)
+
+
+def test_empty_graph():
+    assert part_graph(WeightedGraph(), 4) == []
+
+
+def test_four_cliques_into_four_parts():
+    g = WeightedGraph()
+    n_per, k = 5, 4
+    for _ in range(n_per * k):
+        g.add_vertex(1.0)
+    for c in range(k):
+        base = c * n_per
+        for i in range(n_per):
+            for j in range(i + 1, n_per):
+                g.add_edge(base + i, base + j, 5.0)
+    # ring of light bridges
+    for c in range(k):
+        g.add_edge(c * n_per, ((c + 1) % k) * n_per, 0.2)
+    assignment = part_graph(g, k, eps=0.1, seed=5)
+    assert g.is_balanced(assignment, k, 0.1)
+    assert g.edge_cut(assignment) <= 1.0  # only bridges cut
+
+
+def test_zero_weight_vertices_allowed():
+    """r-vertices carry weight 0 under the 'transactions' load metric."""
+    g = WeightedGraph()
+    for i in range(8):
+        g.add_vertex(1.0 if i < 4 else 0.0)
+    for i in range(4):
+        g.add_edge(i, 4 + i, 2.0)
+    assignment = part_graph(g, 2, eps=0.1, seed=1)
+    assert g.is_balanced(assignment, 2, 0.1)
+    # zero cut is achievable: each (t, r) pair together
+    assert g.edge_cut(assignment) == 0.0
+
+
+def test_heavy_edge_matching_is_a_matching():
+    g = two_cliques()
+    match = heavy_edge_matching(g, random.Random(1))
+    for v, partner in enumerate(match):
+        assert match[partner] == v
+
+
+def test_coarsen_once_preserves_total_vertex_weight():
+    g = two_cliques()
+    level = coarsen_once(g, random.Random(1))
+    assert level.graph.total_vertex_weight() == pytest.approx(
+        g.total_vertex_weight())
+    assert level.graph.n_vertices < g.n_vertices
+
+
+def test_coarsen_preserves_cut_correspondence():
+    g = two_cliques()
+    level = coarsen_once(g, random.Random(3))
+    coarse_assignment = [i % 2 for i in range(level.graph.n_vertices)]
+    projected = level.project(coarse_assignment)
+    assert g.edge_cut(projected) == pytest.approx(
+        level.graph.edge_cut(coarse_assignment))
+
+
+def test_coarsen_terminates_on_edgeless_graph():
+    g = WeightedGraph.from_edges(50, [])
+    levels = coarsen(g, 10, random.Random(1))
+    # nothing to match: must stop, not loop forever
+    assert levels == [] or levels[-1].graph.n_vertices >= 10
+
+
+def test_deterministic_given_seed():
+    g = two_cliques()
+    a = part_graph(g, 2, seed=9)
+    b = part_graph(g, 2, seed=9)
+    assert a == b
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(10, 60), st.integers(2, 4), st.integers(0, 10_000))
+def test_random_graphs_valid_and_balanced(n, k, seed):
+    """Property: any random graph yields a total, balanced assignment."""
+    rng = make_rng(seed, "gen")
+    g = WeightedGraph()
+    for _ in range(n):
+        g.add_vertex(rng.choice([0.5, 1.0, 2.0]))
+    for _ in range(2 * n):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            g.add_edge(u, v, rng.uniform(0.1, 5.0))
+    assignment = part_graph(g, k, eps=0.35, seed=seed)
+    assert len(assignment) == n
+    assert all(0 <= p < k for p in assignment)
+    assert g.is_balanced(assignment, k, 0.35)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(12, 40), st.integers(0, 1000))
+def test_partitioner_beats_random_split(n, seed):
+    """The cut should be no worse than a random balanced split."""
+    rng = make_rng(seed, "beat")
+    g = WeightedGraph()
+    for _ in range(n):
+        g.add_vertex(1.0)
+    for _ in range(3 * n):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            g.add_edge(u, v, rng.uniform(0.1, 3.0))
+    assignment = part_graph(g, 2, eps=0.2, seed=seed)
+    random_split = [i % 2 for i in range(n)]
+    assert g.edge_cut(assignment) <= g.edge_cut(random_split) + 1e-9

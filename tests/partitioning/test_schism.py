@@ -1,0 +1,92 @@
+"""Tests for the Schism baseline partitioner."""
+
+import pytest
+
+from repro.core import TxnSample
+from repro.partitioning import (HashScheme, SchismConfig,
+                                build_coaccess_graph, partition_schism)
+
+T = "accounts"
+
+
+def clustered_samples():
+    """Two groups of records, transactions never cross groups."""
+    samples = []
+    for _ in range(10):
+        samples.append(TxnSample("p", reads=((T, 1), (T, 2)),
+                                 writes=((T, 3),)))
+        samples.append(TxnSample("p", reads=((T, 11), (T, 12)),
+                                 writes=((T, 13),)))
+    return samples
+
+
+def test_coaccess_graph_has_clique_edges():
+    """n(n-1)/2 edges per transaction (3 records -> 3 edges)."""
+    graph, vertex_of = build_coaccess_graph(
+        [TxnSample("p", reads=((T, 1), (T, 2), (T, 3)), writes=())])
+    assert graph.n_vertices == 3
+    assert graph.n_edges == 3
+
+
+def test_coaccess_edge_weights_accumulate_frequency():
+    samples = [TxnSample("p", reads=((T, 1), (T, 2)), writes=())] * 5
+    graph, vertex_of = build_coaccess_graph(samples)
+    u, v = vertex_of[(T, 1)], vertex_of[(T, 2)]
+    assert graph.neighbors(u)[v] == 5.0
+
+
+def test_schism_separates_independent_clusters():
+    result = partition_schism(clustered_samples(), 2,
+                              SchismConfig(seed=2))
+    groups = [{result.record_assignment[(T, r)] for r in (1, 2, 3)},
+              {result.record_assignment[(T, r)] for r in (11, 12, 13)}]
+    assert all(len(g) == 1 for g in groups), "each cluster co-located"
+    assert groups[0] != groups[1], "clusters split across partitions"
+    assert result.cut_weight() == 0.0
+
+
+def test_schism_lookup_table_has_entry_per_record():
+    result = partition_schism(clustered_samples(), 2)
+    assert result.lookup_table_size() == 6
+
+
+def test_schism_scheme_falls_back_for_unseen_records():
+    result = partition_schism(clustered_samples(), 2)
+    fallback = HashScheme(2)
+    scheme = result.scheme(fallback)
+    assert (scheme.partition_of(T, 1)
+            == result.record_assignment[(T, 1)])
+    assert scheme.partition_of(T, 999) == fallback.partition_of(T, 999)
+
+
+def test_schism_empty_workload():
+    result = partition_schism([], 4)
+    assert result.record_assignment == {}
+    assert result.lookup_table_size() == 0
+
+
+def test_schism_star_vs_clique_edge_counts():
+    """The representational gap the paper quantifies: for an n-record
+    transaction Schism stores n(n-1)/2 edges, Chiller's star stores n."""
+    from repro.core import build_star_graph
+    n = 10
+    sample = TxnSample("p",
+                       reads=tuple((T, i) for i in range(n)), writes=())
+    schism_graph, _ = build_coaccess_graph([sample])
+    star = build_star_graph([sample], {})
+    assert schism_graph.n_edges == n * (n - 1) // 2
+    assert star.graph.n_edges == n
+
+
+def test_schism_minimizes_distributed_transactions():
+    """On a workload where co-location is possible, Schism's layout
+    leaves zero distributed transactions."""
+    samples = clustered_samples()
+    result = partition_schism(samples, 2, SchismConfig(seed=1))
+
+    def is_distributed(sample):
+        parts = {result.record_assignment[rid]
+                 for rid in sample.records()}
+        return len(parts) > 1
+
+    assert sum(1 for s in samples if is_distributed(s)) == 0

@@ -1,0 +1,86 @@
+"""Unit tests for the RDMA-flavoured network model."""
+
+import pytest
+
+from repro.sim import Network, NetworkConfig, Simulator
+
+
+def make_net(**overrides):
+    sim = Simulator()
+    cfg = NetworkConfig(**overrides)
+    return sim, Network(sim, cfg)
+
+
+def test_local_one_sided_pays_only_local_latency():
+    sim, net = make_net(local_access_us=0.5)
+    done = []
+    net.one_sided(0, 0, lambda: 42, lambda v: done.append((v, sim.now)))
+    sim.run()
+    assert done == [(42, 0.5)]
+    assert net.stats.one_sided_local == 1
+    assert net.stats.one_sided_remote == 0
+
+
+def test_remote_one_sided_round_trip_latency():
+    sim, net = make_net(one_way_us=2.0, verb_overhead_us=0.5)
+    done = []
+    net.one_sided(0, 1, lambda: "ok", lambda v: done.append((v, sim.now)))
+    sim.run()
+    value, when = done[0]
+    assert value == "ok"
+    assert when == pytest.approx(2 * 2.0 + 0.5)
+    assert net.stats.one_sided_remote == 1
+
+
+def test_one_sided_op_runs_at_target_arrival_time():
+    sim, net = make_net(one_way_us=2.0, verb_overhead_us=0.5)
+    executed_at = []
+    net.one_sided(0, 1, lambda: executed_at.append(sim.now), lambda v: None)
+    sim.run()
+    assert executed_at == [pytest.approx(2.5)]
+
+
+def test_messages_delivered_fifo_per_channel():
+    sim, net = make_net()
+    received = []
+    net.register_handler(1, lambda src, p: received.append(p))
+    for i in range(20):
+        net.send(0, 1, i)
+    sim.run()
+    assert received == list(range(20))
+
+
+def test_fifo_holds_across_interleaved_sends():
+    """Messages sent at different times must not overtake each other."""
+    sim, net = make_net(one_way_us=1.0, rpc_overhead_us=0.0)
+    received = []
+    net.register_handler(1, lambda src, p: received.append(p))
+    net.send(0, 1, "first")
+    sim.schedule(0.5, lambda: net.send(0, 1, "second"))
+    sim.run()
+    assert received == ["first", "second"]
+
+
+def test_send_to_unregistered_handler_raises():
+    sim, net = make_net()
+    with pytest.raises(KeyError):
+        net.send(0, 7, "hello")
+
+
+def test_stats_count_messages():
+    sim, net = make_net()
+    net.register_handler(1, lambda src, p: None)
+    net.send(0, 1, "a")
+    net.send(0, 1, "b")
+    sim.run()
+    assert net.stats.messages == 2
+    assert net.stats.total_remote_ops() == 2
+
+
+def test_handler_receives_source_id():
+    sim, net = make_net()
+    seen = []
+    net.register_handler(2, lambda src, p: seen.append(src))
+    net.send(5, 2, "x")
+    sim.run()
+    assert seen == [5]

@@ -1,0 +1,122 @@
+"""Unit and property tests for the NO_WAIT lock word."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.storage import LockMode, LockWord
+
+
+def test_shared_locks_are_compatible():
+    lock = LockWord()
+    assert lock.try_acquire(LockMode.SHARED, "t1")
+    assert lock.try_acquire(LockMode.SHARED, "t2")
+    assert lock.holders() == {"t1", "t2"}
+
+
+def test_exclusive_blocks_shared():
+    lock = LockWord()
+    assert lock.try_acquire(LockMode.EXCLUSIVE, "t1")
+    assert not lock.try_acquire(LockMode.SHARED, "t2")
+
+
+def test_shared_blocks_exclusive():
+    lock = LockWord()
+    assert lock.try_acquire(LockMode.SHARED, "t1")
+    assert not lock.try_acquire(LockMode.EXCLUSIVE, "t2")
+
+
+def test_exclusive_blocks_exclusive():
+    lock = LockWord()
+    assert lock.try_acquire(LockMode.EXCLUSIVE, "t1")
+    assert not lock.try_acquire(LockMode.EXCLUSIVE, "t2")
+
+
+def test_reentrant_shared():
+    lock = LockWord()
+    assert lock.try_acquire(LockMode.SHARED, "t1")
+    assert lock.try_acquire(LockMode.SHARED, "t1")
+    lock.release("t1")
+    assert lock.is_free()
+
+
+def test_reentrant_exclusive():
+    lock = LockWord()
+    assert lock.try_acquire(LockMode.EXCLUSIVE, "t1")
+    assert lock.try_acquire(LockMode.EXCLUSIVE, "t1")
+    lock.release("t1")
+    assert lock.is_free()
+
+
+def test_exclusive_holder_may_request_shared():
+    lock = LockWord()
+    assert lock.try_acquire(LockMode.EXCLUSIVE, "t1")
+    assert lock.try_acquire(LockMode.SHARED, "t1")
+    assert lock.held_by("t1") == LockMode.EXCLUSIVE
+
+
+def test_sole_shared_holder_upgrades():
+    lock = LockWord()
+    assert lock.try_acquire(LockMode.SHARED, "t1")
+    assert lock.try_acquire(LockMode.EXCLUSIVE, "t1")
+    assert lock.held_by("t1") == LockMode.EXCLUSIVE
+
+
+def test_upgrade_fails_with_other_shared_holders():
+    lock = LockWord()
+    assert lock.try_acquire(LockMode.SHARED, "t1")
+    assert lock.try_acquire(LockMode.SHARED, "t2")
+    assert not lock.try_acquire(LockMode.EXCLUSIVE, "t1")
+    # t1 keeps its shared lock after the failed upgrade
+    assert lock.held_by("t1") == LockMode.SHARED
+
+
+def test_release_frees_for_others():
+    lock = LockWord()
+    lock.try_acquire(LockMode.EXCLUSIVE, "t1")
+    lock.release("t1")
+    assert lock.try_acquire(LockMode.EXCLUSIVE, "t2")
+
+
+def test_release_without_hold_raises():
+    lock = LockWord()
+    with pytest.raises(KeyError):
+        lock.release("nobody")
+
+
+def test_held_by_reports_mode():
+    lock = LockWord()
+    assert lock.held_by("t1") is None
+    lock.try_acquire(LockMode.SHARED, "t1")
+    assert lock.held_by("t1") == LockMode.SHARED
+
+
+@given(st.lists(st.tuples(st.integers(0, 4),
+                          st.sampled_from([LockMode.SHARED,
+                                           LockMode.EXCLUSIVE]),
+                          st.booleans()),
+                max_size=60))
+def test_lock_word_safety_invariant(ops):
+    """Under any sequence of try/release, the X/S invariant holds:
+
+    - at most one exclusive holder, and
+    - never an exclusive holder concurrently with a *different* shared one.
+    """
+    lock = LockWord()
+    held: dict[int, LockMode] = {}
+    for owner, mode, do_release in ops:
+        if do_release and owner in held:
+            lock.release(owner)
+            del held[owner]
+        elif not do_release:
+            if lock.try_acquire(mode, owner):
+                prev = held.get(owner)
+                if prev != LockMode.EXCLUSIVE:
+                    held[owner] = mode
+        exclusives = [o for o, m in held.items()
+                      if m == LockMode.EXCLUSIVE]
+        shareds = [o for o, m in held.items() if m == LockMode.SHARED]
+        assert len(exclusives) <= 1
+        if exclusives:
+            assert all(s == exclusives[0] for s in shareds)
+        # the lock word agrees with our model
+        assert lock.holders() == set(held)

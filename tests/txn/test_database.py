@@ -1,0 +1,92 @@
+"""Tests for the Database composition layer."""
+
+import pytest
+
+from repro.analysis import ProcedureRegistry
+from repro.partitioning import HashScheme
+from repro.sim import Cluster, Rpc
+from repro.storage import Catalog, TableSpec
+from repro.txn import Database
+
+
+def make_db(n_partitions=3, n_replicas=1, replicated=frozenset()):
+    cluster = Cluster(n_partitions)
+    catalog = Catalog(n_partitions, HashScheme(n_partitions),
+                      replicated_tables=replicated)
+    db = Database(cluster, catalog, [TableSpec("t", n_buckets=64)],
+                  ProcedureRegistry(), n_replicas=n_replicas)
+    return db, cluster
+
+
+def test_partition_count_must_match_cluster():
+    cluster = Cluster(3)
+    catalog = Catalog(2, HashScheme(2))
+    with pytest.raises(ValueError, match="1:1"):
+        Database(cluster, catalog, [TableSpec("t")], ProcedureRegistry())
+
+
+def test_load_reaches_primary_and_replicas():
+    db, _ = make_db()
+    db.load("t", 5, {"v": 1})
+    pid = db.partition_of("t", 5)
+    assert db.store(pid).read("t", 5)[0] == {"v": 1}
+    for rserver in db.replicas.replica_servers(pid):
+        assert db.replicas.store_on(rserver, pid).read("t", 5)[0] == \
+            {"v": 1}
+    # other primaries do not have it
+    other = (pid + 1) % 3
+    assert db.store(other).read("t", 5) is None
+
+
+def test_replicated_table_loads_everywhere():
+    db, _ = make_db(replicated=frozenset({"t"}))
+    db.load("t", 5, {"v": 1})
+    for pid in range(3):
+        assert db.store(pid).read("t", 5)[0] == {"v": 1}
+
+
+def test_replicated_table_resolves_to_reader():
+    db, _ = make_db(replicated=frozenset({"t"}))
+    assert db.partition_of("t", 5, reader=2) == 2
+    with pytest.raises(ValueError, match="reader"):
+        db.partition_of("t", 5)
+
+
+def test_rpc_dispatch_by_kind():
+    db, cluster = make_db()
+    received = []
+
+    def factory(server_id, src, body):
+        received.append((server_id, src, body))
+        return "reply:" + body
+        yield  # pragma: no cover - generator marker
+
+    db.register_rpc("probe", factory)
+    replies = []
+
+    def txn():
+        reply = yield Rpc(1, ("probe", "hello"))
+        replies.append(reply)
+
+    cluster.engine(0).spawn(txn())
+    cluster.run()
+    assert received == [(1, 0, "hello")]
+    assert replies == ["reply:hello"]
+
+
+def test_duplicate_rpc_kind_rejected():
+    db, _ = make_db()
+    db.register_rpc("k", lambda s, src, b: iter(()))
+    with pytest.raises(ValueError):
+        db.register_rpc("k", lambda s, src, b: iter(()))
+
+
+def test_unknown_rpc_kind_raises():
+    db, cluster = make_db()
+
+    def txn():
+        yield Rpc(1, ("nope", None))
+
+    cluster.engine(0).spawn(txn())
+    with pytest.raises(KeyError):
+        cluster.run()

@@ -1,0 +1,280 @@
+"""Unit tests for TPC-C schema, loader, procedures, and generator."""
+
+import pytest
+
+from repro._util import make_rng
+from repro.analysis import DependencyGraph, ProcedureRegistry
+from repro.partitioning import ModuloScheme
+from repro.sim import Cluster
+from repro.storage import Catalog
+from repro.txn import AbortReason, Database, TwoPLExecutor, TxnRequest
+from repro.workloads.tpcc import (DISTRICTS_PER_WAREHOUSE, INVALID_ITEM_ID,
+                                  REPLICATED_TABLES, TpccScale, TpccWorkload,
+                                  new_order_procedure, tpcc_routing)
+
+
+def make_db(n_partitions=2, scale=None):
+    workload = TpccWorkload(scale or TpccScale(n_warehouses=n_partitions),
+                            n_partitions=n_partitions)
+    cluster = Cluster(n_partitions)
+    registry = ProcedureRegistry()
+    for proc in workload.procedures():
+        registry.register(proc)
+    scheme = ModuloScheme(n_partitions, routing=tpcc_routing)
+    catalog = Catalog(n_partitions, scheme,
+                      replicated_tables=REPLICATED_TABLES)
+    db = Database(cluster, catalog, workload.tables(), registry,
+                  n_replicas=0)
+    workload.populate(db.loader())
+    return workload, db, cluster, TwoPLExecutor(db)
+
+
+def run_txn(cluster, executor, request):
+    outcomes = []
+    cluster.engine(request.home).spawn(executor.execute(request),
+                                       outcomes.append)
+    cluster.run()
+    return outcomes[0]
+
+
+def items(*ids, w=0):
+    return [{"i_id": i, "supply_w_id": w, "qty": 2, "ol_number": n}
+            for n, i in enumerate(ids)]
+
+
+# -- loader ----------------------------------------------------------------
+
+def test_loader_cardinalities():
+    workload, db, _, _ = make_db(n_partitions=2)
+    scale = workload.scale
+    total_stock = sum(len(db.store(p).table("stock"))
+                      for p in range(2))
+    assert total_stock == scale.n_warehouses * scale.n_items
+    total_customers = sum(len(db.store(p).table("customer"))
+                          for p in range(2))
+    assert total_customers == (scale.n_warehouses
+                               * DISTRICTS_PER_WAREHOUSE
+                               * scale.customers_per_district)
+
+
+def test_item_table_replicated_everywhere():
+    workload, db, _, _ = make_db(n_partitions=2)
+    for pid in range(2):
+        assert len(db.store(pid).table("item")) == workload.scale.n_items
+
+
+def test_warehouse_rows_follow_modulo_placement():
+    _, db, _, _ = make_db(n_partitions=2)
+    for w in range(2):
+        assert db.partition_of("warehouse", w) == w % 2
+        assert db.store(w % 2).read("warehouse", w) is not None
+
+
+def test_initial_delivery_cursor():
+    workload, db, _, _ = make_db()
+    district = db.store(0).read("district", (0, 0))[0]
+    scale = workload.scale
+    assert district["d_next_o_id"] == scale.initial_orders
+    assert district["d_next_del_o_id"] == (scale.initial_orders
+                                           - scale.undelivered_orders)
+
+
+# -- NewOrder -----------------------------------------------------------------
+
+def test_new_order_dependency_graph():
+    """The inserts pk-depend on the district read — the structural fact
+    that forces them into the district's inner region."""
+    graph = DependencyGraph.from_procedure(new_order_procedure())
+    assert ("district", "order_ins") in graph.pk_edges
+    assert ("district", "new_order_ins") in graph.pk_edges
+    assert ("district", "order_line_ins") in graph.pk_edges
+
+
+def test_new_order_applies_all_effects():
+    workload, db, cluster, executor = make_db()
+    o_id = workload.scale.initial_orders
+    request = TxnRequest("new_order", {
+        "w_id": 0, "d_id": 0, "c_id": 1,
+        "items": items(5, 6, 7), "entry_d": 1}, home=0)
+    outcome = run_txn(cluster, executor, request)
+    assert outcome.committed
+    store = db.store(0)
+    assert store.read("district", (0, 0))[0]["d_next_o_id"] == o_id + 1
+    order = store.read("order", (0, 0, o_id))
+    assert order is not None and order[0]["o_c_id"] == 1
+    assert store.read("new_order", (0, 0, o_id)) is not None
+    for ol in range(3):
+        line = store.read("order_line", (0, 0, o_id, ol))
+        assert line is not None
+        assert line[0]["ol_qty"] == 2
+    stock = store.read("stock", (0, 5))[0]
+    assert stock["s_quantity"] == workload.scale.initial_stock - 2
+    assert stock["s_ytd"] == 2
+    assert stock["s_order_cnt"] == 1
+
+
+def test_new_order_remote_item_counts_remote():
+    workload, db, cluster, executor = make_db()
+    request = TxnRequest("new_order", {
+        "w_id": 0, "d_id": 0, "c_id": 1,
+        "items": [{"i_id": 5, "supply_w_id": 1, "qty": 1,
+                   "ol_number": 0}],
+        "entry_d": 1}, home=0)
+    outcome = run_txn(cluster, executor, request)
+    assert outcome.committed
+    assert outcome.distributed
+    stock = db.store(1).read("stock", (1, 5))[0]
+    assert stock["s_remote_cnt"] == 1
+
+
+def test_new_order_invalid_item_rolls_back():
+    workload, db, cluster, executor = make_db()
+    request = TxnRequest("new_order", {
+        "w_id": 0, "d_id": 0, "c_id": 1,
+        "items": items(5, INVALID_ITEM_ID), "entry_d": 1}, home=0)
+    outcome = run_txn(cluster, executor, request)
+    assert not outcome.committed
+    assert outcome.reason is AbortReason.READ_MISS
+    store = db.store(0)
+    o_id = workload.scale.initial_orders
+    assert store.read("district", (0, 0))[0]["d_next_o_id"] == o_id
+    assert store.read("order", (0, 0, o_id)) is None
+    assert store.read("stock", (0, 5))[0]["s_ytd"] == 0
+
+
+def test_stock_quantity_wraps_below_ten():
+    workload, db, cluster, executor = make_db()
+    db.store(0).write("stock", (0, 5), {"s_quantity": 11})
+    request = TxnRequest("new_order", {
+        "w_id": 0, "d_id": 0, "c_id": 1,
+        "items": items(5), "entry_d": 1}, home=0)
+    assert run_txn(cluster, executor, request).committed
+    assert db.store(0).read("stock", (0, 5))[0]["s_quantity"] == 100
+
+
+# -- Payment ----------------------------------------------------------------
+
+def payment_request(w=0, c_w=0, amount=100.0, h_id=1):
+    return TxnRequest("payment", {
+        "w_id": w, "d_id": 0, "c_w_id": c_w, "c_d_id": 0, "c_id": 2,
+        "amount": amount, "h_id": h_id}, home=w)
+
+
+def test_payment_updates_all_three_rows_and_history():
+    workload, db, cluster, executor = make_db()
+    outcome = run_txn(cluster, executor, payment_request())
+    assert outcome.committed
+    store = db.store(0)
+    assert store.read("warehouse", 0)[0]["w_ytd"] == 100.0
+    assert store.read("district", (0, 0))[0]["d_ytd"] == 100.0
+    customer = store.read("customer", (0, 0, 2))[0]
+    assert customer["c_balance"] == 900.0
+    assert customer["c_payment_cnt"] == 1
+    history = store.read("history", (0, 0, 2, 1))
+    assert history is not None and history[0]["h_amount"] == 100.0
+
+
+def test_payment_remote_customer_is_distributed():
+    workload, db, cluster, executor = make_db()
+    outcome = run_txn(cluster, executor, payment_request(w=0, c_w=1))
+    assert outcome.committed
+    assert outcome.distributed
+    assert db.store(1).read("customer", (1, 0, 2))[0]["c_balance"] == 900.0
+    # local warehouse still took the payment amount
+    assert db.store(0).read("warehouse", 0)[0]["w_ytd"] == 100.0
+
+
+# -- OrderStatus / Delivery / StockLevel ------------------------------------
+
+def test_order_status_reads_latest_order():
+    workload, db, cluster, executor = make_db()
+    request = TxnRequest("order_status",
+                         {"w_id": 0, "d_id": 0, "c_id": 0}, home=0)
+    outcome = run_txn(cluster, executor, request)
+    assert outcome.committed
+
+
+def test_delivery_advances_cursor_and_credits_customer():
+    workload, db, cluster, executor = make_db()
+    scale = workload.scale
+    first_undelivered = scale.initial_orders - scale.undelivered_orders
+    order = db.store(0).read("order", (0, 0, first_undelivered))[0]
+    customer_before = db.store(0).read(
+        "customer", (0, 0, order["o_c_id"]))[0]["c_balance"]
+    request = TxnRequest("delivery", {
+        "w_id": 0, "d_id": 0, "carrier_id": 7, "delivery_d": 2}, home=0)
+    outcome = run_txn(cluster, executor, request)
+    assert outcome.committed
+    store = db.store(0)
+    assert store.read("new_order", (0, 0, first_undelivered)) is None
+    assert store.read("order",
+                      (0, 0, first_undelivered))[0]["o_carrier_id"] == 7
+    district = store.read("district", (0, 0))[0]
+    assert district["d_next_del_o_id"] == first_undelivered + 1
+    customer_after = store.read(
+        "customer", (0, 0, order["o_c_id"]))[0]["c_balance"]
+    assert customer_after == customer_before + order["o_total"]
+
+
+def test_delivery_with_nothing_undelivered_aborts_logically():
+    workload, db, cluster, executor = make_db()
+    db.store(0).write("district", (0, 0),
+                      {"d_next_del_o_id": workload.scale.initial_orders})
+    request = TxnRequest("delivery", {
+        "w_id": 0, "d_id": 0, "carrier_id": 7, "delivery_d": 2}, home=0)
+    outcome = run_txn(cluster, executor, request)
+    assert not outcome.committed
+    assert outcome.reason is AbortReason.LOGICAL
+
+
+def test_stock_level_read_only():
+    workload, db, cluster, executor = make_db()
+    request = TxnRequest("stock_level", {
+        "w_id": 0, "d_id": 0, "threshold": 15,
+        "check_items": [1, 2, 3]}, home=0)
+    outcome = run_txn(cluster, executor, request)
+    assert outcome.committed
+
+
+# -- generator -----------------------------------------------------------------
+
+def test_generator_mix_shares():
+    workload = TpccWorkload(TpccScale(n_warehouses=4), n_partitions=4)
+    rng = make_rng(1, "mix")
+    counts = {}
+    for _ in range(4000):
+        request = workload.next_request(0, rng)
+        counts[request.proc] = counts.get(request.proc, 0) + 1
+    assert counts["new_order"] / 4000 == pytest.approx(0.45, abs=0.03)
+    assert counts["payment"] / 4000 == pytest.approx(0.43, abs=0.03)
+    for proc in ("order_status", "delivery", "stock_level"):
+        assert counts[proc] / 4000 == pytest.approx(0.04, abs=0.015)
+
+
+def test_generator_respects_home_partition():
+    workload = TpccWorkload(TpccScale(n_warehouses=8), n_partitions=4)
+    rng = make_rng(2, "homes")
+    for home in range(4):
+        for _ in range(50):
+            request = workload.next_request(home, rng)
+            assert request.params["w_id"] % 4 == home
+
+
+def test_generator_remote_payment_share():
+    workload = TpccWorkload(TpccScale(n_warehouses=4), n_partitions=4,
+                            payment_remote_prob=0.5)
+    rng = make_rng(3, "remote")
+    remote = total = 0
+    while total < 500:
+        request = workload.next_request(0, rng)
+        if request.proc == "payment":
+            total += 1
+            if request.params["c_w_id"] != request.params["w_id"]:
+                remote += 1
+    assert remote / total == pytest.approx(0.5, abs=0.08)
+
+
+def test_generator_invalid_mix_rejected():
+    with pytest.raises(ValueError, match="mix"):
+        TpccWorkload(TpccScale(n_warehouses=2), n_partitions=2,
+                     mix=(("new_order", 0.5),))
