@@ -1,0 +1,82 @@
+"""Microbenchmark of the EffectRuntime's doorbell-batching path.
+
+A multi-key YCSB workload spread over four partitions issues wide
+parallel rounds (8 reads + 2 read-modify-writes per transaction), the
+shape doorbell batching targets: several one-sided verbs to the same
+destination inside one ``All``.  We run the identical workload with
+batching off and on and require a measurable simulated-latency
+reduction — the coordinator posts one fused chain per destination
+instead of per-verb doorbells, so per-round CPU drops and the saved
+cycles shorten the queueing delay every concurrent transaction sees.
+
+The batched run also persists the harness's hot-path health figures
+(wall seconds, simulator events processed) via ``extra_info`` so the
+BENCH_*.json history tracks Python-level perf regressions.
+"""
+
+from repro.analysis import ProcedureRegistry
+from repro.bench import RunConfig, run_benchmark
+from repro.partitioning import HashScheme
+from repro.sim import Cluster
+from repro.storage import Catalog
+from repro.txn import Database, TwoPLExecutor
+from repro.workloads.ycsb import YcsbWorkload
+
+
+def run_ycsb(doorbell_batching: bool, seed: int = 11):
+    workload = YcsbWorkload(n_keys=2_000, reads_per_txn=8,
+                            writes_per_txn=2)
+    config = RunConfig(n_partitions=4, concurrent_per_engine=4,
+                       horizon_us=6_000.0, warmup_us=1_000.0, seed=seed,
+                       n_replicas=1,
+                       doorbell_batching=doorbell_batching)
+    cluster = Cluster(config.n_partitions, config.network_config())
+    registry = ProcedureRegistry()
+    for proc in workload.procedures():
+        registry.register(proc)
+    db = Database(cluster, Catalog(config.n_partitions,
+                                   HashScheme(config.n_partitions)),
+                  workload.tables(), registry,
+                  n_replicas=config.n_replicas)
+    workload.populate(db.loader())
+    return run_benchmark(workload, TwoPLExecutor(db), config)
+
+
+def test_doorbell_batching_reduces_latency(benchmark):
+    baseline = run_ycsb(doorbell_batching=False)
+    batched = benchmark.pedantic(run_ycsb, args=(True,),
+                                 rounds=1, iterations=1)
+
+    stats = batched.database.cluster.network.stats
+    assert stats.one_sided_batches > 0, "no fused round trips were issued"
+    assert stats.one_sided_batched_verbs > 2 * stats.one_sided_batches
+
+    base_lat = baseline.metrics.mean_latency()
+    batch_lat = batched.metrics.mean_latency()
+    assert batch_lat < base_lat, (
+        f"batching should cut mean latency: {batch_lat:.2f}us "
+        f"vs {base_lat:.2f}us unbatched")
+    assert batched.throughput >= baseline.throughput
+
+    benchmark.extra_info.update({
+        "unbatched_mean_latency_us": round(base_lat, 3),
+        "batched_mean_latency_us": round(batch_lat, 3),
+        "unbatched_throughput": round(baseline.throughput),
+        "batched_throughput": round(batched.throughput),
+        "fused_round_trips": stats.one_sided_batches,
+        "fused_verbs": stats.one_sided_batched_verbs,
+        **{f"batched_{k}": round(v, 3) if isinstance(v, float) else v
+           for k, v in batched.perf_summary().items()},
+    })
+
+
+def test_unbatched_run_reports_hot_path_health(benchmark):
+    """The harness now measures its own Python hot path every run."""
+    result = benchmark.pedantic(run_ycsb, args=(False,),
+                                rounds=1, iterations=1)
+    assert result.wall_seconds > 0.0
+    assert result.events_processed > 0
+    assert result.metrics.events_per_wall_second() > 0.0
+    benchmark.extra_info.update(
+        {k: round(v, 3) if isinstance(v, float) else v
+         for k, v in result.perf_summary().items()})

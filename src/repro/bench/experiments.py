@@ -8,6 +8,7 @@ Run from the command line::
     python -m repro.bench.experiments lookup cost reorder minweight
     python -m repro.bench.experiments all        # everything (slow-ish)
     python -m repro.bench.experiments all --quick
+    python -m repro.bench.experiments fig7 --doorbell   # fused verbs on
 
 Absolute throughput differs from the paper (their 8-node InfiniBand
 testbed vs our discrete-event simulator); the *shapes* — orderings,
@@ -33,19 +34,22 @@ TPCC_EXECUTORS = ("2pl", "occ", "chiller")
 # -- Section 7.2: Instacart (Figs. 7 & 8, lookup size, partitioner cost) ----
 
 def instacart_config(n_partitions: int, quick: bool = False,
-                     seed: int = 2) -> RunConfig:
+                     seed: int = 2,
+                     doorbell_batching: bool = False) -> RunConfig:
     return RunConfig(n_partitions=n_partitions,
                      concurrent_per_engine=4,
                      horizon_us=4_000.0 if quick else 12_000.0,
                      warmup_us=500.0 if quick else 2_000.0,
-                     seed=seed, n_replicas=1, route_by_data=True)
+                     seed=seed, n_replicas=1, route_by_data=True,
+                     doorbell_batching=doorbell_batching)
 
 
 def instacart_sweep(partitions: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
                     n_train: int = 3000, quick: bool = False,
                     seed: int = 2,
                     layouts: Sequence[str] = INSTACART_LAYOUTS,
-                    workload_factory=InstacartWorkload) -> list[dict]:
+                    workload_factory=InstacartWorkload,
+                    doorbell_batching: bool = False) -> list[dict]:
     """One row per partition count with every layout's metrics.
 
     Feeds Fig. 7 (throughput), Fig. 8 (distributed ratio), the lookup
@@ -63,7 +67,8 @@ def instacart_sweep(partitions: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
         for name in layouts:
             layout = build_instacart_layout(setup, name, seed=seed)
             run = make_instacart_run(
-                setup, layout, instacart_config(k, quick, seed))
+                setup, layout,
+                instacart_config(k, quick, seed, doorbell_batching))
             result = run.run()
             metrics = result.metrics
             row[f"{name}_throughput"] = result.throughput
@@ -118,24 +123,27 @@ def print_cost(rows: list[dict]) -> None:
 # -- Section 7.3: TPC-C concurrency sweep (Figs. 9a, 9b, 9c) ---------------
 
 def tpcc_config(n_partitions: int, concurrent: int, quick: bool = False,
-                seed: int = 3) -> RunConfig:
+                seed: int = 3,
+                doorbell_batching: bool = False) -> RunConfig:
     return RunConfig(n_partitions=n_partitions,
                      concurrent_per_engine=concurrent,
                      horizon_us=5_000.0 if quick else 15_000.0,
                      warmup_us=500.0 if quick else 2_000.0,
-                     seed=seed, n_replicas=1)
+                     seed=seed, n_replicas=1,
+                     doorbell_batching=doorbell_batching)
 
 
 def fig9_rows(concurrency: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
               n_partitions: int = 4, quick: bool = False,
-              seed: int = 3) -> list[dict]:
+              seed: int = 3, doorbell_batching: bool = False) -> list[dict]:
     """Throughput + abort rates per executor per concurrency level."""
     rows = []
     for concurrent in concurrency:
         row: dict = {"concurrent": concurrent}
         for name in TPCC_EXECUTORS:
             run = make_tpcc_run(
-                name, tpcc_config(n_partitions, concurrent, quick, seed))
+                name, tpcc_config(n_partitions, concurrent, quick, seed,
+                                  doorbell_batching))
             result = run.run()
             metrics = result.metrics
             row[f"{name}_throughput"] = result.throughput
@@ -184,7 +192,7 @@ FIG10_SERIES = (("2pl", 1), ("occ", 1), ("2pl", 5), ("occ", 5),
 
 def fig10_rows(percents: Sequence[int] = (0, 20, 40, 60, 80, 100),
                n_partitions: int = 4, quick: bool = False,
-               seed: int = 5) -> list[dict]:
+               seed: int = 5, doorbell_batching: bool = False) -> list[dict]:
     """Throughput vs fraction of distributed transactions."""
     rows = []
     for percent in percents:
@@ -196,7 +204,8 @@ def fig10_rows(percents: Sequence[int] = (0, 20, 40, 60, 80, 100),
                 payment_remote_prob=percent / 100.0,
                 new_order_remote_prob=percent / 100.0)
             run = make_tpcc_run(
-                name, tpcc_config(n_partitions, concurrent, quick, seed),
+                name, tpcc_config(n_partitions, concurrent, quick, seed,
+                                  doorbell_batching),
                 workload=workload)
             result = run.run()
             row[f"{name}_{concurrent}_throughput"] = result.throughput
@@ -220,7 +229,7 @@ def print_fig10(rows: list[dict]) -> None:
 
 def reorder_ablation_rows(n_partitions: int = 4, n_train: int = 1200,
                           quick: bool = False, seed: int = 2,
-                          ) -> list[dict]:
+                          doorbell_batching: bool = False) -> list[dict]:
     """Two-region execution without contention-aware partitioning.
 
     The paper's Section 1 claim: "re-ordering operations without
@@ -231,7 +240,7 @@ def reorder_ablation_rows(n_partitions: int = 4, n_train: int = 1200,
     """
     setup = build_instacart_setup(n_partitions, n_train=n_train,
                                   seed=seed)
-    config = instacart_config(n_partitions, quick, seed)
+    config = instacart_config(n_partitions, quick, seed, doorbell_batching)
     rows = []
     combos = (("hashing", "2pl", "2PL on hashing"),
               ("hashing", "chiller", "two-region on hashing"),
@@ -266,12 +275,13 @@ def min_weight_ablation_rows(weights: Sequence[float] = (0.0, 0.05, 0.2,
                                                          0.5),
                              n_partitions: int = 4, n_train: int = 1200,
                              quick: bool = False,
-                             seed: int = 2) -> list[dict]:
+                             seed: int = 2,
+                             doorbell_batching: bool = False) -> list[dict]:
     """Section 4.4: a minimum edge weight co-optimizes contention and
     the number of distributed transactions."""
     setup = build_instacart_setup(n_partitions, n_train=n_train,
                                   seed=seed)
-    config = instacart_config(n_partitions, quick, seed)
+    config = instacart_config(n_partitions, quick, seed, doorbell_batching)
     rows = []
     for weight in weights:
         layout = build_instacart_layout(setup, "chiller", seed=seed,
@@ -300,15 +310,20 @@ def print_min_weight(rows: list[dict]) -> None:
 def main(argv: Iterable[str] | None = None) -> None:
     args = list(sys.argv[1:] if argv is None else argv)
     quick = "--quick" in args
+    doorbell = "--doorbell" in args
     args = [a for a in args if not a.startswith("--")]
     wanted = set(args) or {"fig7"}
     if "all" in wanted:
         wanted = {"fig7", "fig8", "fig9a", "fig9b", "fig9c", "fig10",
                   "lookup", "cost", "reorder", "minweight"}
+    if doorbell:
+        print("(doorbell batching ON: same-destination verbs fused per "
+              "round)")
 
     if wanted & {"fig7", "fig8", "lookup", "cost"}:
         partitions = (2, 4, 8) if quick else (2, 3, 4, 5, 6, 7, 8)
-        rows = instacart_sweep(partitions, quick=quick)
+        rows = instacart_sweep(partitions, quick=quick,
+                               doorbell_batching=doorbell)
         if "fig7" in wanted:
             print_fig7(rows)
         if "fig8" in wanted:
@@ -319,7 +334,8 @@ def main(argv: Iterable[str] | None = None) -> None:
             print_cost(rows)
     if wanted & {"fig9a", "fig9b", "fig9c"}:
         concurrency = (1, 2, 4, 8) if quick else (1, 2, 3, 4, 5, 6, 7, 8)
-        rows = fig9_rows(concurrency, quick=quick)
+        rows = fig9_rows(concurrency, quick=quick,
+                         doorbell_batching=doorbell)
         if "fig9a" in wanted:
             print_fig9a(rows)
         if "fig9b" in wanted:
@@ -328,11 +344,14 @@ def main(argv: Iterable[str] | None = None) -> None:
             print_fig9c(rows)
     if "fig10" in wanted:
         percents = (0, 50, 100) if quick else (0, 20, 40, 60, 80, 100)
-        print_fig10(fig10_rows(percents, quick=quick))
+        print_fig10(fig10_rows(percents, quick=quick,
+                               doorbell_batching=doorbell))
     if "reorder" in wanted:
-        print_reorder(reorder_ablation_rows(quick=quick))
+        print_reorder(reorder_ablation_rows(quick=quick,
+                                            doorbell_batching=doorbell))
     if "minweight" in wanted:
-        print_min_weight(min_weight_ablation_rows(quick=quick))
+        print_min_weight(min_weight_ablation_rows(
+            quick=quick, doorbell_batching=doorbell))
 
 
 if __name__ == "__main__":

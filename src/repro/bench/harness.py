@@ -10,8 +10,9 @@ counts every attempt.
 from __future__ import annotations
 
 import random
+import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable
 
 from .._util import make_rng
@@ -51,6 +52,24 @@ class RunConfig:
     data (requires the workload to implement ``route``/``rebind``).
     This is how the Fig. 7/8 deployments route client requests."""
 
+    doorbell_batching: bool = False
+    """Fuse same-destination one-sided verbs within a parallel round
+    into one doorbell-batched round trip (see
+    :attr:`~repro.sim.NetworkConfig.doorbell_batching`).  Lets the
+    figure sweeps run with batching on/off without hand-building a
+    :class:`~repro.sim.NetworkConfig`."""
+
+    def network_config(self) -> NetworkConfig:
+        """The effective network model for this run.
+
+        Starts from :attr:`network` (or defaults) and turns doorbell
+        batching on when either knob requests it.
+        """
+        base = self.network or NetworkConfig()
+        if self.doorbell_batching and not base.doorbell_batching:
+            base = replace(base, doorbell_batching=True)
+        return base
+
 
 @dataclass
 class RunResult:
@@ -73,11 +92,31 @@ class RunResult:
     def abort_rate(self) -> float:
         return self.metrics.abort_rate()
 
+    @property
+    def wall_seconds(self) -> float:
+        """Real time the simulator took to drive this run (perf health
+        of the Python hot path, not a property of the simulated system)."""
+        return self.metrics.wall_seconds
+
+    @property
+    def events_processed(self) -> int:
+        """Simulator events fired during this run."""
+        return self.metrics.events_processed
+
+    def perf_summary(self) -> dict:
+        """Hot-path health figures for BENCH_*.json / extra_info."""
+        return {
+            "wall_seconds": self.metrics.wall_seconds,
+            "events_processed": self.metrics.events_processed,
+            "events_per_wall_second": self.metrics.events_per_wall_second(),
+            "sim_us": self.end_time,
+        }
+
 
 def build_database(workload, catalog: Catalog, config: RunConfig,
                    ) -> tuple[Database, Cluster]:
     """Create the cluster, register procedures, and load the data."""
-    cluster = Cluster(config.n_partitions, config.network)
+    cluster = Cluster(config.n_partitions, config.network_config())
     registry = ProcedureRegistry()
     for proc in workload.procedures():
         registry.register(proc)
@@ -144,7 +183,11 @@ def run_benchmark(workload, executor: BaseExecutor,
     for home in homes:
         for slot in range(config.concurrent_per_engine):
             cluster.engine(home).spawn(worker(home, slot))
+    events_before = cluster.sim.events_fired
+    wall_start = time.perf_counter()
     cluster.run()
+    metrics.wall_seconds = time.perf_counter() - wall_start
+    metrics.events_processed = cluster.sim.events_fired - events_before
     return RunResult(metrics=metrics, database=db,
                      history=executor.history, config=config,
                      end_time=cluster.sim.now)

@@ -24,8 +24,21 @@ class Metrics:
 
     outcomes: list[Outcome] = field(default_factory=list)
 
+    wall_seconds: float = 0.0
+    """Real (not simulated) time the run took; filled by the harness so
+    Python hot-path regressions show up in persisted benchmark results."""
+
+    events_processed: int = 0
+    """Simulator events fired during the run; filled by the harness."""
+
     def add(self, outcome: Outcome) -> None:
         self.outcomes.append(outcome)
+
+    def events_per_wall_second(self) -> float:
+        """Simulator event rate — the hot-path speed figure."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.events_processed / self.wall_seconds
 
     # -- counts ----------------------------------------------------------
 

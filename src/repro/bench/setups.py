@@ -87,7 +87,7 @@ def make_tpcc_run(executor_name: ExecutorName,
     workload = workload or TpccWorkload(
         TpccScale(n_warehouses=config.n_partitions),
         n_partitions=config.n_partitions)
-    cluster = Cluster(config.n_partitions, config.network)
+    cluster = Cluster(config.n_partitions, config.network_config())
     registry = ProcedureRegistry()
     for proc in workload.procedures():
         registry.register(proc)
@@ -225,7 +225,7 @@ def make_instacart_run(setup: InstacartSetup, layout: InstacartLayout,
     ``executor_override`` supports the ablations: e.g. two-region
     execution over a Schism or hash layout ("reorder-only").
     """
-    cluster = Cluster(config.n_partitions, config.network)
+    cluster = Cluster(config.n_partitions, config.network_config())
     registry = ProcedureRegistry()
     for proc in setup.workload.procedures():
         registry.register(proc)

@@ -201,7 +201,8 @@ class ChillerExecutor(BaseExecutor):
                       + cfg.cpu_apply_us * max(1, n_writes))
         result = yield OneSided(
             server_id,
-            lambda: self._inner_critical_section(store, instances, req))
+            lambda: self._inner_critical_section(store, instances, req),
+            kind="inner_commit")
         status, ctx_delta, reads, versions, writes = result
         if status == "ok":
             self._replicate_inner(server_id, req, writes)

@@ -2,33 +2,45 @@
 
 This package stands in for the paper's physical testbed: an
 InfiniBand-connected cluster running coroutine-based execution engines.
-See DESIGN.md ("Substitutions") for the latency calibration rationale.
+The layering inside: :mod:`~repro.sim.effects` defines *what* a
+transaction coroutine may yield, :mod:`~repro.sim.runtime` defines *how*
+those effects are scheduled (the :class:`EffectRuntime` seam alternate
+backends plug into), and :mod:`~repro.sim.coroutines` wraps one runtime
+per server as an :class:`Engine`.  See DESIGN.md ("Substitutions") for
+the latency calibration rationale.
 """
 
 from .cluster import Cluster, Server
-from .coroutines import (All, Await, Compute, Coroutine, Effect, Engine,
-                         OneSided, Rpc, Signal, Sleep)
+from .coroutines import Engine
 from .cpu import Core
+from .effects import (All, Await, BatchedOneSided, Compute, Coroutine,
+                      Effect, OneSided, OneWay, Rpc, Signal, Sleep)
 from .events import EventHandle, Simulator
-from .network import Network, NetworkConfig, NetworkStats
+from .network import (Network, NetworkConfig, NetworkStats,
+                      approx_payload_bytes)
+from .runtime import EffectRuntime
 
 __all__ = [
     "All",
     "Await",
+    "BatchedOneSided",
     "Cluster",
     "Compute",
     "Core",
     "Coroutine",
     "Effect",
+    "EffectRuntime",
     "Engine",
     "EventHandle",
     "Network",
     "NetworkConfig",
     "NetworkStats",
     "OneSided",
+    "OneWay",
     "Rpc",
     "Server",
     "Signal",
     "Simulator",
     "Sleep",
+    "approx_payload_bytes",
 ]

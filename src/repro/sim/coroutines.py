@@ -1,148 +1,53 @@
-"""Coroutine-based execution engines.
+"""Per-core execution engines (thin facade over the effect runtime).
 
-Chiller hides network latency by running each transaction as a coroutine
-on a per-core execution engine: when one transaction blocks on the
-network, the engine switches to another (Section 6 of the paper).  We use
-plain Python generators as coroutines.  A transaction coroutine *yields
-effects* and is resumed with their results:
-
-* :class:`Compute` — consume this engine's CPU for ``cost`` microseconds.
-* :class:`OneSided` — a one-sided verb against a (possibly remote)
-  partition's storage; resumes with the verb's return value.
-* :class:`Rpc` — send a payload to another engine's RPC handler (itself a
-  coroutine, consuming the *remote* CPU); resumes with the reply.
-* :class:`All` — perform several effects concurrently; resumes with the
-  list of their results (used, e.g., to lock records on many servers in
-  one round trip).
-* :class:`Sleep` — pure delay.
-
-Sub-procedures compose with ``yield from``.
+The effect vocabulary a transaction yields lives in
+:mod:`repro.sim.effects`; the interpretation of those effects — task
+scheduling, dispatch, completion plumbing, doorbell batching — lives in
+:class:`repro.sim.runtime.EffectRuntime`.  The :class:`Engine` here is
+the per-server facade the rest of the system talks to: it wires one
+runtime to the network's delivery handler and re-exposes the runtime's
+surface under the historical names.  Both are re-exported from
+``repro.sim``, so existing imports keep working.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, Iterable
+from typing import Any, Callable
 
 from .cpu import Core
+from .effects import (All, Await, BatchedOneSided, Compute,  # noqa: F401
+                      Coroutine, Effect, OneSided, OneWay, Rpc, Signal,
+                      Sleep)
 from .events import Simulator
 from .network import Network
-
-Coroutine = Generator["Effect", Any, Any]
-
-
-class Effect:
-    """Base class for everything a transaction coroutine may yield."""
-
-    __slots__ = ()
-
-
-class Compute(Effect):
-    """Consume ``cost`` microseconds of the engine's CPU."""
-
-    __slots__ = ("cost",)
-
-    def __init__(self, cost: float):
-        self.cost = cost
-
-
-class OneSided(Effect):
-    """Execute ``op`` against server ``target``'s storage via the NIC."""
-
-    __slots__ = ("target", "op")
-
-    def __init__(self, target: int, op: Callable[[], Any]):
-        self.target = target
-        self.op = op
-
-
-class Rpc(Effect):
-    """Send ``payload`` to server ``target``'s RPC handler, await reply."""
-
-    __slots__ = ("target", "payload")
-
-    def __init__(self, target: int, payload: Any):
-        self.target = target
-        self.payload = payload
-
-
-class All(Effect):
-    """Perform several effects concurrently; resume with list of results."""
-
-    __slots__ = ("effects",)
-
-    def __init__(self, effects: Iterable[Effect]):
-        self.effects = tuple(effects)
-
-
-class Sleep(Effect):
-    """Suspend for ``delay`` microseconds without consuming CPU."""
-
-    __slots__ = ("delay",)
-
-    def __init__(self, delay: float):
-        self.delay = delay
-
-
-class Signal:
-    """A one-shot rendezvous: coroutines Await it, someone fires it.
-
-    Used for out-of-band completions, e.g. the Chiller coordinator
-    waiting for the inner host's replicas to acknowledge (the acks
-    arrive as messages addressed to the coordinator, not as replies to
-    any request the coordinator sent).
-    """
-
-    __slots__ = ("fired", "value", "_waiters")
-
-    def __init__(self) -> None:
-        self.fired = False
-        self.value: Any = None
-        self._waiters: list[Callable[[Any], None]] = []
-
-    def fire(self, value: Any = None) -> None:
-        if self.fired:
-            raise RuntimeError("signal already fired")
-        self.fired = True
-        self.value = value
-        waiters, self._waiters = self._waiters, []
-        for waiter in waiters:
-            waiter(value)
-
-
-class Await(Effect):
-    """Suspend until ``signal`` fires; resumes with the fired value."""
-
-    __slots__ = ("signal",)
-
-    def __init__(self, signal: Signal):
-        self.signal = signal
-
-
-class _Task:
-    __slots__ = ("gen", "on_done")
-
-    def __init__(self, gen: Coroutine, on_done: Callable[[Any], None] | None):
-        self.gen = gen
-        self.on_done = on_done
+from .runtime import EffectRuntime
 
 
 class Engine:
     """A per-core transaction execution engine.
 
-    The engine drives coroutines to completion, multiplexing them over one
-    simulated :class:`~repro.sim.cpu.Core`.  Incoming RPCs spawn handler
-    coroutines on this same engine (and therefore compete for its CPU),
-    exactly like the worker co-routines in the paper.
+    The engine drives coroutines to completion, multiplexing them over
+    one simulated :class:`~repro.sim.cpu.Core`.  All actual effect
+    interpretation is delegated to the engine's
+    :class:`~repro.sim.runtime.EffectRuntime`; swapping the runtime
+    swaps the execution backend without changing any caller.
     """
 
-    def __init__(self, sim: Simulator, network: Network, server_id: int):
+    def __init__(self, sim: Simulator, network: Network, server_id: int,
+                 runtime: EffectRuntime | None = None):
         self.sim = sim
         self.network = network
         self.server_id = server_id
-        self.core = Core(sim)
-        self.active_tasks = 0
-        self._rpc_handler: Callable[[int, Any], Coroutine] | None = None
-        network.register_handler(server_id, self._on_message)
+        self.runtime = runtime or EffectRuntime(sim, network, server_id)
+        network.register_handler(server_id, self.runtime.on_message)
+
+    @property
+    def core(self) -> Core:
+        return self.runtime.core
+
+    @property
+    def active_tasks(self) -> int:
+        return self.runtime.active_tasks
 
     def set_rpc_handler(self,
                         handler: Callable[[int, Any], Coroutine]) -> None:
@@ -151,124 +56,13 @@ class Engine:
         ``handler(src, request)`` must return a coroutine whose return
         value is the RPC reply.
         """
-        self._rpc_handler = handler
+        self.runtime.rpc_handler = handler
 
     def spawn(self, gen: Coroutine,
               on_done: Callable[[Any], None] | None = None) -> None:
         """Start driving a coroutine; ``on_done`` receives its return."""
-        self.active_tasks += 1
-        self._advance(_Task(gen, on_done), None)
-
-    # -- internal driving machinery ------------------------------------
-
-    def _advance(self, task: _Task, value: Any) -> None:
-        try:
-            effect = task.gen.send(value)
-        except StopIteration as stop:
-            self.active_tasks -= 1
-            if task.on_done is not None:
-                task.on_done(stop.value)
-            return
-        self._perform(effect, lambda result: self._advance(task, result))
-
-    def _perform(self, effect: Effect,
-                 cont: Callable[[Any], None]) -> None:
-        if isinstance(effect, Compute):
-            self.core.execute(effect.cost, lambda: cont(None))
-        elif isinstance(effect, OneSided):
-            self.network.one_sided(self.server_id, effect.target,
-                                   effect.op, cont)
-        elif isinstance(effect, Rpc):
-            self._send_rpc(effect, cont)
-        elif isinstance(effect, Sleep):
-            self.sim.schedule(effect.delay, lambda: cont(None))
-        elif isinstance(effect, Await):
-            if effect.signal.fired:
-                self.sim.schedule(0.0,
-                                  lambda: cont(effect.signal.value))
-            else:
-                effect.signal._waiters.append(cont)
-        elif isinstance(effect, All):
-            self._perform_all(effect, cont)
-        else:
-            raise TypeError(f"unknown effect {effect!r}")
-
-    def _perform_all(self, effect: All,
-                     cont: Callable[[Any], None]) -> None:
-        n = len(effect.effects)
-        if n == 0:
-            # No sub-effects: resume immediately (still asynchronously, so
-            # callers cannot observe a reentrant resume).
-            self.sim.schedule(0.0, lambda: cont([]))
-            return
-        results: list[Any] = [None] * n
-        remaining = [n]
-
-        def collector(index: int) -> Callable[[Any], None]:
-            def collect(value: Any) -> None:
-                results[index] = value
-                remaining[0] -= 1
-                if remaining[0] == 0:
-                    cont(results)
-            return collect
-
-        for i, sub in enumerate(effect.effects):
-            self._perform(sub, collector(i))
-
-    # -- RPC plumbing ----------------------------------------------------
-
-    def _send_rpc(self, effect: Rpc, cont: Callable[[Any], None]) -> None:
-        self.network.send(self.server_id, effect.target,
-                          _RpcRequest(self.server_id, effect.payload, cont))
-
-    def _on_message(self, src: int, payload: Any) -> None:
-        if isinstance(payload, _RpcRequest):
-            if self._rpc_handler is None:
-                raise RuntimeError(
-                    f"server {self.server_id} received an RPC but has no "
-                    f"handler installed")
-            handler_gen = self._rpc_handler(src, payload.payload)
-            self.spawn(handler_gen,
-                       on_done=lambda reply: self.network.send(
-                           self.server_id, src,
-                           _RpcReply(payload, reply)))
-        elif isinstance(payload, _RpcReply):
-            payload.request.cont(payload.value)
-        elif isinstance(payload, OneWay):
-            if self._rpc_handler is None:
-                raise RuntimeError(
-                    f"server {self.server_id} received a message but has "
-                    f"no handler installed")
-            self.spawn(self._rpc_handler(src, payload.payload))
-        else:
-            raise TypeError(f"unexpected network payload {payload!r}")
+        self.runtime.spawn(gen, on_done)
 
     def post(self, target: int, payload: Any) -> None:
         """Fire-and-forget message to ``target`` (no reply awaited)."""
-        self.network.send(self.server_id, target, OneWay(payload))
-
-
-class OneWay:
-    """Wrapper marking a message that expects no reply."""
-
-    __slots__ = ("payload",)
-
-    def __init__(self, payload: Any):
-        self.payload = payload
-
-
-class _RpcRequest:
-    __slots__ = ("src", "payload", "cont")
-
-    def __init__(self, src: int, payload: Any, cont: Callable[[Any], None]):
-        self.src = src
-        self.payload = payload
-        self.cont = cont
-
-
-class _RpcReply:
-    __slots__ = ("request", "value")
-
-    def __init__(self, request: _RpcRequest, value: Any):
-        self.request = request
-        self.value = value
+        self.runtime.post(target, payload)

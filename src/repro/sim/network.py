@@ -13,6 +13,13 @@ Two transport primitives, mirroring the NAM-DB substrate Chiller builds on:
   in-order property the paper's inner-region replication relies on
   (RDMA queue-pair semantics).
 
+A third primitive, :meth:`Network.one_sided_batch`, models **doorbell
+batching**: a sender posts a chain of one-sided verbs to the same
+destination with a single doorbell; the NIC processes them back-to-back
+and raises one completion, so N verbs cost one round trip plus a small
+per-verb NIC serialization term instead of N independent issues.  It is
+only used when :attr:`NetworkConfig.doorbell_batching` is on.
+
 All latencies are configurable through :class:`NetworkConfig`; the
 defaults put a network round trip at ~27x a local storage access,
 consistent with the paper's "at least an order of magnitude" premise.
@@ -20,10 +27,42 @@ consistent with the paper's "at least an order of magnitude" premise.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Iterable, Sequence
 
 from .events import Simulator
+
+_UNSET = object()
+
+VERB_NOMINAL_BYTES = 32
+"""Approximate wire size of one one-sided verb (header + cacheline-ish
+payload) used when the issuer provides no better estimate."""
+
+
+def approx_payload_bytes(obj: Any) -> int:
+    """Rough serialized size of an application payload, in bytes.
+
+    This is accounting, not serialization: containers and dataclasses
+    are walked recursively, scalars get nominal sizes, and anything
+    opaque (closures, handles) a flat 64.  Good enough to break traffic
+    down by message kind in experiment reports.
+    """
+    if obj is None or isinstance(obj, bool):
+        return 1
+    if isinstance(obj, (int, float)):
+        return 8
+    if isinstance(obj, (str, bytes)):
+        return len(obj)
+    if isinstance(obj, dict):
+        return 8 + sum(approx_payload_bytes(k) + approx_payload_bytes(v)
+                       for k, v in obj.items())
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return 8 + sum(approx_payload_bytes(item) for item in obj)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return 8 + sum(approx_payload_bytes(getattr(obj, f.name))
+                       for f in dataclasses.fields(obj))
+    return 64
 
 
 @dataclass(frozen=True)
@@ -42,9 +81,24 @@ class NetworkConfig:
     rpc_overhead_us: float = 0.4
     """Dispatch overhead added when delivering a message to a handler."""
 
+    doorbell_batching: bool = False
+    """Fuse same-destination one-sided verbs issued in one parallel round
+    into a single doorbell-batched round trip.  Off by default: the
+    unbatched model is the seed-calibrated baseline."""
+
+    batched_verb_us: float = 0.05
+    """NIC serialization cost of each verb after the first in a
+    doorbell-batched chain (the chain shares propagation, doorbell, and
+    completion)."""
+
     def one_sided_rtt(self) -> float:
         """Completion time of a remote one-sided verb."""
         return 2 * self.one_way_us + self.verb_overhead_us
+
+    def one_sided_batch_rtt(self, n_verbs: int) -> float:
+        """Completion time of a doorbell-batched chain of ``n_verbs``."""
+        return (2 * self.one_way_us + self.verb_overhead_us
+                + (n_verbs - 1) * self.batched_verb_us)
 
     def message_delay(self) -> float:
         """Delivery delay of a one-way message."""
@@ -58,10 +112,25 @@ class NetworkStats:
     one_sided_local: int = 0
     one_sided_remote: int = 0
     messages: int = 0
+    one_sided_batches: int = 0
+    """Fused doorbell-batched round trips issued."""
+
+    one_sided_batched_verbs: int = 0
+    """Total verbs carried inside those fused round trips."""
+
     bytes_by_kind: dict[str, int] = field(default_factory=dict)
+    """Approximate payload bytes moved, per message/verb kind."""
+
+    def add_bytes(self, kind: str, nbytes: int) -> None:
+        self.bytes_by_kind[kind] = self.bytes_by_kind.get(kind, 0) + nbytes
 
     def total_remote_ops(self) -> int:
-        return self.one_sided_remote + self.messages
+        """Round trips / deliveries that crossed the wire.  A fused
+        batch counts once, however many verbs it carries."""
+        return self.one_sided_remote + self.one_sided_batches + self.messages
+
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_kind.values())
 
 
 class Network:
@@ -83,15 +152,20 @@ class Network:
         self._handlers[server_id] = handler
 
     def one_sided(self, src: int, dst: int, op: Callable[[], Any],
-                  on_complete: Callable[[Any], None]) -> None:
+                  on_complete: Callable[[Any], None],
+                  kind: str = "one_sided",
+                  nbytes: int | None = None) -> None:
         """Run ``op`` against ``dst`` as a one-sided verb.
 
         ``op`` executes at arrival time (no target CPU involved); its
         return value is delivered back to ``on_complete`` at ``src`` after
         the return trip.  Local operations (``src == dst``) only pay the
-        local access latency.
+        local access latency.  ``kind``/``nbytes`` feed the per-kind
+        traffic accounting.
         """
         cfg = self.config
+        self.stats.add_bytes(kind, VERB_NOMINAL_BYTES if nbytes is None
+                             else nbytes)
         if src == dst:
             self.stats.one_sided_local += 1
             self._sim.schedule(cfg.local_access_us,
@@ -110,11 +184,63 @@ class Network:
 
         self._sim.schedule_at(arrive, _at_target)
 
-    def send(self, src: int, dst: int, payload: Any) -> None:
-        """Deliver ``payload`` to ``dst``'s registered handler (FIFO)."""
+    def one_sided_batch(self, src: int, dst: int,
+                        ops: Sequence[Callable[[], Any]],
+                        on_complete: Callable[[list], None],
+                        kinds: Iterable[tuple[str, int | None]] | None = None,
+                        ) -> None:
+        """Issue a doorbell-batched chain of verbs in one round trip.
+
+        All ``ops`` execute back-to-back at ``dst``'s arrival time; one
+        completion delivers the list of their results (in ``ops`` order)
+        back to ``src``.  ``kinds`` optionally carries per-verb
+        ``(kind, nbytes)`` pairs for traffic accounting — the payloads
+        still cross the wire even though the round trips are fused.
+        Degenerate chains (one verb, or a local target) fall back to
+        :meth:`one_sided` semantics via the caller; this primitive
+        insists on a genuinely remote multi-verb chain.
+        """
+        if src == dst:
+            raise ValueError("doorbell batching is a NIC-to-NIC primitive; "
+                             "local verbs do not ring a doorbell")
+        if len(ops) < 2:
+            raise ValueError("a doorbell batch needs at least two verbs")
+        cfg = self.config
+        for kind, nbytes in (kinds if kinds is not None
+                             else (("one_sided", None),) * len(ops)):
+            self.stats.add_bytes(kind, VERB_NOMINAL_BYTES if nbytes is None
+                                 else nbytes)
+        self.stats.one_sided_batches += 1
+        self.stats.one_sided_batched_verbs += len(ops)
+        arrive = self._fifo_time(
+            src, dst, cfg.one_way_us + cfg.verb_overhead_us
+            + (len(ops) - 1) * cfg.batched_verb_us)
+
+        def _at_target() -> None:
+            results = [op() for op in ops]
+            self._sim.schedule_at(
+                self._fifo_time(dst, src, self.config.one_way_us,
+                                base=self._sim.now),
+                lambda: on_complete(results))
+
+        self._sim.schedule_at(arrive, _at_target)
+
+    def send(self, src: int, dst: int, payload: Any,
+             kind: str = "message", nbytes: int | None = None,
+             size_of: Any = _UNSET) -> None:
+        """Deliver ``payload`` to ``dst``'s registered handler (FIFO).
+
+        Byte accounting uses ``nbytes`` if given, else estimates from
+        ``size_of`` (the application-level body, when ``payload`` is a
+        plumbing wrapper holding continuations), else from ``payload``.
+        """
         if dst not in self._handlers:
             raise KeyError(f"server {dst} has no registered message handler")
         self.stats.messages += 1
+        if nbytes is None:
+            nbytes = approx_payload_bytes(
+                payload if size_of is _UNSET else size_of)
+        self.stats.add_bytes(kind, nbytes)
         delay = (self.config.local_access_us if src == dst
                  else self.config.message_delay())
         arrive = self._fifo_time(src, dst, delay)

@@ -1,0 +1,258 @@
+"""Effect interpretation runtime: how yielded effects get scheduled.
+
+:class:`EffectRuntime` owns everything between a coroutine yielding an
+:class:`~repro.sim.effects.Effect` and that coroutine being resumed with
+the result: task bookkeeping, effect dispatch, fan-out/fan-in for
+:class:`~repro.sim.effects.All`, RPC request/reply plumbing, and the
+doorbell-batching fast path.  The per-server
+:class:`~repro.sim.coroutines.Engine` is only a thin facade over one
+runtime instance; alternate backends (async, multiprocess, real
+sockets) can replace the runtime without touching the effect vocabulary
+or any executor code.
+
+**Doorbell batching.**  Real RDMA NICs let a sender post a chain of work
+requests with a single doorbell; the NIC processes them back-to-back and
+raises one completion.  With
+:attr:`~repro.sim.network.NetworkConfig.doorbell_batching` enabled, the
+runtime groups the one-sided verbs inside an ``All`` by destination
+server and issues one fused round trip per destination through
+:meth:`~repro.sim.network.Network.one_sided_batch`; explicit
+:class:`~repro.sim.effects.BatchedOneSided` effects emitted by the
+transaction layers take the same path.  With the knob off (the default)
+every verb is issued individually, byte-for-byte reproducing the
+unbatched simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .cpu import Core
+from .effects import (All, Await, BatchedOneSided, Compute, Coroutine,
+                      Effect, OneSided, OneWay, Rpc, Sleep)
+from .events import Simulator
+from .network import Network
+
+
+class _Task:
+    __slots__ = ("gen", "on_done")
+
+    def __init__(self, gen: Coroutine, on_done: Callable[[Any], None] | None):
+        self.gen = gen
+        self.on_done = on_done
+
+
+def _payload_kind(payload: Any, default: str) -> str:
+    """Traffic-accounting kind of an application payload.
+
+    The transaction layers address RPCs as ``(kind, body)`` tuples (see
+    ``Database.register_rpc``); anything else falls back to ``default``.
+    """
+    if (isinstance(payload, tuple) and payload
+            and isinstance(payload[0], str)):
+        return payload[0]
+    return default
+
+
+class EffectRuntime:
+    """Drives coroutines for one server, interpreting yielded effects.
+
+    The runtime multiplexes any number of tasks over one simulated
+    :class:`~repro.sim.cpu.Core` and one shared
+    :class:`~repro.sim.network.Network`.  Incoming RPCs spawn handler
+    coroutines on this same runtime (and therefore compete for its CPU),
+    exactly like the worker coroutines in the paper.
+    """
+
+    def __init__(self, sim: Simulator, network: Network, server_id: int,
+                 core: Core | None = None):
+        self.sim = sim
+        self.network = network
+        self.server_id = server_id
+        self.core = core or Core(sim)
+        self.active_tasks = 0
+        self.rpc_handler: Callable[[int, Any], Coroutine] | None = None
+
+    # -- task scheduling -------------------------------------------------
+
+    def spawn(self, gen: Coroutine,
+              on_done: Callable[[Any], None] | None = None) -> None:
+        """Start driving a coroutine; ``on_done`` receives its return."""
+        self.active_tasks += 1
+        self._advance(_Task(gen, on_done), None)
+
+    def _advance(self, task: _Task, value: Any) -> None:
+        try:
+            effect = task.gen.send(value)
+        except StopIteration as stop:
+            self.active_tasks -= 1
+            if task.on_done is not None:
+                task.on_done(stop.value)
+            return
+        self.perform(effect, lambda result: self._advance(task, result))
+
+    # -- effect dispatch -------------------------------------------------
+
+    def perform(self, effect: Effect,
+                cont: Callable[[Any], None]) -> None:
+        """Interpret one effect; ``cont`` receives its result."""
+        if isinstance(effect, Compute):
+            self.core.execute(effect.cost, lambda: cont(None))
+        elif isinstance(effect, OneSided):
+            self.network.one_sided(self.server_id, effect.target,
+                                   effect.op, cont,
+                                   kind=effect.kind, nbytes=effect.nbytes)
+        elif isinstance(effect, BatchedOneSided):
+            self._perform_batch(effect, cont)
+        elif isinstance(effect, Rpc):
+            self.send_rpc(effect, cont)
+        elif isinstance(effect, Sleep):
+            self.sim.schedule(effect.delay, lambda: cont(None))
+        elif isinstance(effect, Await):
+            if effect.signal.fired:
+                self.sim.schedule(0.0,
+                                  lambda: cont(effect.signal.value))
+            else:
+                effect.signal._waiters.append(cont)
+        elif isinstance(effect, All):
+            self._perform_all(effect, cont)
+        else:
+            raise TypeError(f"unknown effect {effect!r}")
+
+    def _perform_batch(self, effect: BatchedOneSided,
+                       cont: Callable[[Any], None]) -> None:
+        """A per-destination verb group: fuse it if the model allows.
+
+        Local groups and single verbs gain nothing from a doorbell, and
+        with batching disabled the group must behave exactly like the
+        flat ``All`` it replaced — all three cases fall back to
+        individual verbs gathered in issue order.
+        """
+        ops = effect.ops
+        sizes = effect.per_verb_nbytes()
+        if (len(ops) >= 2 and effect.target != self.server_id
+                and self.network.config.doorbell_batching):
+            kinds = [(effect.kind, nbytes) for nbytes in sizes]
+            self.network.one_sided_batch(self.server_id, effect.target,
+                                         ops, cont, kinds=kinds)
+            return
+        self._perform_all(
+            All([OneSided(effect.target, op, kind=effect.kind,
+                          nbytes=nbytes)
+                 for op, nbytes in zip(ops, sizes)]),
+            cont)
+
+    def _perform_all(self, effect: All,
+                     cont: Callable[[Any], None]) -> None:
+        subs = effect.effects
+        n = len(subs)
+        if n == 0:
+            # No sub-effects: resume immediately (still asynchronously, so
+            # callers cannot observe a reentrant resume).
+            self.sim.schedule(0.0, lambda: cont([]))
+            return
+        results: list[Any] = [None] * n
+
+        # With doorbell batching on, remote one-sided verbs sharing a
+        # destination are fused into one round trip each; everything
+        # else (local verbs, RPCs, nested Alls, ...) runs individually.
+        fused: dict[int, list[int]] = {}
+        if self.network.config.doorbell_batching:
+            by_target: dict[int, list[int]] = {}
+            for i, sub in enumerate(subs):
+                if (isinstance(sub, OneSided)
+                        and sub.target != self.server_id):
+                    by_target.setdefault(sub.target, []).append(i)
+            fused = {t: idxs for t, idxs in by_target.items()
+                     if len(idxs) >= 2}
+        in_batch = {i for idxs in fused.values() for i in idxs}
+
+        remaining = [n - len(in_batch) + len(fused)]
+
+        def finish_one() -> None:
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                cont(results)
+
+        def collector(index: int) -> Callable[[Any], None]:
+            def collect(value: Any) -> None:
+                results[index] = value
+                finish_one()
+            return collect
+
+        def batch_collector(idxs: list[int]) -> Callable[[list], None]:
+            def collect(values: list) -> None:
+                for j, value in zip(idxs, values):
+                    results[j] = value
+                finish_one()
+            return collect
+
+        issued: set[int] = set()
+        for i, sub in enumerate(subs):
+            if i not in in_batch:
+                self.perform(sub, collector(i))
+                continue
+            target = sub.target
+            if target in issued:
+                continue  # already went out with the group's first verb
+            issued.add(target)
+            idxs = fused[target]
+            self.network.one_sided_batch(
+                self.server_id, target,
+                tuple(subs[j].op for j in idxs),
+                batch_collector(idxs),
+                kinds=[(subs[j].kind, subs[j].nbytes) for j in idxs])
+
+    # -- RPC plumbing ----------------------------------------------------
+
+    def send_rpc(self, effect: Rpc, cont: Callable[[Any], None]) -> None:
+        self.network.send(self.server_id, effect.target,
+                          _RpcRequest(self.server_id, effect.payload, cont),
+                          kind=_payload_kind(effect.payload, "rpc"),
+                          nbytes=None, size_of=effect.payload)
+
+    def post(self, target: int, payload: Any) -> None:
+        """Fire-and-forget message to ``target`` (no reply awaited)."""
+        self.network.send(self.server_id, target, OneWay(payload),
+                          kind=_payload_kind(payload, "one_way"),
+                          nbytes=None, size_of=payload)
+
+    def on_message(self, src: int, payload: Any) -> None:
+        """Network delivery entry point for this server."""
+        if isinstance(payload, _RpcRequest):
+            if self.rpc_handler is None:
+                raise RuntimeError(
+                    f"server {self.server_id} received an RPC but has no "
+                    f"handler installed")
+            handler_gen = self.rpc_handler(src, payload.payload)
+            self.spawn(handler_gen,
+                       on_done=lambda reply: self.network.send(
+                           self.server_id, src, _RpcReply(payload, reply),
+                           kind="rpc_reply", size_of=reply))
+        elif isinstance(payload, _RpcReply):
+            payload.request.cont(payload.value)
+        elif isinstance(payload, OneWay):
+            if self.rpc_handler is None:
+                raise RuntimeError(
+                    f"server {self.server_id} received a message but has "
+                    f"no handler installed")
+            self.spawn(self.rpc_handler(src, payload.payload))
+        else:
+            raise TypeError(f"unexpected network payload {payload!r}")
+
+
+class _RpcRequest:
+    __slots__ = ("src", "payload", "cont")
+
+    def __init__(self, src: int, payload: Any, cont: Callable[[Any], None]):
+        self.src = src
+        self.payload = payload
+        self.cont = cont
+
+
+class _RpcReply:
+    __slots__ = ("request", "value")
+
+    def __init__(self, request: _RpcRequest, value: Any):
+        self.request = request
+        self.value = value

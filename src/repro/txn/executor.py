@@ -20,7 +20,8 @@ from typing import Any, Callable, Generator, Iterable
 
 from ..analysis import OpInstance, OpKind
 from ..replication import ReplicaWrite
-from ..sim import All, Compute, OneSided
+from ..sim import (All, BatchedOneSided, Compute, OneSided,
+                   approx_payload_bytes)
 from ..storage import LockMode, PartitionStore
 from .common import (AbortReason, BufferedWrite, CommitLog, Outcome,
                      TxnRequest, WriteKind, next_txn_id)
@@ -48,6 +49,12 @@ class ExecConfig:
     """Per-operation cost against the local partition (plain memory
     access path).  The local/remote CPU gap is what makes locality pay
     off even when coroutines hide network latency."""
+
+    cpu_batched_op_us: float = 0.05
+    """Coordinator-side cost of each verb after the first in a
+    doorbell-batched chain: the doorbell write and completion poll are
+    amortized over the chain, so only WQE assembly remains.  Only used
+    when the network's ``doorbell_batching`` knob is on."""
 
     cpu_apply_us: float = 0.15
     """Evaluating and applying one buffered write at commit time."""
@@ -123,6 +130,74 @@ class BaseExecutor:
                                 if inst.spec.kind is OpKind.CHECK]
         return state
 
+    # -- parallel network rounds -------------------------------------------
+
+    @property
+    def doorbell_batching(self) -> bool:
+        return self.db.cluster.network.config.doorbell_batching
+
+    def network_round(self, items: list[tuple[int, Callable[[], Any]]],
+                      kind: str = "one_sided",
+                      sizes: list[int] | None = None) -> Generator:
+        """Issue ``(partition, op)`` pairs as one parallel network round.
+
+        With doorbell batching enabled, verbs sharing a destination are
+        emitted as one :class:`~repro.sim.BatchedOneSided` group each
+        (one fused round trip on the wire); otherwise the round is the
+        historical flat ``All`` of individual verbs.  Returns the ops'
+        results in ``items`` order either way.
+        """
+        if not self.doorbell_batching:
+            results = yield All([
+                OneSided(pid, op, kind=kind,
+                         nbytes=sizes[i] if sizes else None)
+                for i, (pid, op) in enumerate(items)])
+            return results
+        groups: dict[int, list[int]] = {}
+        for i, (pid, _) in enumerate(items):
+            groups.setdefault(pid, []).append(i)
+        nested = yield All([
+            BatchedOneSided(pid, tuple(items[i][1] for i in idxs),
+                            kind=kind,
+                            nbytes=([sizes[i] for i in idxs]
+                                    if sizes else None))
+            for pid, idxs in groups.items()])
+        results: list[Any] = [None] * len(items)
+        for idxs, values in zip(groups.values(), nested):
+            for i, value in zip(idxs, values):
+                results[i] = value
+        return results
+
+    def round_cpu(self, partitions: Iterable[int], home: int,
+                  local_cost: float | None = None) -> float:
+        """Coordinator CPU to post one round of one-sided verbs.
+
+        Unbatched, every remote verb pays full posting+completion cost;
+        in a doorbell-batched chain only the destination's first verb
+        does, the rest just append a WQE (``cpu_batched_op_us``).  Local
+        verbs never batch and always pay ``local_cost`` (default: the
+        plain memory-access rate; OCC's read-validation round
+        historically charges the remote rate even at home and passes it
+        explicitly).
+        """
+        cfg = self.cfg
+        if local_cost is None:
+            local_cost = cfg.cpu_local_op_us
+        if not self.doorbell_batching:
+            return sum(local_cost if pid == home else cfg.cpu_op_us
+                       for pid in partitions)
+        cost = 0.0
+        seen: set[int] = set()
+        for pid in partitions:
+            if pid == home:
+                cost += local_cost
+            elif pid in seen:
+                cost += cfg.cpu_batched_op_us
+            else:
+                seen.add(pid)
+                cost += cfg.cpu_op_us
+        return cost
+
     # -- layered lock+read phase ---------------------------------------------
 
     def lock_read_phase(self, state: TxnState,
@@ -160,11 +235,9 @@ class BaseExecutor:
 
     def _run_layer(self, state: TxnState, batch: list[OpInstance],
                    locking: bool) -> Generator:
-        cfg = self.cfg
         home = state.request.home
-        effects = []
+        items: list[tuple[int, Callable[[], Any]]] = []
         metas: list[tuple[OpInstance, str, Any, int]] = []
-        cpu = cfg.cpu_dispatch_us
         for inst in batch:
             table, key = self._resolve_record(state, inst)
             pid = self.db.partition_of(table, key,
@@ -176,23 +249,19 @@ class BaseExecutor:
                                     inst.lock_mode(), state.txn_id)
                       if locking else
                       _plain_read_op(self.db.store(pid), table, key))
-                effects.append(OneSided(pid, op))
+                items.append((pid, op))
                 metas.append((inst, "read", key, pid))
-                cpu += (cfg.cpu_local_op_us if pid == home
-                        else cfg.cpu_op_us)
             else:  # INSERT: reserve the bucket now (2PL); skip under OCC
                 if locking:
                     state.touched.add(pid)
-                    effects.append(OneSided(
-                        pid, _lock_insert_op(self.db.store(pid), table, key,
-                                             state.txn_id)))
+                    items.append((pid, _lock_insert_op(
+                        self.db.store(pid), table, key, state.txn_id)))
                     metas.append((inst, "insert", key, pid))
-                    cpu += (cfg.cpu_local_op_us if pid == home
-                            else cfg.cpu_op_us)
-        if not effects:
+        if not items:
             return True
-        yield Compute(cpu)
-        results = yield All(effects)
+        yield Compute(self.cfg.cpu_dispatch_us
+                      + self.round_cpu((pid for pid, _ in items), home))
+        results = yield from self.network_round(items, kind="lock_read")
         for (inst, action, key, pid), result in zip(metas, results):
             status = result[0]
             if status == "conflict":
@@ -287,16 +356,20 @@ class BaseExecutor:
         if not self.cfg.replicate or self.db.replicas is None or not writes:
             return
         replicas = self.db.replicas
-        effects = []
+        items: list[tuple[int, Callable[[], Any]]] = []
+        sizes: list[int] = []
         for pid, partition_writes in writes.items():
             shipped = tuple(_to_replica_write(w) for w in partition_writes)
+            nbytes = approx_payload_bytes(shipped)
             for rserver in replicas.replica_servers(pid):
-                effects.append(OneSided(
-                    rserver,
-                    _replica_apply_op(replicas, rserver, pid, shipped)))
-        if effects:
+                items.append((rserver,
+                              _replica_apply_op(replicas, rserver, pid,
+                                                shipped)))
+                sizes.append(nbytes)
+        if items:
             yield Compute(self.cfg.cpu_dispatch_us)
-            yield All(effects)
+            yield from self.network_round(items, kind="replicate",
+                                          sizes=sizes)
 
     def commit_phase(self, state: TxnState,
                      writes: dict[int, list[BufferedWrite]],
@@ -310,11 +383,10 @@ class BaseExecutor:
         total_writes = sum(len(ws) for ws in writes.values())
         yield Compute(self.cfg.cpu_dispatch_us
                       + self.cfg.cpu_apply_us * total_writes)
-        effects = [OneSided(pid,
-                            _commit_op(self.db.store(pid),
-                                       writes.get(pid, []), state.txn_id))
-                   for pid in sorted(targets)]
-        results = yield All(effects)
+        items = [(pid, _commit_op(self.db.store(pid),
+                                  writes.get(pid, []), state.txn_id))
+                 for pid in sorted(targets)]
+        results = yield from self.network_round(items, kind="commit")
         for versions in results:
             state.write_versions.extend(versions)
 
@@ -323,9 +395,10 @@ class BaseExecutor:
         if not state.touched:
             return
         yield Compute(self.cfg.cpu_dispatch_us)
-        yield All([OneSided(pid, _release_op(self.db.store(pid),
-                                             state.txn_id))
-                   for pid in sorted(state.touched)])
+        yield from self.network_round(
+            [(pid, _release_op(self.db.store(pid), state.txn_id))
+             for pid in sorted(state.touched)],
+            kind="release")
 
     # -- outcome -----------------------------------------------------------
 

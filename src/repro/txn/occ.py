@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator
 
-from ..sim import All, Compute, OneSided
+from ..sim import Compute
 from ..storage import LockMode, PartitionStore
 from .common import AbortReason, TxnRequest, WriteKind
 from .executor import BaseExecutor, TxnState
@@ -65,7 +65,7 @@ class OccExecutor(BaseExecutor):
         for rid, version in state.reads:
             read_versions[rid] = version
 
-        lock_effects = []
+        lock_items: list[tuple[int, Callable[[], str]]] = []
         written: set[tuple[str, Any]] = set()
         for pid, partition_writes in writes.items():
             state.touched.add(pid)
@@ -73,34 +73,36 @@ class OccExecutor(BaseExecutor):
                 rid = (write.table, write.key)
                 written.add(rid)
                 expected = read_versions.get(rid)
-                lock_effects.append(OneSided(
-                    pid, _validate_write_op(
-                        self.db.store(pid), write.table, write.key,
-                        state.txn_id, expected,
-                        is_insert=write.kind is WriteKind.INSERT)))
-        if lock_effects:
+                lock_items.append((pid, _validate_write_op(
+                    self.db.store(pid), write.table, write.key,
+                    state.txn_id, expected,
+                    is_insert=write.kind is WriteKind.INSERT)))
+        if lock_items:
             yield Compute(self.cfg.cpu_dispatch_us
                           + self._validation_cpu(state, writes.keys()))
-            results = yield All(lock_effects)
+            results = yield from self.network_round(lock_items,
+                                                    kind="validate_write")
             for result in results:
                 if result != "ok":
                     state.abort_reason = AbortReason.VALIDATION
                     return False
 
-        check_effects = []
+        check_items: list[tuple[int, Callable[[], str]]] = []
         for rid, version in read_versions.items():
             if rid in written:
                 continue  # verified under its own lock above
             table, key = rid
             pid = self.db.partition_of(table, key,
                                        reader=state.request.home)
-            check_effects.append(OneSided(
-                pid, _validate_read_op(self.db.store(pid), table, key,
-                                       state.txn_id, version)))
-        if check_effects:
+            check_items.append((pid, _validate_read_op(
+                self.db.store(pid), table, key, state.txn_id, version)))
+        if check_items:
             yield Compute(self.cfg.cpu_dispatch_us
-                          + self.cfg.cpu_op_us * len(check_effects))
-            results = yield All(check_effects)
+                          + self.round_cpu((pid for pid, _ in check_items),
+                                           home=state.request.home,
+                                           local_cost=self.cfg.cpu_op_us))
+            results = yield from self.network_round(check_items,
+                                                    kind="validate_read")
             for result in results:
                 if result != "ok":
                     state.abort_reason = AbortReason.VALIDATION

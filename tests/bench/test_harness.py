@@ -13,7 +13,7 @@ from repro.workloads.instacart import InstacartWorkload
 
 
 def build(workload, config):
-    cluster = Cluster(config.n_partitions, config.network)
+    cluster = Cluster(config.n_partitions, config.network_config())
     registry = ProcedureRegistry()
     for proc in workload.procedures():
         registry.register(proc)
@@ -85,6 +85,41 @@ def test_retry_disabled_counts_single_attempts():
     db = build(workload, config)
     result = run_benchmark(workload, TwoPLExecutor(db), config)
     assert result.metrics.attempts > 0
+
+
+def test_run_records_hot_path_health():
+    workload = BankWorkload(n_accounts=50)
+    config = RunConfig(n_partitions=2, concurrent_per_engine=2,
+                       horizon_us=1_000.0, warmup_us=0.0, n_replicas=0)
+    db = build(workload, config)
+    result = run_benchmark(workload, TwoPLExecutor(db), config)
+    assert result.wall_seconds > 0.0
+    assert result.events_processed > 0
+    assert result.metrics.events_per_wall_second() > 0.0
+    summary = result.perf_summary()
+    assert summary["events_processed"] == result.events_processed
+    assert summary["sim_us"] == result.end_time
+
+
+def test_doorbell_batching_preserves_correctness():
+    """Same workload, batching on: writes still all land (the YCSB
+    lost-update litmus test), and fused round trips actually happened."""
+    from repro.workloads.ycsb import YcsbWorkload, expected_counter_total
+
+    workload = YcsbWorkload(n_keys=300, reads_per_txn=6, writes_per_txn=2)
+    config = RunConfig(n_partitions=2, concurrent_per_engine=2,
+                       horizon_us=2_000.0, warmup_us=0.0, n_replicas=0,
+                       doorbell_batching=True)
+    assert config.network_config().doorbell_batching
+    db = build(workload, config)
+    result = run_benchmark(workload, TwoPLExecutor(db), config)
+    assert result.metrics.commits > 10
+    assert (expected_counter_total(db, workload.n_keys)
+            == result.metrics.commits * workload.writes_per_txn)
+    stats = db.cluster.network.stats
+    assert stats.one_sided_batches > 0
+    assert stats.bytes_by_kind.get("lock_read", 0) > 0
+    assert stats.bytes_by_kind.get("commit", 0) > 0
 
 
 def test_route_by_data_sends_txns_to_majority_partition():

@@ -184,6 +184,66 @@ def test_post_delivers_one_way_message():
     assert seen == [(0, "notify")]
 
 
+def test_nested_all_effects():
+    """An All may contain Alls; results mirror the nesting."""
+    cluster = Cluster(3, CFG)
+    out = []
+
+    def txn():
+        results = yield All([
+            All([OneSided(1, lambda: "aa"), OneSided(2, lambda: "ab")]),
+            OneSided(1, lambda: "b"),
+            All([]),
+        ])
+        out.append((results, cluster.sim.now))
+
+    cluster.engine(0).spawn(txn())
+    cluster.run()
+    results, when = out[0]
+    assert results == [["aa", "ab"], "b", []]
+    assert when == pytest.approx(2.0, abs=1e-6)  # still one round trip
+
+
+def test_deeply_nested_all_preserves_structure():
+    cluster = Cluster(2, CFG)
+    out = []
+
+    def txn():
+        results = yield All([All([All([OneSided(1, lambda: 1)])])])
+        out.append(results)
+
+    cluster.engine(0).spawn(txn())
+    cluster.run()
+    assert out == [[[[1]]]]
+
+
+def test_signal_double_fire_raises():
+    from repro.sim import Signal
+
+    signal = Signal()
+    signal.fire("first")
+    with pytest.raises(RuntimeError):
+        signal.fire("second")
+    assert signal.value == "first"
+
+
+def test_await_after_fire_resumes_with_fired_value():
+    from repro.sim import Await, Signal
+
+    cluster = Cluster(1, CFG)
+    signal = Signal()
+    signal.fire(123)
+    out = []
+
+    def txn():
+        value = yield Await(signal)
+        out.append(value)
+
+    cluster.engine(0).spawn(txn())
+    cluster.run()
+    assert out == [123]
+
+
 def test_active_task_accounting():
     cluster = Cluster(1, CFG)
 

@@ -48,6 +48,48 @@ def test_cancel_prevents_firing():
     assert sim.events_fired == 0
 
 
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, lambda: fired.append("x"))
+    handle.cancel()
+    handle.cancel()  # second cancel must be harmless
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_after_firing_is_safe():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, lambda: fired.append("x"))
+    sim.run()
+    handle.cancel()  # late cancel cannot un-fire or corrupt the queue
+    assert fired == ["x"]
+    assert sim.events_fired == 1
+
+
+def test_cancel_one_of_same_time_events_preserves_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, lambda: fired.append("a"))
+    victim = sim.schedule(2.0, lambda: fired.append("b"))
+    sim.schedule(2.0, lambda: fired.append("c"))
+    victim.cancel()
+    sim.run()
+    assert fired == ["a", "c"]
+    assert sim.events_fired == 2
+
+
+def test_cancel_from_inside_an_earlier_event():
+    sim = Simulator()
+    fired = []
+    later = sim.schedule(5.0, lambda: fired.append("late"))
+    sim.schedule(1.0, lambda: later.cancel())
+    sim.run()
+    assert fired == []
+    assert sim.now == 1.0  # clock never advances to the cancelled event
+
+
 def test_negative_delay_rejected():
     sim = Simulator()
     with pytest.raises(ValueError):

@@ -84,3 +84,78 @@ def test_handler_receives_source_id():
     net.send(5, 2, "x")
     sim.run()
     assert seen == [5]
+
+
+# -- FIFO monotonicity under same-instant sends ------------------------------
+
+def test_fifo_time_strictly_increases_for_same_instant_sends():
+    """N deliveries requested at the same instant on one channel must get
+    strictly increasing timestamps: nothing ever overtakes, and nothing
+    ties (ties would leave ordering to the heap's whim)."""
+    sim, net = make_net(one_way_us=1.0, rpc_overhead_us=0.0)
+    times = [net._fifo_time(0, 1, 1.0) for _ in range(50)]
+    assert all(b > a for a, b in zip(times, times[1:]))
+
+
+def test_fifo_channels_are_directional_and_independent():
+    sim, net = make_net(one_way_us=1.0, rpc_overhead_us=0.0)
+    forward = net._fifo_time(0, 1, 1.0)
+    backward = net._fifo_time(1, 0, 1.0)
+    other = net._fifo_time(0, 2, 1.0)
+    # only the (0, 1) channel was bumped; fresh channels get exact times
+    assert forward == backward == other == 1.0
+    assert net._fifo_time(0, 1, 1.0) > forward
+
+
+def test_same_instant_one_sided_verbs_execute_in_issue_order():
+    sim, net = make_net(one_way_us=1.0, verb_overhead_us=0.0)
+    executed = []
+    for i in range(10):
+        net.one_sided(0, 1, lambda i=i: executed.append(i), lambda v: None)
+    sim.run()
+    assert executed == list(range(10))
+
+
+# -- per-kind byte accounting -------------------------------------------------
+
+def test_send_accounts_bytes_by_kind():
+    sim, net = make_net()
+    net.register_handler(1, lambda src, p: None)
+    net.send(0, 1, "abcd", kind="greeting")
+    net.send(0, 1, "ef", kind="greeting")
+    net.send(0, 1, {"k": 1}, kind="other")
+    sim.run()
+    assert net.stats.bytes_by_kind["greeting"] == 6
+    assert net.stats.bytes_by_kind["other"] == 8 + 1 + 8
+    assert net.stats.total_bytes() == 6 + 17
+
+
+def test_one_sided_accounts_nominal_or_explicit_bytes():
+    from repro.sim.network import VERB_NOMINAL_BYTES
+
+    sim, net = make_net()
+    net.one_sided(0, 1, lambda: None, lambda v: None)
+    net.one_sided(0, 1, lambda: None, lambda v: None,
+                  kind="replicate", nbytes=500)
+    sim.run()
+    assert net.stats.bytes_by_kind["one_sided"] == VERB_NOMINAL_BYTES
+    assert net.stats.bytes_by_kind["replicate"] == 500
+
+
+def test_approx_payload_bytes_walks_structures():
+    from dataclasses import dataclass
+
+    from repro.sim import approx_payload_bytes
+
+    assert approx_payload_bytes(None) == 1
+    assert approx_payload_bytes(7) == 8
+    assert approx_payload_bytes("hello") == 5
+    assert approx_payload_bytes((1, "ab")) == 8 + 8 + 2
+
+    @dataclass
+    class Body:
+        a: int
+        b: str
+
+    assert approx_payload_bytes(Body(1, "xy")) == 8 + 8 + 2
+    assert approx_payload_bytes(lambda: None) == 64  # opaque

@@ -1,0 +1,227 @@
+"""Tests for the EffectRuntime seam and its doorbell-batching path."""
+
+import pytest
+
+from repro.sim import (All, BatchedOneSided, Cluster, Compute,
+                       EffectRuntime, NetworkConfig, OneSided, Rpc)
+
+BATCH_CFG = NetworkConfig(local_access_us=0.1, one_way_us=1.0,
+                          verb_overhead_us=0.3, rpc_overhead_us=0.0,
+                          doorbell_batching=True, batched_verb_us=0.1)
+PLAIN_CFG = NetworkConfig(local_access_us=0.1, one_way_us=1.0,
+                          verb_overhead_us=0.3, rpc_overhead_us=0.0)
+
+
+# -- the Engine facade delegates to the runtime ------------------------------
+
+def test_engine_is_a_facade_over_effect_runtime():
+    cluster = Cluster(1, PLAIN_CFG)
+    engine = cluster.engine(0)
+    assert isinstance(engine.runtime, EffectRuntime)
+    assert engine.core is engine.runtime.core
+    assert engine.active_tasks == engine.runtime.active_tasks == 0
+
+
+def test_custom_runtime_can_be_injected():
+    from repro.sim import Engine, Network, Simulator
+
+    performed = []
+
+    class TracingRuntime(EffectRuntime):
+        def perform(self, effect, cont):
+            performed.append(type(effect).__name__)
+            super().perform(effect, cont)
+
+    sim = Simulator()
+    net = Network(sim, PLAIN_CFG)
+    runtime = TracingRuntime(sim, net, 0)
+    engine = Engine(sim, net, 0, runtime=runtime)
+
+    def txn():
+        yield Compute(1.0)
+        yield OneSided(0, lambda: None)
+
+    engine.spawn(txn())
+    sim.run()
+    assert performed == ["Compute", "OneSided"]
+
+
+# -- doorbell batching: counters and completion times ------------------------
+
+def test_same_destination_round_costs_one_fused_round_trip():
+    """The acceptance property: an All of N verbs to one remote server
+    completes in one_sided_batch_rtt(N) and counts as ONE round trip."""
+    cluster = Cluster(2, BATCH_CFG)
+    out = []
+
+    def txn():
+        results = yield All([OneSided(1, lambda: "a"),
+                             OneSided(1, lambda: "b"),
+                             OneSided(1, lambda: "c")])
+        out.append((results, cluster.sim.now))
+
+    cluster.engine(0).spawn(txn())
+    cluster.run()
+    results, when = out[0]
+    assert results == ["a", "b", "c"]
+    # 2*one_way + verb_overhead + 2 extra chained verbs, exactly once
+    assert when == pytest.approx(BATCH_CFG.one_sided_batch_rtt(3))
+    stats = cluster.network.stats
+    assert stats.one_sided_batches == 1
+    assert stats.one_sided_batched_verbs == 3
+    assert stats.one_sided_remote == 0
+    assert stats.total_remote_ops() == 1
+
+
+def test_batching_off_keeps_per_verb_round_trips():
+    cluster = Cluster(2, PLAIN_CFG)
+    out = []
+
+    def txn():
+        results = yield All([OneSided(1, lambda: "a"),
+                             OneSided(1, lambda: "b"),
+                             OneSided(1, lambda: "c")])
+        out.append((results, cluster.sim.now))
+
+    cluster.engine(0).spawn(txn())
+    cluster.run()
+    results, when = out[0]
+    assert results == ["a", "b", "c"]
+    assert when == pytest.approx(PLAIN_CFG.one_sided_rtt(), abs=1e-6)
+    stats = cluster.network.stats
+    assert stats.one_sided_batches == 0
+    assert stats.one_sided_remote == 3
+
+
+def test_explicit_batched_effect_fuses_when_enabled():
+    cluster = Cluster(2, BATCH_CFG)
+    out = []
+
+    def txn():
+        results = yield BatchedOneSided(1, [lambda: 1, lambda: 2])
+        out.append((results, cluster.sim.now))
+
+    cluster.engine(0).spawn(txn())
+    cluster.run()
+    results, when = out[0]
+    assert results == [1, 2]
+    assert when == pytest.approx(BATCH_CFG.one_sided_batch_rtt(2))
+    assert cluster.network.stats.one_sided_batches == 1
+
+
+def test_explicit_batched_effect_falls_back_when_disabled():
+    """With the knob off a BatchedOneSided behaves exactly like the flat
+    All it replaced — per-verb round trips, same results."""
+    cluster = Cluster(2, PLAIN_CFG)
+    out = []
+
+    def txn():
+        results = yield BatchedOneSided(1, [lambda: 1, lambda: 2])
+        out.append((results, cluster.sim.now))
+
+    cluster.engine(0).spawn(txn())
+    cluster.run()
+    results, when = out[0]
+    assert results == [1, 2]
+    assert when == pytest.approx(PLAIN_CFG.one_sided_rtt(), abs=1e-6)
+    stats = cluster.network.stats
+    assert stats.one_sided_batches == 0
+    assert stats.one_sided_remote == 2
+
+
+def test_local_verbs_never_batch():
+    """Doorbell batching is a NIC concept; local groups stay plain
+    memory accesses even with the knob on."""
+    cluster = Cluster(2, BATCH_CFG)
+    out = []
+
+    def txn():
+        results = yield BatchedOneSided(0, [lambda: "x", lambda: "y"])
+        out.append((results, cluster.sim.now))
+
+    cluster.engine(0).spawn(txn())
+    cluster.run()
+    results, when = out[0]
+    assert results == ["x", "y"]
+    assert when == pytest.approx(BATCH_CFG.local_access_us)
+    stats = cluster.network.stats
+    assert stats.one_sided_local == 2
+    assert stats.one_sided_batches == 0
+
+
+def test_single_verb_group_is_not_fused():
+    cluster = Cluster(2, BATCH_CFG)
+    out = []
+
+    def txn():
+        results = yield BatchedOneSided(1, [lambda: 9])
+        out.append(results)
+
+    cluster.engine(0).spawn(txn())
+    cluster.run()
+    assert out == [[9]]
+    stats = cluster.network.stats
+    assert stats.one_sided_batches == 0
+    assert stats.one_sided_remote == 1
+
+
+def test_mixed_all_batches_only_same_destination_remotes():
+    """Local verbs, lone remotes, and RPCs keep their own paths; only
+    the multi-verb remote groups fuse.  Result order is preserved."""
+    cluster = Cluster(3, BATCH_CFG)
+    out = []
+
+    def handler(src, request):
+        return request + 100
+        yield  # pragma: no cover - generator marker
+
+    cluster.engine(2).set_rpc_handler(handler)
+
+    def txn():
+        results = yield All([
+            OneSided(1, lambda: "r1a"),    # fused pair -> server 1
+            OneSided(0, lambda: "local"),  # local, never batched
+            Rpc(2, 5),                     # messages are not verbs
+            OneSided(1, lambda: "r1b"),    # fused pair -> server 1
+            OneSided(2, lambda: "lone"),   # single verb -> no fuse
+        ])
+        out.append(results)
+
+    cluster.engine(0).spawn(txn())
+    cluster.run()
+    assert out == [["r1a", "local", 105, "r1b", "lone"]]
+    stats = cluster.network.stats
+    assert stats.one_sided_batches == 1
+    assert stats.one_sided_batched_verbs == 2
+    assert stats.one_sided_remote == 1  # the lone verb to server 2
+    assert stats.one_sided_local == 1
+
+
+def test_batch_ops_execute_at_target_arrival_in_chain_order():
+    cluster = Cluster(2, BATCH_CFG)
+    executed = []
+
+    def txn():
+        yield BatchedOneSided(1, [lambda: executed.append(("a",
+                                                           cluster.sim.now)),
+                                  lambda: executed.append(("b",
+                                                           cluster.sim.now))])
+
+    cluster.engine(0).spawn(txn())
+    cluster.run()
+    arrival = (BATCH_CFG.one_way_us + BATCH_CFG.verb_overhead_us
+               + BATCH_CFG.batched_verb_us)
+    assert [name for name, _ in executed] == ["a", "b"]
+    for _, when in executed:
+        assert when == pytest.approx(arrival)
+
+
+def test_network_one_sided_batch_rejects_degenerate_chains():
+    from repro.sim import Network, Simulator
+
+    sim = Simulator()
+    net = Network(sim, BATCH_CFG)
+    with pytest.raises(ValueError):
+        net.one_sided_batch(0, 0, [lambda: 1, lambda: 2], lambda r: None)
+    with pytest.raises(ValueError):
+        net.one_sided_batch(0, 1, [lambda: 1], lambda r: None)
