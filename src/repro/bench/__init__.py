@@ -1,12 +1,15 @@
 """Benchmark harness: driver, metrics, and per-figure experiments."""
 
-from .harness import RunConfig, RunResult, build_database, run_benchmark
+from .harness import (BACKENDS, RunConfig, RunResult, build_database,
+                      make_cluster, run_benchmark)
 from .metrics import Metrics
 
 __all__ = [
+    "BACKENDS",
     "Metrics",
     "RunConfig",
     "RunResult",
     "build_database",
+    "make_cluster",
     "run_benchmark",
 ]

@@ -9,6 +9,12 @@ Run from the command line::
     python -m repro.bench.experiments all        # everything (slow-ish)
     python -m repro.bench.experiments all --quick
     python -m repro.bench.experiments fig7 --doorbell   # fused verbs on
+    python -m repro.bench.experiments fig9a --quick --backend aio
+
+``--backend aio`` drives the same sweep through the asyncio runtime
+(real event loop, wall-clock time) instead of the simulator; see
+EXPERIMENTS.md for how to read those numbers — they measure what this
+Python process actually sustains, not the modeled RDMA cluster.
 
 Absolute throughput differs from the paper (their 8-node InfiniBand
 testbed vs our discrete-event simulator); the *shapes* — orderings,
@@ -23,7 +29,7 @@ from typing import Iterable, Sequence
 
 from ..workloads.instacart import InstacartWorkload
 from ..workloads.tpcc import TpccScale, TpccWorkload
-from .harness import RunConfig
+from .harness import BACKENDS, RunConfig
 from .setups import (build_instacart_layout, build_instacart_setup,
                      make_instacart_run, make_tpcc_run)
 
@@ -35,13 +41,15 @@ TPCC_EXECUTORS = ("2pl", "occ", "chiller")
 
 def instacart_config(n_partitions: int, quick: bool = False,
                      seed: int = 2,
-                     doorbell_batching: bool = False) -> RunConfig:
+                     doorbell_batching: bool = False,
+                     backend: str = "sim") -> RunConfig:
     return RunConfig(n_partitions=n_partitions,
                      concurrent_per_engine=4,
                      horizon_us=4_000.0 if quick else 12_000.0,
                      warmup_us=500.0 if quick else 2_000.0,
                      seed=seed, n_replicas=1, route_by_data=True,
-                     doorbell_batching=doorbell_batching)
+                     doorbell_batching=doorbell_batching,
+                     backend=backend)
 
 
 def instacart_sweep(partitions: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
@@ -49,7 +57,8 @@ def instacart_sweep(partitions: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
                     seed: int = 2,
                     layouts: Sequence[str] = INSTACART_LAYOUTS,
                     workload_factory=InstacartWorkload,
-                    doorbell_batching: bool = False) -> list[dict]:
+                    doorbell_batching: bool = False,
+                    backend: str = "sim") -> list[dict]:
     """One row per partition count with every layout's metrics.
 
     Feeds Fig. 7 (throughput), Fig. 8 (distributed ratio), the lookup
@@ -68,7 +77,8 @@ def instacart_sweep(partitions: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
             layout = build_instacart_layout(setup, name, seed=seed)
             run = make_instacart_run(
                 setup, layout,
-                instacart_config(k, quick, seed, doorbell_batching))
+                instacart_config(k, quick, seed, doorbell_batching,
+                                 backend))
             result = run.run()
             metrics = result.metrics
             row[f"{name}_throughput"] = result.throughput
@@ -124,18 +134,21 @@ def print_cost(rows: list[dict]) -> None:
 
 def tpcc_config(n_partitions: int, concurrent: int, quick: bool = False,
                 seed: int = 3,
-                doorbell_batching: bool = False) -> RunConfig:
+                doorbell_batching: bool = False,
+                backend: str = "sim") -> RunConfig:
     return RunConfig(n_partitions=n_partitions,
                      concurrent_per_engine=concurrent,
                      horizon_us=5_000.0 if quick else 15_000.0,
                      warmup_us=500.0 if quick else 2_000.0,
                      seed=seed, n_replicas=1,
-                     doorbell_batching=doorbell_batching)
+                     doorbell_batching=doorbell_batching,
+                     backend=backend)
 
 
 def fig9_rows(concurrency: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
               n_partitions: int = 4, quick: bool = False,
-              seed: int = 3, doorbell_batching: bool = False) -> list[dict]:
+              seed: int = 3, doorbell_batching: bool = False,
+              backend: str = "sim") -> list[dict]:
     """Throughput + abort rates per executor per concurrency level."""
     rows = []
     for concurrent in concurrency:
@@ -143,7 +156,7 @@ def fig9_rows(concurrency: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
         for name in TPCC_EXECUTORS:
             run = make_tpcc_run(
                 name, tpcc_config(n_partitions, concurrent, quick, seed,
-                                  doorbell_batching))
+                                  doorbell_batching, backend))
             result = run.run()
             metrics = result.metrics
             row[f"{name}_throughput"] = result.throughput
@@ -192,7 +205,8 @@ FIG10_SERIES = (("2pl", 1), ("occ", 1), ("2pl", 5), ("occ", 5),
 
 def fig10_rows(percents: Sequence[int] = (0, 20, 40, 60, 80, 100),
                n_partitions: int = 4, quick: bool = False,
-               seed: int = 5, doorbell_batching: bool = False) -> list[dict]:
+               seed: int = 5, doorbell_batching: bool = False,
+               backend: str = "sim") -> list[dict]:
     """Throughput vs fraction of distributed transactions."""
     rows = []
     for percent in percents:
@@ -205,7 +219,7 @@ def fig10_rows(percents: Sequence[int] = (0, 20, 40, 60, 80, 100),
                 new_order_remote_prob=percent / 100.0)
             run = make_tpcc_run(
                 name, tpcc_config(n_partitions, concurrent, quick, seed,
-                                  doorbell_batching),
+                                  doorbell_batching, backend),
                 workload=workload)
             result = run.run()
             row[f"{name}_{concurrent}_throughput"] = result.throughput
@@ -229,7 +243,8 @@ def print_fig10(rows: list[dict]) -> None:
 
 def reorder_ablation_rows(n_partitions: int = 4, n_train: int = 1200,
                           quick: bool = False, seed: int = 2,
-                          doorbell_batching: bool = False) -> list[dict]:
+                          doorbell_batching: bool = False,
+                          backend: str = "sim") -> list[dict]:
     """Two-region execution without contention-aware partitioning.
 
     The paper's Section 1 claim: "re-ordering operations without
@@ -240,7 +255,8 @@ def reorder_ablation_rows(n_partitions: int = 4, n_train: int = 1200,
     """
     setup = build_instacart_setup(n_partitions, n_train=n_train,
                                   seed=seed)
-    config = instacart_config(n_partitions, quick, seed, doorbell_batching)
+    config = instacart_config(n_partitions, quick, seed, doorbell_batching,
+                              backend)
     rows = []
     combos = (("hashing", "2pl", "2PL on hashing"),
               ("hashing", "chiller", "two-region on hashing"),
@@ -276,12 +292,14 @@ def min_weight_ablation_rows(weights: Sequence[float] = (0.0, 0.05, 0.2,
                              n_partitions: int = 4, n_train: int = 1200,
                              quick: bool = False,
                              seed: int = 2,
-                             doorbell_batching: bool = False) -> list[dict]:
+                             doorbell_batching: bool = False,
+                             backend: str = "sim") -> list[dict]:
     """Section 4.4: a minimum edge weight co-optimizes contention and
     the number of distributed transactions."""
     setup = build_instacart_setup(n_partitions, n_train=n_train,
                                   seed=seed)
-    config = instacart_config(n_partitions, quick, seed, doorbell_batching)
+    config = instacart_config(n_partitions, quick, seed, doorbell_batching,
+                              backend)
     rows = []
     for weight in weights:
         layout = build_instacart_layout(setup, "chiller", seed=seed,
@@ -307,8 +325,35 @@ def print_min_weight(rows: list[dict]) -> None:
 
 # -- CLI ---------------------------------------------------------------------
 
+def _parse_backend(args: list[str]) -> tuple[str, list[str]]:
+    """Extract ``--backend X`` / ``--backend=X``; returns (backend, rest)."""
+    backend = "sim"
+    rest: list[str] = []
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg == "--backend":
+            if i + 1 >= len(args):
+                raise SystemExit(
+                    f"--backend needs a value ({' | '.join(BACKENDS)})")
+            backend = args[i + 1]
+            i += 2
+            continue
+        if arg.startswith("--backend="):
+            backend = arg.split("=", 1)[1]
+            i += 1
+            continue
+        rest.append(arg)
+        i += 1
+    if backend not in BACKENDS:
+        raise SystemExit(f"unknown backend {backend!r} "
+                         f"(expected {' | '.join(BACKENDS)})")
+    return backend, rest
+
+
 def main(argv: Iterable[str] | None = None) -> None:
     args = list(sys.argv[1:] if argv is None else argv)
+    backend, args = _parse_backend(args)
     quick = "--quick" in args
     doorbell = "--doorbell" in args
     args = [a for a in args if not a.startswith("--")]
@@ -319,11 +364,16 @@ def main(argv: Iterable[str] | None = None) -> None:
     if doorbell:
         print("(doorbell batching ON: same-destination verbs fused per "
               "round)")
+    if backend == "aio":
+        print("(asyncio backend: throughput is wall-clock — commits per "
+              "real second of event-loop time, not simulated microseconds; "
+              "numbers are NOT comparable to sim-backend figures)")
 
     if wanted & {"fig7", "fig8", "lookup", "cost"}:
         partitions = (2, 4, 8) if quick else (2, 3, 4, 5, 6, 7, 8)
         rows = instacart_sweep(partitions, quick=quick,
-                               doorbell_batching=doorbell)
+                               doorbell_batching=doorbell,
+                               backend=backend)
         if "fig7" in wanted:
             print_fig7(rows)
         if "fig8" in wanted:
@@ -335,7 +385,7 @@ def main(argv: Iterable[str] | None = None) -> None:
     if wanted & {"fig9a", "fig9b", "fig9c"}:
         concurrency = (1, 2, 4, 8) if quick else (1, 2, 3, 4, 5, 6, 7, 8)
         rows = fig9_rows(concurrency, quick=quick,
-                         doorbell_batching=doorbell)
+                         doorbell_batching=doorbell, backend=backend)
         if "fig9a" in wanted:
             print_fig9a(rows)
         if "fig9b" in wanted:
@@ -345,13 +395,15 @@ def main(argv: Iterable[str] | None = None) -> None:
     if "fig10" in wanted:
         percents = (0, 50, 100) if quick else (0, 20, 40, 60, 80, 100)
         print_fig10(fig10_rows(percents, quick=quick,
-                               doorbell_batching=doorbell))
+                               doorbell_batching=doorbell,
+                               backend=backend))
     if "reorder" in wanted:
         print_reorder(reorder_ablation_rows(quick=quick,
-                                            doorbell_batching=doorbell))
+                                            doorbell_batching=doorbell,
+                                            backend=backend))
     if "minweight" in wanted:
         print_min_weight(min_weight_ablation_rows(
-            quick=quick, doorbell_batching=doorbell))
+            quick=quick, doorbell_batching=doorbell, backend=backend))
 
 
 if __name__ == "__main__":

@@ -17,10 +17,15 @@ from typing import Iterable
 
 from .._util import make_rng
 from ..analysis import ProcedureRegistry
-from ..sim import Cluster, NetworkConfig, Sleep
+from ..sim import AioCluster, Cluster, NetworkConfig, Sleep
 from ..storage import Catalog
 from ..txn import BaseExecutor, Database, ExecConfig, HistoryRecorder
 from .metrics import APP_ABORTS, Metrics
+
+BACKENDS = ("sim", "aio")
+"""Execution backends a run can select: the discrete-event simulator
+(deterministic, simulated microseconds) or the asyncio runtime (real
+event loop, wall-clock microseconds)."""
 
 
 @dataclass
@@ -30,7 +35,8 @@ class RunConfig:
     n_partitions: int = 4
     concurrent_per_engine: int = 1
     horizon_us: float = 50_000.0
-    """Stop admitting new transactions at this simulated time."""
+    """Stop admitting new transactions at this time — simulated
+    microseconds on the sim backend, wall-clock microseconds on aio."""
 
     warmup_us: float = 5_000.0
     """Commits before this time are excluded from throughput."""
@@ -58,6 +64,22 @@ class RunConfig:
     :attr:`~repro.sim.NetworkConfig.doorbell_batching`).  Lets the
     figure sweeps run with batching on/off without hand-building a
     :class:`~repro.sim.NetworkConfig`."""
+
+    backend: str = "sim"
+    """Execution backend: ``"sim"`` (discrete-event simulator, the
+    seed-calibrated default) or ``"aio"`` (asyncio event loop over a
+    real transport; throughput figures are then wall-clock)."""
+
+    aio_transport: str = "loopback"
+    """Transport for the aio backend: ``"loopback"`` (in-loop, hermetic)
+    or ``"tcp"`` (real localhost sockets).  Ignored on the sim
+    backend."""
+
+    aio_run_timeout_s: float | None = None
+    """Hang guard for the aio backend's run-to-quiescence loop.  None
+    derives a bound from the wall-clock horizon (horizon plus two
+    minutes of drain headroom), so long runs are never killed by the
+    cluster's default cap.  Ignored on the sim backend."""
 
     def network_config(self) -> NetworkConfig:
         """The effective network model for this run.
@@ -94,29 +116,69 @@ class RunResult:
 
     @property
     def wall_seconds(self) -> float:
-        """Real time the simulator took to drive this run (perf health
-        of the Python hot path, not a property of the simulated system)."""
+        """Real time taken to drive this run.  On the sim backend this
+        is perf health of the Python hot path, not a property of the
+        simulated system; on the aio backend it *is* the run duration."""
         return self.metrics.wall_seconds
 
     @property
     def events_processed(self) -> int:
-        """Simulator events fired during this run."""
+        """Simulator events (sim) / effects performed (aio) this run."""
         return self.metrics.events_processed
 
+    @property
+    def wall_clock_throughput(self) -> float:
+        """Committed txns per *real* second of driving the run.
+
+        The apples-to-apples figure across backends: all commits over
+        the whole run (warmup and drain included) divided by total wall
+        time.  On aio it tracks :attr:`throughput` (same clock, but
+        that one is computed over the warmup-to-horizon window only);
+        on sim it measures how fast the Python simulator churns, not
+        the modeled system."""
+        if self.metrics.wall_seconds <= 0.0:
+            return 0.0
+        return self.metrics.commits / self.metrics.wall_seconds
+
     def perf_summary(self) -> dict:
-        """Hot-path health figures for BENCH_*.json / extra_info."""
-        return {
+        """Hot-path health figures for BENCH_*.json / extra_info.
+
+        ``end_time_us`` is on the backend's own clock; the ``sim_us``
+        alias is only emitted for sim-backend runs so cross-backend
+        report consumers cannot mistake wall time for simulated time.
+        """
+        summary = {
+            "backend": self.config.backend,
             "wall_seconds": self.metrics.wall_seconds,
             "events_processed": self.metrics.events_processed,
             "events_per_wall_second": self.metrics.events_per_wall_second(),
-            "sim_us": self.end_time,
+            "wall_clock_throughput": self.wall_clock_throughput,
+            "end_time_us": self.end_time,
         }
+        if self.config.backend == "sim":
+            summary["sim_us"] = self.end_time
+        return summary
+
+
+def make_cluster(config: RunConfig) -> Cluster | AioCluster:
+    """Build the cluster for ``config``'s selected backend."""
+    if config.backend == "sim":
+        return Cluster(config.n_partitions, config.network_config())
+    if config.backend == "aio":
+        timeout = config.aio_run_timeout_s
+        if timeout is None:
+            timeout = config.horizon_us / 1e6 + 120.0
+        return AioCluster(config.n_partitions, config.network_config(),
+                          transport=config.aio_transport,
+                          run_timeout_s=timeout)
+    raise ValueError(f"unknown backend {config.backend!r} "
+                     f"(expected one of {BACKENDS})")
 
 
 def build_database(workload, catalog: Catalog, config: RunConfig,
-                   ) -> tuple[Database, Cluster]:
+                   ) -> tuple[Database, Cluster | AioCluster]:
     """Create the cluster, register procedures, and load the data."""
-    cluster = Cluster(config.n_partitions, config.network_config())
+    cluster = make_cluster(config)
     registry = ProcedureRegistry()
     for proc in workload.procedures():
         registry.register(proc)

@@ -25,13 +25,12 @@ from ..core import (ChillerExecutor, ChillerPartitionerConfig,
                     HotRecordTable, StatsService, partition_workload,
                     sample_from_request)
 from ..partitioning import (ModuloScheme, SchismConfig, partition_schism)
-from ..sim import Cluster
 from ..storage import Catalog
 from ..txn import (Database, HistoryRecorder, OccExecutor, TwoPLExecutor)
 from ..workloads.instacart import InstacartWorkload
 from ..workloads.tpcc import (REPLICATED_TABLES, TpccScale, TpccWorkload,
                               tpcc_routing)
-from .harness import RunConfig, RunResult, run_benchmark
+from .harness import RunConfig, RunResult, make_cluster, run_benchmark
 
 ExecutorName = Literal["2pl", "occ", "chiller"]
 
@@ -87,7 +86,7 @@ def make_tpcc_run(executor_name: ExecutorName,
     workload = workload or TpccWorkload(
         TpccScale(n_warehouses=config.n_partitions),
         n_partitions=config.n_partitions)
-    cluster = Cluster(config.n_partitions, config.network_config())
+    cluster = make_cluster(config)
     registry = ProcedureRegistry()
     for proc in workload.procedures():
         registry.register(proc)
@@ -225,7 +224,7 @@ def make_instacart_run(setup: InstacartSetup, layout: InstacartLayout,
     ``executor_override`` supports the ablations: e.g. two-region
     execution over a Schism or hash layout ("reorder-only").
     """
-    cluster = Cluster(config.n_partitions, config.network_config())
+    cluster = make_cluster(config)
     registry = ProcedureRegistry()
     for proc in setup.workload.procedures():
         registry.register(proc)

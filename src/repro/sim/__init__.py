@@ -10,6 +10,9 @@ per server as an :class:`Engine`.  See DESIGN.md ("Substitutions") for
 the latency calibration rationale.
 """
 
+from .aio_runtime import (AioCluster, AioEngine, AioNetwork, AioTransport,
+                          AsyncioEffectRuntime, LoopbackTransport,
+                          TcpTransport)
 from .cluster import Cluster, Server
 from .coroutines import Engine
 from .cpu import Core
@@ -18,10 +21,15 @@ from .effects import (All, Await, BatchedOneSided, Compute, Coroutine,
 from .events import EventHandle, Simulator
 from .network import (Network, NetworkConfig, NetworkStats,
                       approx_payload_bytes)
-from .runtime import EffectRuntime
+from .runtime import EffectRuntime, EffectRuntimeBase
 
 __all__ = [
+    "AioCluster",
+    "AioEngine",
+    "AioNetwork",
+    "AioTransport",
     "All",
+    "AsyncioEffectRuntime",
     "Await",
     "BatchedOneSided",
     "Cluster",
@@ -30,8 +38,10 @@ __all__ = [
     "Coroutine",
     "Effect",
     "EffectRuntime",
+    "EffectRuntimeBase",
     "Engine",
     "EventHandle",
+    "LoopbackTransport",
     "Network",
     "NetworkConfig",
     "NetworkStats",
@@ -42,5 +52,6 @@ __all__ = [
     "Signal",
     "Simulator",
     "Sleep",
+    "TcpTransport",
     "approx_payload_bytes",
 ]

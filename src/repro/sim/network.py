@@ -39,14 +39,33 @@ VERB_NOMINAL_BYTES = 32
 """Approximate wire size of one one-sided verb (header + cacheline-ish
 payload) used when the issuer provides no better estimate."""
 
+MESSAGE_NOMINAL_BYTES = 64
+"""Flat per-message estimate used when payload-walk accounting is
+disabled (:attr:`NetworkConfig.account_payload_bytes` off) or a payload
+is too deep to walk."""
 
-def approx_payload_bytes(obj: Any) -> int:
+PAYLOAD_WALK_MAX_DEPTH = 16
+"""Recursion bound for :func:`approx_payload_bytes`.  Anything nested
+deeper is charged the flat :data:`MESSAGE_NOMINAL_BYTES` instead of
+overflowing the stack."""
+
+_BACK_REFERENCE_BYTES = 8
+"""Charge for a container the walk has already visited (a cyclic or
+shared reference: serializers ship those as back-references, and
+re-walking them would make the walk exponential on shared DAGs)."""
+
+
+def approx_payload_bytes(obj: Any, _depth: int = 0,
+                         _seen: set[int] | None = None) -> int:
     """Rough serialized size of an application payload, in bytes.
 
     This is accounting, not serialization: containers and dataclasses
     are walked recursively, scalars get nominal sizes, and anything
     opaque (closures, handles) a flat 64.  Good enough to break traffic
-    down by message kind in experiment reports.
+    down by message kind in experiment reports.  The walk is linear in
+    the number of distinct containers — each is visited once (cycles and
+    shared sub-structures are charged as back-references) — and
+    depth-capped at :data:`PAYLOAD_WALK_MAX_DEPTH`.
     """
     if obj is None or isinstance(obj, bool):
         return 1
@@ -54,15 +73,29 @@ def approx_payload_bytes(obj: Any) -> int:
         return 8
     if isinstance(obj, (str, bytes)):
         return len(obj)
+    if _depth >= PAYLOAD_WALK_MAX_DEPTH:
+        return MESSAGE_NOMINAL_BYTES
+    if isinstance(obj, (dict, list, tuple, set, frozenset)):
+        walk_items = True
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        walk_items = False
+    else:
+        return 64
+    if _seen is None:
+        _seen = set()
+    if id(obj) in _seen:
+        return _BACK_REFERENCE_BYTES
+    _seen.add(id(obj))
+    child = _depth + 1
+    if not walk_items:
+        return 8 + sum(
+            approx_payload_bytes(getattr(obj, f.name), child, _seen)
+            for f in dataclasses.fields(obj))
     if isinstance(obj, dict):
-        return 8 + sum(approx_payload_bytes(k) + approx_payload_bytes(v)
+        return 8 + sum(approx_payload_bytes(k, child, _seen)
+                       + approx_payload_bytes(v, child, _seen)
                        for k, v in obj.items())
-    if isinstance(obj, (list, tuple, set, frozenset)):
-        return 8 + sum(approx_payload_bytes(item) for item in obj)
-    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        return 8 + sum(approx_payload_bytes(getattr(obj, f.name))
-                       for f in dataclasses.fields(obj))
-    return 64
+    return 8 + sum(approx_payload_bytes(item, child, _seen) for item in obj)
 
 
 @dataclass(frozen=True)
@@ -91,6 +124,13 @@ class NetworkConfig:
     doorbell-batched chain (the chain shares propagation, doorbell, and
     completion)."""
 
+    account_payload_bytes: bool = True
+    """Walk message payloads to estimate their wire size per kind.  The
+    walk runs on the Python hot path (one per message); turn it off for
+    throughput-of-the-simulator benchmarks — messages are then charged a
+    flat nominal size and ``bytes_by_kind`` becomes a message count
+    proxy rather than a byte estimate."""
+
     def one_sided_rtt(self) -> float:
         """Completion time of a remote one-sided verb."""
         return 2 * self.one_way_us + self.verb_overhead_us
@@ -107,11 +147,22 @@ class NetworkConfig:
 
 @dataclass
 class NetworkStats:
-    """Counters for traffic accounting (used in experiment reports)."""
+    """Counters for traffic accounting (used in experiment reports).
+
+    Wire counters (``one_sided_remote``, ``messages``, ``bytes_by_kind``)
+    only ever record traffic that actually crossed between two servers;
+    same-server deliveries land in the ``*_local`` counters so locality
+    improvements show up as wire traffic *shrinking*, not moving.
+    """
 
     one_sided_local: int = 0
     one_sided_remote: int = 0
     messages: int = 0
+    """Messages delivered across the wire (``src != dst``)."""
+
+    messages_local: int = 0
+    """Messages a server delivered to itself (loopback, never wire)."""
+
     one_sided_batches: int = 0
     """Fused doorbell-batched round trips issued."""
 
@@ -119,18 +170,63 @@ class NetworkStats:
     """Total verbs carried inside those fused round trips."""
 
     bytes_by_kind: dict[str, int] = field(default_factory=dict)
-    """Approximate payload bytes moved, per message/verb kind."""
+    """Approximate payload bytes that crossed the wire, per kind."""
 
-    def add_bytes(self, kind: str, nbytes: int) -> None:
-        self.bytes_by_kind[kind] = self.bytes_by_kind.get(kind, 0) + nbytes
+    local_bytes_by_kind: dict[str, int] = field(default_factory=dict)
+    """Approximate payload bytes of same-server deliveries, per kind."""
+
+    def add_bytes(self, kind: str, nbytes: int,
+                  remote: bool = True) -> None:
+        book = self.bytes_by_kind if remote else self.local_bytes_by_kind
+        book[kind] = book.get(kind, 0) + nbytes
+
+    # Recording helpers: the one bookkeeping implementation every
+    # backend shares (the simulated Network and the asyncio runtime
+    # both call these), so the wire/local split and nominal-size
+    # fallbacks cannot drift between backends.
+
+    def record_one_sided(self, kind: str, nbytes: int | None,
+                         remote: bool) -> None:
+        if remote:
+            self.one_sided_remote += 1
+        else:
+            self.one_sided_local += 1
+        self.add_bytes(kind, VERB_NOMINAL_BYTES if nbytes is None
+                       else nbytes, remote=remote)
+
+    def record_message(self, kind: str, nbytes: int, remote: bool) -> None:
+        if remote:
+            self.messages += 1
+        else:
+            self.messages_local += 1
+        self.add_bytes(kind, nbytes, remote=remote)
+
+    def record_batch(self,
+                     kinds: Iterable[tuple[str, int | None]]) -> int:
+        """Account one fused doorbell chain; returns its total bytes."""
+        self.one_sided_batches += 1
+        total = 0
+        n_verbs = 0
+        for kind, nbytes in kinds:
+            size = VERB_NOMINAL_BYTES if nbytes is None else nbytes
+            self.add_bytes(kind, size)
+            total += size
+            n_verbs += 1
+        self.one_sided_batched_verbs += n_verbs
+        return total
 
     def total_remote_ops(self) -> int:
         """Round trips / deliveries that crossed the wire.  A fused
-        batch counts once, however many verbs it carries."""
+        batch counts once, however many verbs it carries; local
+        deliveries never count."""
         return self.one_sided_remote + self.one_sided_batches + self.messages
 
     def total_bytes(self) -> int:
+        """Bytes that crossed the wire (local deliveries excluded)."""
         return sum(self.bytes_by_kind.values())
+
+    def total_local_bytes(self) -> int:
+        return sum(self.local_bytes_by_kind.values())
 
 
 class Network:
@@ -164,14 +260,11 @@ class Network:
         traffic accounting.
         """
         cfg = self.config
-        self.stats.add_bytes(kind, VERB_NOMINAL_BYTES if nbytes is None
-                             else nbytes)
+        self.stats.record_one_sided(kind, nbytes, remote=src != dst)
         if src == dst:
-            self.stats.one_sided_local += 1
             self._sim.schedule(cfg.local_access_us,
                                lambda: on_complete(op()))
             return
-        self.stats.one_sided_remote += 1
         arrive = self._fifo_time(src, dst,
                                  cfg.one_way_us + cfg.verb_overhead_us)
 
@@ -206,12 +299,8 @@ class Network:
         if len(ops) < 2:
             raise ValueError("a doorbell batch needs at least two verbs")
         cfg = self.config
-        for kind, nbytes in (kinds if kinds is not None
-                             else (("one_sided", None),) * len(ops)):
-            self.stats.add_bytes(kind, VERB_NOMINAL_BYTES if nbytes is None
-                                 else nbytes)
-        self.stats.one_sided_batches += 1
-        self.stats.one_sided_batched_verbs += len(ops)
+        self.stats.record_batch(kinds if kinds is not None
+                                else (("one_sided", None),) * len(ops))
         arrive = self._fifo_time(
             src, dst, cfg.one_way_us + cfg.verb_overhead_us
             + (len(ops) - 1) * cfg.batched_verb_us)
@@ -236,11 +325,13 @@ class Network:
         """
         if dst not in self._handlers:
             raise KeyError(f"server {dst} has no registered message handler")
-        self.stats.messages += 1
         if nbytes is None:
-            nbytes = approx_payload_bytes(
-                payload if size_of is _UNSET else size_of)
-        self.stats.add_bytes(kind, nbytes)
+            if self.config.account_payload_bytes:
+                nbytes = approx_payload_bytes(
+                    payload if size_of is _UNSET else size_of)
+            else:
+                nbytes = MESSAGE_NOMINAL_BYTES
+        self.stats.record_message(kind, nbytes, remote=src != dst)
         delay = (self.config.local_access_us if src == dst
                  else self.config.message_delay())
         arrive = self._fifo_time(src, dst, delay)

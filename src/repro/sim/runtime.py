@@ -1,22 +1,31 @@
-"""Effect interpretation runtime: how yielded effects get scheduled.
+"""Effect interpretation runtimes: how yielded effects get scheduled.
 
-:class:`EffectRuntime` owns everything between a coroutine yielding an
-:class:`~repro.sim.effects.Effect` and that coroutine being resumed with
-the result: task bookkeeping, effect dispatch, fan-out/fan-in for
+:class:`EffectRuntimeBase` owns everything between a coroutine yielding
+an :class:`~repro.sim.effects.Effect` and that coroutine being resumed
+with the result: task bookkeeping, effect dispatch, fan-out/fan-in for
 :class:`~repro.sim.effects.All`, RPC request/reply plumbing, and the
-doorbell-batching fast path.  The per-server
-:class:`~repro.sim.coroutines.Engine` is only a thin facade over one
-runtime instance; alternate backends (async, multiprocess, real
-sockets) can replace the runtime without touching the effect vocabulary
-or any executor code.
+doorbell-batching grouping.  Those are *semantics* shared by every
+backend; only the primitive operations — run CPU work, move a verb or a
+message, defer a continuation — differ between a simulated cluster and
+a real transport.  Backends implement the small ``_do_*`` /
+``_send_payload`` surface:
+
+* :class:`EffectRuntime` (this module) interprets effects over the
+  discrete-event :class:`~repro.sim.events.Simulator`, a
+  :class:`~repro.sim.cpu.Core`, and the RDMA-flavoured
+  :class:`~repro.sim.network.Network`.  The per-server
+  :class:`~repro.sim.coroutines.Engine` is a thin facade over one
+  instance.
+* :class:`~repro.sim.aio_runtime.AsyncioEffectRuntime` interprets the
+  same vocabulary over an asyncio event loop and real (or loopback)
+  transports — wall-clock time instead of simulated microseconds.
 
 **Doorbell batching.**  Real RDMA NICs let a sender post a chain of work
 requests with a single doorbell; the NIC processes them back-to-back and
 raises one completion.  With
 :attr:`~repro.sim.network.NetworkConfig.doorbell_batching` enabled, the
 runtime groups the one-sided verbs inside an ``All`` by destination
-server and issues one fused round trip per destination through
-:meth:`~repro.sim.network.Network.one_sided_batch`; explicit
+server and issues one fused round trip per destination; explicit
 :class:`~repro.sim.effects.BatchedOneSided` effects emitted by the
 transaction layers take the same path.  With the knob off (the default)
 every verb is issued individually, byte-for-byte reproducing the
@@ -25,7 +34,7 @@ unbatched simulation.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 from .cpu import Core
 from .effects import (All, Await, BatchedOneSided, Compute, Coroutine,
@@ -54,22 +63,17 @@ def _payload_kind(payload: Any, default: str) -> str:
     return default
 
 
-class EffectRuntime:
-    """Drives coroutines for one server, interpreting yielded effects.
+class EffectRuntimeBase:
+    """Backend-neutral effect semantics for one server.
 
-    The runtime multiplexes any number of tasks over one simulated
-    :class:`~repro.sim.cpu.Core` and one shared
-    :class:`~repro.sim.network.Network`.  Incoming RPCs spawn handler
-    coroutines on this same runtime (and therefore compete for its CPU),
-    exactly like the worker coroutines in the paper.
+    Subclasses provide the primitives (CPU, sleep, verbs, messages,
+    deferral); everything above those — task driving, ``All`` fan-in,
+    batching grouping, RPC plumbing — is shared, so the simulated and
+    asyncio runtimes cannot drift apart in *meaning*, only in *cost*.
     """
 
-    def __init__(self, sim: Simulator, network: Network, server_id: int,
-                 core: Core | None = None):
-        self.sim = sim
-        self.network = network
+    def __init__(self, server_id: int):
         self.server_id = server_id
-        self.core = core or Core(sim)
         self.active_tasks = 0
         self.rpc_handler: Callable[[int, Any], Coroutine] | None = None
 
@@ -79,6 +83,7 @@ class EffectRuntime:
               on_done: Callable[[Any], None] | None = None) -> None:
         """Start driving a coroutine; ``on_done`` receives its return."""
         self.active_tasks += 1
+        self._task_started()
         self._advance(_Task(gen, on_done), None)
 
     def _advance(self, task: _Task, value: Any) -> None:
@@ -88,8 +93,15 @@ class EffectRuntime:
             self.active_tasks -= 1
             if task.on_done is not None:
                 task.on_done(stop.value)
+            self._task_finished()
             return
         self.perform(effect, lambda result: self._advance(task, result))
+
+    def _task_started(self) -> None:
+        """Hook: a task became active (used by backends with a latch)."""
+
+    def _task_finished(self) -> None:
+        """Hook: a task ran to completion."""
 
     # -- effect dispatch -------------------------------------------------
 
@@ -97,21 +109,20 @@ class EffectRuntime:
                 cont: Callable[[Any], None]) -> None:
         """Interpret one effect; ``cont`` receives its result."""
         if isinstance(effect, Compute):
-            self.core.execute(effect.cost, lambda: cont(None))
+            self._do_compute(effect.cost, cont)
         elif isinstance(effect, OneSided):
-            self.network.one_sided(self.server_id, effect.target,
-                                   effect.op, cont,
-                                   kind=effect.kind, nbytes=effect.nbytes)
+            self._one_sided(effect.target, effect.op, cont,
+                            kind=effect.kind, nbytes=effect.nbytes)
         elif isinstance(effect, BatchedOneSided):
             self._perform_batch(effect, cont)
         elif isinstance(effect, Rpc):
             self.send_rpc(effect, cont)
         elif isinstance(effect, Sleep):
-            self.sim.schedule(effect.delay, lambda: cont(None))
+            self._do_sleep(effect.delay, cont)
         elif isinstance(effect, Await):
             if effect.signal.fired:
-                self.sim.schedule(0.0,
-                                  lambda: cont(effect.signal.value))
+                value = effect.signal.value
+                self._defer(lambda: cont(value))
             else:
                 effect.signal._waiters.append(cont)
         elif isinstance(effect, All):
@@ -131,10 +142,9 @@ class EffectRuntime:
         ops = effect.ops
         sizes = effect.per_verb_nbytes()
         if (len(ops) >= 2 and effect.target != self.server_id
-                and self.network.config.doorbell_batching):
+                and self._batching_enabled()):
             kinds = [(effect.kind, nbytes) for nbytes in sizes]
-            self.network.one_sided_batch(self.server_id, effect.target,
-                                         ops, cont, kinds=kinds)
+            self._one_sided_batch(effect.target, ops, cont, kinds=kinds)
             return
         self._perform_all(
             All([OneSided(effect.target, op, kind=effect.kind,
@@ -149,7 +159,7 @@ class EffectRuntime:
         if n == 0:
             # No sub-effects: resume immediately (still asynchronously, so
             # callers cannot observe a reentrant resume).
-            self.sim.schedule(0.0, lambda: cont([]))
+            self._defer(lambda: cont([]))
             return
         results: list[Any] = [None] * n
 
@@ -157,7 +167,7 @@ class EffectRuntime:
         # destination are fused into one round trip each; everything
         # else (local verbs, RPCs, nested Alls, ...) runs individually.
         fused: dict[int, list[int]] = {}
-        if self.network.config.doorbell_batching:
+        if self._batching_enabled():
             by_target: dict[int, list[int]] = {}
             for i, sub in enumerate(subs):
                 if (isinstance(sub, OneSided)
@@ -197,8 +207,8 @@ class EffectRuntime:
                 continue  # already went out with the group's first verb
             issued.add(target)
             idxs = fused[target]
-            self.network.one_sided_batch(
-                self.server_id, target,
+            self._one_sided_batch(
+                target,
                 tuple(subs[j].op for j in idxs),
                 batch_collector(idxs),
                 kinds=[(subs[j].kind, subs[j].nbytes) for j in idxs])
@@ -206,19 +216,19 @@ class EffectRuntime:
     # -- RPC plumbing ----------------------------------------------------
 
     def send_rpc(self, effect: Rpc, cont: Callable[[Any], None]) -> None:
-        self.network.send(self.server_id, effect.target,
+        self.send_payload(effect.target,
                           _RpcRequest(self.server_id, effect.payload, cont),
                           kind=_payload_kind(effect.payload, "rpc"),
-                          nbytes=None, size_of=effect.payload)
+                          size_of=effect.payload)
 
     def post(self, target: int, payload: Any) -> None:
         """Fire-and-forget message to ``target`` (no reply awaited)."""
-        self.network.send(self.server_id, target, OneWay(payload),
+        self.send_payload(target, OneWay(payload),
                           kind=_payload_kind(payload, "one_way"),
-                          nbytes=None, size_of=payload)
+                          size_of=payload)
 
     def on_message(self, src: int, payload: Any) -> None:
-        """Network delivery entry point for this server."""
+        """Delivery entry point for this server (any transport)."""
         if isinstance(payload, _RpcRequest):
             if self.rpc_handler is None:
                 raise RuntimeError(
@@ -226,8 +236,8 @@ class EffectRuntime:
                     f"handler installed")
             handler_gen = self.rpc_handler(src, payload.payload)
             self.spawn(handler_gen,
-                       on_done=lambda reply: self.network.send(
-                           self.server_id, src, _RpcReply(payload, reply),
+                       on_done=lambda reply: self.send_payload(
+                           src, _RpcReply(payload, reply),
                            kind="rpc_reply", size_of=reply))
         elif isinstance(payload, _RpcReply):
             payload.request.cont(payload.value)
@@ -239,6 +249,87 @@ class EffectRuntime:
             self.spawn(self.rpc_handler(src, payload.payload))
         else:
             raise TypeError(f"unexpected network payload {payload!r}")
+
+    # -- backend primitives ----------------------------------------------
+
+    def _batching_enabled(self) -> bool:
+        raise NotImplementedError
+
+    def _defer(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` soon, never reentrantly within the caller's frame."""
+        raise NotImplementedError
+
+    def _do_compute(self, cost: float, cont: Callable[[Any], None]) -> None:
+        raise NotImplementedError
+
+    def _do_sleep(self, delay: float, cont: Callable[[Any], None]) -> None:
+        raise NotImplementedError
+
+    def _one_sided(self, target: int, op: Callable[[], Any],
+                   cont: Callable[[Any], None],
+                   kind: str, nbytes: int | None) -> None:
+        raise NotImplementedError
+
+    def _one_sided_batch(self, target: int,
+                         ops: Sequence[Callable[[], Any]],
+                         cont: Callable[[list], None],
+                         kinds: list[tuple[str, int | None]]) -> None:
+        raise NotImplementedError
+
+    def send_payload(self, target: int, payload: Any,
+                     kind: str, size_of: Any) -> None:
+        """Deliver ``payload`` to ``target``'s :meth:`on_message` (FIFO
+        per (src, dst) channel); ``size_of`` is the application-level
+        body used for byte accounting."""
+        raise NotImplementedError
+
+
+class EffectRuntime(EffectRuntimeBase):
+    """Drives coroutines for one *simulated* server.
+
+    The runtime multiplexes any number of tasks over one simulated
+    :class:`~repro.sim.cpu.Core` and one shared
+    :class:`~repro.sim.network.Network`.  Incoming RPCs spawn handler
+    coroutines on this same runtime (and therefore compete for its CPU),
+    exactly like the worker coroutines in the paper.
+    """
+
+    def __init__(self, sim: Simulator, network: Network, server_id: int,
+                 core: Core | None = None):
+        super().__init__(server_id)
+        self.sim = sim
+        self.network = network
+        self.core = core or Core(sim)
+
+    def _batching_enabled(self) -> bool:
+        return self.network.config.doorbell_batching
+
+    def _defer(self, fn: Callable[[], None]) -> None:
+        self.sim.schedule(0.0, fn)
+
+    def _do_compute(self, cost: float, cont: Callable[[Any], None]) -> None:
+        self.core.execute(cost, lambda: cont(None))
+
+    def _do_sleep(self, delay: float, cont: Callable[[Any], None]) -> None:
+        self.sim.schedule(delay, lambda: cont(None))
+
+    def _one_sided(self, target: int, op: Callable[[], Any],
+                   cont: Callable[[Any], None],
+                   kind: str, nbytes: int | None) -> None:
+        self.network.one_sided(self.server_id, target, op, cont,
+                               kind=kind, nbytes=nbytes)
+
+    def _one_sided_batch(self, target: int,
+                         ops: Sequence[Callable[[], Any]],
+                         cont: Callable[[list], None],
+                         kinds: list[tuple[str, int | None]]) -> None:
+        self.network.one_sided_batch(self.server_id, target, ops, cont,
+                                     kinds=kinds)
+
+    def send_payload(self, target: int, payload: Any,
+                     kind: str, size_of: Any) -> None:
+        self.network.send(self.server_id, target, payload,
+                          kind=kind, nbytes=None, size_of=size_of)
 
 
 class _RpcRequest:

@@ -356,11 +356,14 @@ class BaseExecutor:
         if not self.cfg.replicate or self.db.replicas is None or not writes:
             return
         replicas = self.db.replicas
+        account = self.db.cluster.network.config.account_payload_bytes
         items: list[tuple[int, Callable[[], Any]]] = []
         sizes: list[int] = []
         for pid, partition_writes in writes.items():
             shipped = tuple(_to_replica_write(w) for w in partition_writes)
-            nbytes = approx_payload_bytes(shipped)
+            # with accounting off, None lets the network charge its
+            # nominal verb size like every other unestimated verb
+            nbytes = approx_payload_bytes(shipped) if account else None
             for rserver in replicas.replica_servers(pid):
                 items.append((rserver,
                               _replica_apply_op(replicas, rserver, pid,

@@ -11,13 +11,23 @@ mimicking the long flat tail of real purchase data.
 
 from __future__ import annotations
 
+import math
+
 
 def power_law_weights(n: int, top_shares: tuple[float, ...] = (),
                       tail_exponent: float = 1.0) -> list[float]:
-    """Per-draw probabilities over ``n`` ranked items, summing to 1."""
+    """Per-draw probabilities over ``n`` ranked items, summing to 1.
+
+    The head shares are pinned exactly; normalization error from the
+    tail construction (including the rescale branch, whose float drift
+    used to leave the vector summing to ≠ 1) is folded back into the
+    tail, so ``math.fsum(weights)`` is 1 to within a few ulps.
+    """
     if n <= len(top_shares):
         raise ValueError("need more items than pinned head shares")
-    head_mass = sum(top_shares)
+    if any(share <= 0.0 for share in top_shares):
+        raise ValueError("pinned head shares must be positive")
+    head_mass = math.fsum(top_shares)
     if head_mass >= 1.0:
         raise ValueError("pinned head shares must sum below 1")
     if any(a < b for a, b in zip(top_shares, top_shares[1:])):
@@ -33,7 +43,7 @@ def power_law_weights(n: int, top_shares: tuple[float, ...] = (),
     base = max(1, n_head)
     tail = [anchor * (base / (base + rank)) ** tail_exponent
             for rank in range(1, n_tail + 1)]
-    tail_mass = sum(tail)
+    tail_mass = math.fsum(tail)
     spare = 1.0 - head_mass - tail_mass
     if spare < 0:
         # curve carries too much mass for the pinned head: shrink it
@@ -42,4 +52,8 @@ def power_law_weights(n: int, top_shares: tuple[float, ...] = (),
     background = spare / n_tail
     weights = list(top_shares)
     weights.extend(w + background for w in tail)
+    # exact renormalization: fold the residual float drift into the
+    # largest tail weight (the head stays pinned bit-for-bit)
+    residual = 1.0 - math.fsum(weights)
+    weights[n_head] += residual
     return weights

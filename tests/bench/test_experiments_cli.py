@@ -87,3 +87,23 @@ def test_selected_figures_only(stubbed, capsys):
     out = capsys.readouterr().out
     assert "Fig. 9b" in out
     assert "Fig. 9a" not in out
+
+
+def test_backend_flag_both_spellings(stubbed, capsys):
+    ex.main(["fig9a", "--backend", "aio"])
+    assert [call[0] for call in stubbed] == ["fig9"]
+    assert "wall-clock" in capsys.readouterr().out
+    ex.main(["fig9a", "--backend=aio"])
+    assert "wall-clock" in capsys.readouterr().out
+
+
+def test_backend_flag_default_is_sim(stubbed, capsys):
+    ex.main(["fig9a"])
+    assert "wall-clock" not in capsys.readouterr().out
+
+
+def test_unknown_backend_rejected(stubbed):
+    with pytest.raises(SystemExit):
+        ex.main(["fig9a", "--backend", "quantum"])
+    with pytest.raises(SystemExit):
+        ex.main(["fig9a", "--backend"])

@@ -159,3 +159,116 @@ def test_approx_payload_bytes_walks_structures():
 
     assert approx_payload_bytes(Body(1, "xy")) == 8 + 8 + 2
     assert approx_payload_bytes(lambda: None) == 64  # opaque
+
+
+# -- local vs. wire accounting (regression: local traffic inflated totals) ---
+
+
+def test_local_sends_never_inflate_wire_totals():
+    """A server talking to itself crosses no wire: the remote counters,
+    total_remote_ops, and total_bytes must all stay untouched."""
+    sim, net = make_net()
+    net.register_handler(0, lambda src, p: None)
+    net.one_sided(0, 0, lambda: None, lambda v: None)
+    net.send(0, 0, "hello")
+    sim.run()
+    assert net.stats.one_sided_local == 1
+    assert net.stats.messages_local == 1
+    assert net.stats.one_sided_remote == 0
+    assert net.stats.messages == 0
+    assert net.stats.total_remote_ops() == 0
+    assert net.stats.total_bytes() == 0
+    assert net.stats.bytes_by_kind == {}
+    # the traffic is still visible, just on the local books
+    assert net.stats.total_local_bytes() > 0
+    assert net.stats.local_bytes_by_kind["one_sided"] > 0
+    assert net.stats.local_bytes_by_kind["message"] == 5
+
+
+def test_mixed_local_and_remote_split_cleanly():
+    sim, net = make_net()
+    net.register_handler(0, lambda src, p: None)
+    net.register_handler(1, lambda src, p: None)
+    net.send(0, 0, "xx", kind="m")       # local
+    net.send(0, 1, "yyyy", kind="m")     # wire
+    net.one_sided(0, 0, lambda: None, lambda v: None, nbytes=10)
+    net.one_sided(0, 1, lambda: None, lambda v: None, nbytes=20)
+    sim.run()
+    assert net.stats.messages == 1
+    assert net.stats.messages_local == 1
+    assert net.stats.total_remote_ops() == 2  # one message, one verb
+    assert net.stats.bytes_by_kind == {"m": 4, "one_sided": 20}
+    assert net.stats.local_bytes_by_kind == {"m": 2, "one_sided": 10}
+
+
+# -- payload-walk bounds (regression: cyclic payload hung accounting) --------
+
+
+def test_cyclic_payload_accounting_terminates():
+    from repro.sim import approx_payload_bytes
+
+    cyclic = [1, 2]
+    cyclic.append(cyclic)
+    size = approx_payload_bytes(cyclic)  # must not recurse forever
+    assert size > 0
+
+    a, b = {}, {}
+    a["peer"], b["peer"] = b, a
+    assert approx_payload_bytes(a) > 0
+
+
+def test_high_fanout_cycles_and_shared_dags_walk_in_linear_time():
+    """A cycle with fanout >= 3 (or a deeply shared DAG) must cost one
+    visit per distinct container, not branching^depth work."""
+    import time
+
+    from repro.sim import approx_payload_bytes
+
+    wide_cycle = []
+    wide_cycle.extend([wide_cycle] * 50)
+    shared = [0]
+    for _ in range(30):
+        shared = [shared, shared, shared]  # 3^30 paths, 31 containers
+
+    start = time.perf_counter()
+    assert approx_payload_bytes(wide_cycle) > 0
+    assert approx_payload_bytes(shared) > 0
+    assert time.perf_counter() - start < 0.5
+
+
+def test_deeply_nested_payload_gets_flat_fallback():
+    from repro.sim import approx_payload_bytes
+    from repro.sim.network import (MESSAGE_NOMINAL_BYTES,
+                                   PAYLOAD_WALK_MAX_DEPTH)
+
+    nested = "leaf"
+    for _ in range(PAYLOAD_WALK_MAX_DEPTH * 4):
+        nested = [nested]
+    size = approx_payload_bytes(nested)
+    # capped: walked levels plus one flat charge, not 64 levels deep
+    assert size == 8 * PAYLOAD_WALK_MAX_DEPTH + MESSAGE_NOMINAL_BYTES
+
+
+def test_cyclic_payload_send_terminates_and_accounts():
+    sim, net = make_net()
+    net.register_handler(1, lambda src, p: None)
+    cyclic = {"next": None}
+    cyclic["next"] = cyclic
+    net.send(0, 1, cyclic, kind="cyclic")
+    sim.run()
+    assert net.stats.bytes_by_kind["cyclic"] > 0
+
+
+def test_payload_walk_can_be_gated_off_the_hot_path():
+    from repro.sim.network import MESSAGE_NOMINAL_BYTES
+
+    sim, net = make_net(account_payload_bytes=False)
+    net.register_handler(1, lambda src, p: None)
+    net.send(0, 1, "x" * 10_000, kind="big")
+    sim.run()
+    # flat nominal charge, no walk of the 10k-char payload
+    assert net.stats.bytes_by_kind["big"] == MESSAGE_NOMINAL_BYTES
+    # explicit sizes still win over the gate
+    net.send(0, 1, "y" * 10_000, kind="sized", nbytes=10_000)
+    sim.run()
+    assert net.stats.bytes_by_kind["sized"] == 10_000
