@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Compare a pytest-benchmark JSON run against the committed baseline.
+
+The tracked figure is the harness's hot-path speed:
+``events_per_wall_second`` from ``RunResult.perf_summary()``, persisted
+into every benchmark's ``extra_info``.  CI's ``perf-tracking`` job runs
+``benchmarks/bench_effect_runtime.py --benchmark-json``, uploads the
+JSON artifact, then fails the build if the event rate regressed more
+than ``--max-regression`` (default 30%) below ``BENCH_BASELINE.json``.
+
+Re-baselining (after an intentional change, or when CI hardware moves):
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_effect_runtime.py \
+        --benchmark-json bench_results.json -q
+    python benchmarks/check_perf_regression.py bench_results.json \
+        --write-baseline BENCH_BASELINE.json
+
+and commit the refreshed baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def extract_event_rates(results: dict) -> dict[str, float]:
+    """events_per_wall_second per benchmark that recorded one."""
+    rates: dict[str, float] = {}
+    for bench in results.get("benchmarks", []):
+        extra = bench.get("extra_info", {})
+        for key in ("events_per_wall_second",
+                    "batched_events_per_wall_second"):
+            if key in extra and extra[key] > 0:
+                rates[f"{bench['name']}:{key}"] = float(extra[key])
+    return rates
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", help="pytest-benchmark JSON output")
+    parser.add_argument("baseline", nargs="?", default="BENCH_BASELINE.json")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="fail if any rate drops more than this "
+                             "fraction below baseline (default 0.30)")
+    parser.add_argument("--write-baseline", metavar="PATH",
+                        help="write PATH from the results instead of "
+                             "comparing")
+    args = parser.parse_args(argv)
+
+    with open(args.results) as fh:
+        rates = extract_event_rates(json.load(fh))
+    if not rates:
+        print("error: results carry no events_per_wall_second extra_info")
+        return 2
+
+    if args.write_baseline:
+        baseline = {
+            "tracked": rates,
+            "note": "harness hot-path event rates; regenerate with "
+                    "check_perf_regression.py --write-baseline after "
+                    "intentional perf changes",
+        }
+        with open(args.write_baseline, "w") as fh:
+            json.dump(baseline, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.write_baseline}: "
+              + ", ".join(f"{k}={v:,.0f}" for k, v in rates.items()))
+        return 0
+
+    with open(args.baseline) as fh:
+        tracked = json.load(fh)["tracked"]
+
+    failed = False
+    for name, base in sorted(tracked.items()):
+        current = rates.get(name)
+        if current is None:
+            print(f"MISSING  {name}: baseline {base:,.0f} ev/s, no "
+                  f"current measurement (benchmark renamed? re-baseline)")
+            failed = True
+            continue
+        change = (current - base) / base
+        floor = base * (1.0 - args.max_regression)
+        status = "OK" if current >= floor else "REGRESSED"
+        print(f"{status:9} {name}: {current:,.0f} ev/s vs baseline "
+              f"{base:,.0f} ({change:+.1%}, floor {floor:,.0f})")
+        if current < floor:
+            failed = True
+    if failed:
+        print(f"\nperf check failed: >{args.max_regression:.0%} below "
+              f"baseline. If intentional (or CI hardware changed), "
+              f"re-baseline per the module docstring.")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,8 @@
 """Benchmark harness: driver, metrics, and per-figure experiments."""
 
 from .harness import (BACKENDS, RunConfig, RunResult, build_database,
-                      make_cluster, run_benchmark)
+                      make_cluster, mp_benchmark_driver, run_benchmark,
+                      run_mp_benchmark)
 from .metrics import Metrics
 
 __all__ = [
@@ -11,5 +12,7 @@ __all__ = [
     "RunResult",
     "build_database",
     "make_cluster",
+    "mp_benchmark_driver",
     "run_benchmark",
+    "run_mp_benchmark",
 ]

@@ -1,0 +1,160 @@
+"""Cross-backend conformance: one program, one decision sequence.
+
+The figure sweeps cannot compare backends directly — sim counts
+simulated microseconds, aio/mp count wall time, and contention makes
+wall-clock outcomes scheduling-dependent.  What *must* agree everywhere
+is the decision logic: given the same database and the same sequence of
+transactions executed one at a time (no races), every backend has to
+produce the identical commit/abort decision — and abort reason — for
+every attempt, because each decision then depends only on data, never
+on timing.
+
+This module is that shared program: a bank database over 2 partitions
+with replication, driven by a fixed request list that deliberately
+exercises commits, logical aborts (insufficient funds), and read misses
+(transfers touching a nonexistent account), through either the 2PL or
+the OCC executor — covering the codec's lock/read, commit, release,
+validate, and replica_apply verbs plus RPC-free and replicated paths.
+
+Everything here is module-level and picklable so the multiprocess
+backend's spawned workers can rebuild it by reference; the tier-1 suite
+(`tests/sim/test_mp_runtime.py`) asserts sim == aio == mp, and CI's
+`mp-backend-smoke` job runs it on every push.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis import ProcedureRegistry
+from ..partitioning import HashScheme
+from ..storage import Catalog
+from ..txn import Database, OccExecutor, TwoPLExecutor
+from ..txn.common import TxnRequest, seed_txn_ids
+from ..workloads.bank import BankWorkload
+from .harness import RunConfig, make_cluster
+
+N_ACCOUNTS = 64
+DRIVER_HOME = 0
+"""All conformance transactions coordinate from server 0 (worker 0 on
+the mp backend); remote accounts force cross-server — and on mp,
+cross-process — verbs."""
+
+
+def conformance_config(backend: str, n_partitions: int = 2) -> RunConfig:
+    """The shared run shape.  ``horizon_us`` is irrelevant (the driver
+    executes a fixed request list, not horizon-bounded load) but bounds
+    the mp hang guard."""
+    return RunConfig(n_partitions=n_partitions, backend=backend,
+                     n_replicas=1, horizon_us=30_000.0,
+                     mp_run_timeout_s=120.0, seed=13)
+
+
+@dataclass
+class ConformanceRun:
+    """The run-object contract mp drivers expect."""
+
+    workload: BankWorkload
+    database: Database
+    executor: object
+    config: RunConfig
+    executor_name: str
+
+
+def build_conformance_run(config: RunConfig,
+                          executor: str = "2pl") -> ConformanceRun:
+    """Deterministically build the shared bank database + executor.
+
+    Module-level and picklable-by-reference: the mp backend's workers
+    call this to recreate identical state in every process.
+    """
+    workload = BankWorkload(n_accounts=N_ACCOUNTS, initial_balance=100.0,
+                            amount=30.0)
+    cluster = make_cluster(config)
+    registry = ProcedureRegistry()
+    for proc in workload.procedures():
+        registry.register(proc)
+    db = Database(cluster, Catalog(config.n_partitions,
+                                   HashScheme(config.n_partitions)),
+                  workload.tables(), registry,
+                  n_replicas=config.n_replicas)
+    workload.populate(db.loader())
+    if executor == "2pl":
+        exec_ = TwoPLExecutor(db)
+    elif executor == "occ":
+        exec_ = OccExecutor(db)
+    else:
+        raise ValueError(f"unknown conformance executor {executor!r}")
+    return ConformanceRun(workload, db, exec_, config, executor)
+
+
+def conformance_requests() -> list[TxnRequest]:
+    """The fixed program: commits, logical aborts, and read misses.
+
+    Account k lives on partition ``hash(k) % 2``; the mix below crosses
+    partitions repeatedly.  Repeated debits from account 1 (balance 100,
+    amount 30) commit three times then fail the funds CHECK — a
+    deterministic LOGICAL abort; transfers touching account 9999 miss.
+    """
+    reqs = []
+
+    def transfer(src, dst, amount=30.0):
+        reqs.append(TxnRequest("transfer",
+                               {"src": src, "dst": dst, "amount": amount},
+                               home=DRIVER_HOME))
+
+    for dst in (2, 3, 4, 5):          # drain account 1: 3 commits + aborts
+        transfer(1, dst)
+    transfer(1, 6)                    # still broke: LOGICAL abort again
+    transfer(2, 1)                    # refund: commit
+    transfer(1, 7)                    # funded again: commit
+    transfer(8, 9999)                 # READ_MISS (missing destination)
+    transfer(9999, 8)                 # READ_MISS (missing source)
+    for src, dst in ((10, 11), (12, 13), (14, 10), (11, 12)):
+        transfer(src, dst)            # plain cross-partition commits
+    transfer(10, 15, amount=1000.0)   # LOGICAL abort (never that rich)
+    reqs.append(TxnRequest("audit", {"accounts": [1, 2, 10, 11, 14]},
+                           home=DRIVER_HOME))
+    return reqs
+
+
+def decision_program(run: ConformanceRun, decisions: list):
+    """A coroutine executing the fixed requests strictly in sequence."""
+    for request in conformance_requests():
+        outcome = yield from run.executor.execute(request)
+        decisions.append((request.proc, outcome.committed,
+                          outcome.reason.value if outcome.reason else None))
+    return decisions
+
+
+def conformance_driver(run: ConformanceRun, cluster, worker_id: int):
+    """mp worker driver: worker 0 drives the program, others serve."""
+    seed_txn_ids(worker_id)
+    decisions: list = []
+    if cluster.owns(DRIVER_HOME):
+        cluster.engine(DRIVER_HOME).spawn(decision_program(run, decisions))
+
+    def finalize() -> dict:
+        return {"decisions": decisions}
+
+    return finalize
+
+
+def run_conformance(backend: str, executor: str = "2pl") -> list[tuple]:
+    """Execute the shared program on ``backend``; return its decisions."""
+    config = conformance_config(backend)
+    if backend == "mp":
+        from ..sim import MpRunSpec, run_mp_workers
+        spec = MpRunSpec(builder=build_conformance_run,
+                         args=(config,), kwargs={"executor": executor},
+                         driver=conformance_driver)
+        payloads = run_mp_workers(spec, config)
+        decisions = [p["decisions"] for p in payloads if p["decisions"]]
+        assert len(decisions) == 1, "exactly one worker drives the program"
+        return decisions[0]
+    run = build_conformance_run(config, executor)
+    decisions: list = []
+    run.database.cluster.engine(DRIVER_HOME).spawn(
+        decision_program(run, decisions))
+    run.database.cluster.run()
+    return decisions

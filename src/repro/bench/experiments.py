@@ -10,11 +10,15 @@ Run from the command line::
     python -m repro.bench.experiments all --quick
     python -m repro.bench.experiments fig7 --doorbell   # fused verbs on
     python -m repro.bench.experiments fig9a --quick --backend aio
+    python -m repro.bench.experiments fig9a --quick --backend mp
+    python -m repro.bench.experiments fig9a --quick --backend mp --workers 2
 
 ``--backend aio`` drives the same sweep through the asyncio runtime
-(real event loop, wall-clock time) instead of the simulator; see
+(real event loop, wall-clock time) instead of the simulator;
+``--backend mp`` through the multiprocess runtime (one OS process per
+server, ``--workers N`` packs servers onto fewer processes).  See
 EXPERIMENTS.md for how to read those numbers — they measure what this
-Python process actually sustains, not the modeled RDMA cluster.
+machine actually sustains, not the modeled RDMA cluster.
 
 Absolute throughput differs from the paper (their 8-node InfiniBand
 testbed vs our discrete-event simulator); the *shapes* — orderings,
@@ -42,14 +46,15 @@ TPCC_EXECUTORS = ("2pl", "occ", "chiller")
 def instacart_config(n_partitions: int, quick: bool = False,
                      seed: int = 2,
                      doorbell_batching: bool = False,
-                     backend: str = "sim") -> RunConfig:
+                     backend: str = "sim",
+                     mp_workers: int | None = None) -> RunConfig:
     return RunConfig(n_partitions=n_partitions,
                      concurrent_per_engine=4,
                      horizon_us=4_000.0 if quick else 12_000.0,
                      warmup_us=500.0 if quick else 2_000.0,
                      seed=seed, n_replicas=1, route_by_data=True,
                      doorbell_batching=doorbell_batching,
-                     backend=backend)
+                     backend=backend, mp_workers=mp_workers)
 
 
 def instacart_sweep(partitions: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
@@ -58,7 +63,8 @@ def instacart_sweep(partitions: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
                     layouts: Sequence[str] = INSTACART_LAYOUTS,
                     workload_factory=InstacartWorkload,
                     doorbell_batching: bool = False,
-                    backend: str = "sim") -> list[dict]:
+                    backend: str = "sim",
+                    mp_workers: int | None = None) -> list[dict]:
     """One row per partition count with every layout's metrics.
 
     Feeds Fig. 7 (throughput), Fig. 8 (distributed ratio), the lookup
@@ -78,7 +84,7 @@ def instacart_sweep(partitions: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
             run = make_instacart_run(
                 setup, layout,
                 instacart_config(k, quick, seed, doorbell_batching,
-                                 backend))
+                                 backend, mp_workers))
             result = run.run()
             metrics = result.metrics
             row[f"{name}_throughput"] = result.throughput
@@ -135,20 +141,22 @@ def print_cost(rows: list[dict]) -> None:
 def tpcc_config(n_partitions: int, concurrent: int, quick: bool = False,
                 seed: int = 3,
                 doorbell_batching: bool = False,
-                backend: str = "sim") -> RunConfig:
+                backend: str = "sim",
+                mp_workers: int | None = None) -> RunConfig:
     return RunConfig(n_partitions=n_partitions,
                      concurrent_per_engine=concurrent,
                      horizon_us=5_000.0 if quick else 15_000.0,
                      warmup_us=500.0 if quick else 2_000.0,
                      seed=seed, n_replicas=1,
                      doorbell_batching=doorbell_batching,
-                     backend=backend)
+                     backend=backend, mp_workers=mp_workers)
 
 
 def fig9_rows(concurrency: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
               n_partitions: int = 4, quick: bool = False,
               seed: int = 3, doorbell_batching: bool = False,
-              backend: str = "sim") -> list[dict]:
+              backend: str = "sim",
+              mp_workers: int | None = None) -> list[dict]:
     """Throughput + abort rates per executor per concurrency level."""
     rows = []
     for concurrent in concurrency:
@@ -156,7 +164,7 @@ def fig9_rows(concurrency: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
         for name in TPCC_EXECUTORS:
             run = make_tpcc_run(
                 name, tpcc_config(n_partitions, concurrent, quick, seed,
-                                  doorbell_batching, backend))
+                                  doorbell_batching, backend, mp_workers))
             result = run.run()
             metrics = result.metrics
             row[f"{name}_throughput"] = result.throughput
@@ -206,7 +214,8 @@ FIG10_SERIES = (("2pl", 1), ("occ", 1), ("2pl", 5), ("occ", 5),
 def fig10_rows(percents: Sequence[int] = (0, 20, 40, 60, 80, 100),
                n_partitions: int = 4, quick: bool = False,
                seed: int = 5, doorbell_batching: bool = False,
-               backend: str = "sim") -> list[dict]:
+               backend: str = "sim",
+               mp_workers: int | None = None) -> list[dict]:
     """Throughput vs fraction of distributed transactions."""
     rows = []
     for percent in percents:
@@ -219,7 +228,7 @@ def fig10_rows(percents: Sequence[int] = (0, 20, 40, 60, 80, 100),
                 new_order_remote_prob=percent / 100.0)
             run = make_tpcc_run(
                 name, tpcc_config(n_partitions, concurrent, quick, seed,
-                                  doorbell_batching, backend),
+                                  doorbell_batching, backend, mp_workers),
                 workload=workload)
             result = run.run()
             row[f"{name}_{concurrent}_throughput"] = result.throughput
@@ -244,7 +253,8 @@ def print_fig10(rows: list[dict]) -> None:
 def reorder_ablation_rows(n_partitions: int = 4, n_train: int = 1200,
                           quick: bool = False, seed: int = 2,
                           doorbell_batching: bool = False,
-                          backend: str = "sim") -> list[dict]:
+                          backend: str = "sim",
+                          mp_workers: int | None = None) -> list[dict]:
     """Two-region execution without contention-aware partitioning.
 
     The paper's Section 1 claim: "re-ordering operations without
@@ -256,7 +266,7 @@ def reorder_ablation_rows(n_partitions: int = 4, n_train: int = 1200,
     setup = build_instacart_setup(n_partitions, n_train=n_train,
                                   seed=seed)
     config = instacart_config(n_partitions, quick, seed, doorbell_batching,
-                              backend)
+                              backend, mp_workers)
     rows = []
     combos = (("hashing", "2pl", "2PL on hashing"),
               ("hashing", "chiller", "two-region on hashing"),
@@ -293,13 +303,14 @@ def min_weight_ablation_rows(weights: Sequence[float] = (0.0, 0.05, 0.2,
                              quick: bool = False,
                              seed: int = 2,
                              doorbell_batching: bool = False,
-                             backend: str = "sim") -> list[dict]:
+                             backend: str = "sim",
+                             mp_workers: int | None = None) -> list[dict]:
     """Section 4.4: a minimum edge weight co-optimizes contention and
     the number of distributed transactions."""
     setup = build_instacart_setup(n_partitions, n_train=n_train,
                                   seed=seed)
     config = instacart_config(n_partitions, quick, seed, doorbell_batching,
-                              backend)
+                              backend, mp_workers)
     rows = []
     for weight in weights:
         layout = build_instacart_layout(setup, "chiller", seed=seed,
@@ -351,9 +362,39 @@ def _parse_backend(args: list[str]) -> tuple[str, list[str]]:
     return backend, rest
 
 
+def _parse_workers(args: list[str]) -> tuple[int | None, list[str]]:
+    """Extract ``--workers N`` / ``--workers=N`` (mp worker processes)."""
+    workers: int | None = None
+    rest: list[str] = []
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        value: str | None = None
+        if arg == "--workers":
+            if i + 1 >= len(args):
+                raise SystemExit("--workers needs a process count")
+            value = args[i + 1]
+            i += 2
+        elif arg.startswith("--workers="):
+            value = arg.split("=", 1)[1]
+            i += 1
+        else:
+            rest.append(arg)
+            i += 1
+            continue
+        try:
+            workers = int(value)
+        except ValueError:
+            raise SystemExit(f"--workers needs an integer, got {value!r}")
+        if workers < 1:
+            raise SystemExit("--workers must be >= 1")
+    return workers, rest
+
+
 def main(argv: Iterable[str] | None = None) -> None:
     args = list(sys.argv[1:] if argv is None else argv)
     backend, args = _parse_backend(args)
+    workers, args = _parse_workers(args)
     quick = "--quick" in args
     doorbell = "--doorbell" in args
     args = [a for a in args if not a.startswith("--")]
@@ -368,12 +409,18 @@ def main(argv: Iterable[str] | None = None) -> None:
         print("(asyncio backend: throughput is wall-clock — commits per "
               "real second of event-loop time, not simulated microseconds; "
               "numbers are NOT comparable to sim-backend figures)")
+    if backend == "mp":
+        print("(multiprocess backend: one OS process per server"
+              + (f", packed onto {workers} workers" if workers else "")
+              + "; throughput is wall-clock across truly parallel "
+              "workers — comparable to aio numbers only, never to sim "
+              "figures)")
 
     if wanted & {"fig7", "fig8", "lookup", "cost"}:
         partitions = (2, 4, 8) if quick else (2, 3, 4, 5, 6, 7, 8)
         rows = instacart_sweep(partitions, quick=quick,
                                doorbell_batching=doorbell,
-                               backend=backend)
+                               backend=backend, mp_workers=workers)
         if "fig7" in wanted:
             print_fig7(rows)
         if "fig8" in wanted:
@@ -385,7 +432,8 @@ def main(argv: Iterable[str] | None = None) -> None:
     if wanted & {"fig9a", "fig9b", "fig9c"}:
         concurrency = (1, 2, 4, 8) if quick else (1, 2, 3, 4, 5, 6, 7, 8)
         rows = fig9_rows(concurrency, quick=quick,
-                         doorbell_batching=doorbell, backend=backend)
+                         doorbell_batching=doorbell, backend=backend,
+                         mp_workers=workers)
         if "fig9a" in wanted:
             print_fig9a(rows)
         if "fig9b" in wanted:
@@ -396,14 +444,16 @@ def main(argv: Iterable[str] | None = None) -> None:
         percents = (0, 50, 100) if quick else (0, 20, 40, 60, 80, 100)
         print_fig10(fig10_rows(percents, quick=quick,
                                doorbell_batching=doorbell,
-                               backend=backend))
+                               backend=backend, mp_workers=workers))
     if "reorder" in wanted:
         print_reorder(reorder_ablation_rows(quick=quick,
                                             doorbell_batching=doorbell,
-                                            backend=backend))
+                                            backend=backend,
+                                            mp_workers=workers))
     if "minweight" in wanted:
         print_min_weight(min_weight_ablation_rows(
-            quick=quick, doorbell_batching=doorbell, backend=backend))
+            quick=quick, doorbell_batching=doorbell, backend=backend,
+            mp_workers=workers))
 
 
 if __name__ == "__main__":

@@ -9,6 +9,7 @@ counts every attempt.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 import time
 from collections import deque
@@ -17,15 +18,20 @@ from typing import Iterable
 
 from .._util import make_rng
 from ..analysis import ProcedureRegistry
-from ..sim import AioCluster, Cluster, NetworkConfig, Sleep
+from ..sim import (AioCluster, Cluster, MpRunSpec, NetworkConfig, Sleep,
+                   effective_mp_workers, run_mp_workers)
+from ..sim import mp_runtime
 from ..storage import Catalog
 from ..txn import BaseExecutor, Database, ExecConfig, HistoryRecorder
+from ..txn.common import seed_txn_ids
 from .metrics import APP_ABORTS, Metrics
 
-BACKENDS = ("sim", "aio")
+BACKENDS = ("sim", "aio", "mp")
 """Execution backends a run can select: the discrete-event simulator
-(deterministic, simulated microseconds) or the asyncio runtime (real
-event loop, wall-clock microseconds)."""
+(deterministic, simulated microseconds), the asyncio runtime (real
+event loop, wall-clock microseconds), or the multiprocess runtime (one
+OS process per server over a real wire codec, wall-clock
+microseconds)."""
 
 
 @dataclass
@@ -80,6 +86,18 @@ class RunConfig:
     derives a bound from the wall-clock horizon (horizon plus two
     minutes of drain headroom), so long runs are never killed by the
     cluster's default cap.  Ignored on the sim backend."""
+
+    mp_workers: int | None = None
+    """Worker-process count for the mp backend.  None (default) runs
+    one process per server — the paper-faithful topology; smaller
+    values pack servers onto workers round-robin (``server %
+    workers``).  Ignored on other backends."""
+
+    mp_run_timeout_s: float | None = None
+    """Hang guard for the mp backend: how long the parent waits for
+    every worker to report before tearing the fleet down.  None derives
+    a bound from the wall-clock horizon plus a minute of build/drain
+    headroom."""
 
     def network_config(self) -> NetworkConfig:
         """The effective network model for this run.
@@ -157,10 +175,12 @@ class RunResult:
         }
         if self.config.backend == "sim":
             summary["sim_us"] = self.end_time
+        if self.config.backend == "mp":
+            summary["workers"] = effective_mp_workers(self.config)
         return summary
 
 
-def make_cluster(config: RunConfig) -> Cluster | AioCluster:
+def make_cluster(config: RunConfig):
     """Build the cluster for ``config``'s selected backend."""
     if config.backend == "sim":
         return Cluster(config.n_partitions, config.network_config())
@@ -171,12 +191,16 @@ def make_cluster(config: RunConfig) -> Cluster | AioCluster:
         return AioCluster(config.n_partitions, config.network_config(),
                           transport=config.aio_transport,
                           run_timeout_s=timeout)
+    if config.backend == "mp":
+        # inside a worker process this is that worker's live cluster;
+        # in the parent it is an inert template for inspection
+        return mp_runtime.cluster_for_config(config.n_partitions,
+                                             config.network_config())
     raise ValueError(f"unknown backend {config.backend!r} "
                      f"(expected one of {BACKENDS})")
 
 
-def build_database(workload, catalog: Catalog, config: RunConfig,
-                   ) -> tuple[Database, Cluster | AioCluster]:
+def build_database(workload, catalog: Catalog, config: RunConfig):
     """Create the cluster, register procedures, and load the data."""
     cluster = make_cluster(config)
     registry = ProcedureRegistry()
@@ -190,14 +214,45 @@ def build_database(workload, catalog: Catalog, config: RunConfig,
 
 
 def run_benchmark(workload, executor: BaseExecutor,
-                  config: RunConfig) -> RunResult:
-    """Drive ``workload`` through ``executor`` until the horizon."""
+                  config: RunConfig,
+                  mp_spec: MpRunSpec | None = None) -> RunResult:
+    """Drive ``workload`` through ``executor`` until the horizon.
+
+    On the mp backend the run executes in worker processes, each
+    rebuilding the database from ``mp_spec`` (the setups layer attaches
+    one to every run it builds); the parent-side ``executor`` supplies
+    only the result schema.
+    """
     db = executor.db
     cluster = db.cluster
+    if config.backend == "mp" and mp_runtime.current_worker_cluster() is None:
+        if mp_spec is None:
+            raise ValueError(
+                "backend='mp' runs re-create their database inside worker "
+                "processes; pass mp_spec=MpRunSpec(builder, ...) with a "
+                "module-level builder, or use the setups layer "
+                "(make_tpcc_run(...).run()) which attaches one")
+        return run_mp_benchmark(mp_spec, config, database=db)
     metrics = Metrics()
-    homes: Iterable[int] = (config.homes if config.homes is not None
-                            else range(config.n_partitions))
+    homes = list(config.homes if config.homes is not None
+                 else range(config.n_partitions))
+    _spawn_load(workload, executor, config, cluster, metrics, homes)
+    events_before = cluster.sim.events_fired
+    wall_start = time.perf_counter()
+    cluster.run()
+    metrics.wall_seconds = time.perf_counter() - wall_start
+    metrics.events_processed = cluster.sim.events_fired - events_before
+    return RunResult(metrics=metrics, database=db,
+                     history=executor.history, config=config,
+                     end_time=cluster.sim.now)
 
+
+def _spawn_load(workload, executor: BaseExecutor, config: RunConfig,
+                cluster, metrics: Metrics,
+                homes: Iterable[int]) -> None:
+    """Spawn the worker coroutines that generate and retry load on
+    ``homes`` (a subset on mp workers, all engines elsewhere)."""
+    db = executor.db
     routed_queues: dict[int, deque] = {home: deque() for home in homes}
 
     def next_routed(home: int, rng: random.Random):
@@ -245,11 +300,52 @@ def run_benchmark(workload, executor: BaseExecutor,
     for home in homes:
         for slot in range(config.concurrent_per_engine):
             cluster.engine(home).spawn(worker(home, slot))
-    events_before = cluster.sim.events_fired
-    wall_start = time.perf_counter()
-    cluster.run()
-    metrics.wall_seconds = time.perf_counter() - wall_start
-    metrics.events_processed = cluster.sim.events_fired - events_before
-    return RunResult(metrics=metrics, database=db,
-                     history=executor.history, config=config,
-                     end_time=cluster.sim.now)
+
+
+# -- the multiprocess path ----------------------------------------------------
+
+def mp_benchmark_driver(run_obj, cluster, worker_id: int):
+    """Per-worker half of :func:`run_mp_benchmark`.
+
+    Runs inside each worker process: namespaces transaction ids, spawns
+    the benchmark load for the servers this worker owns, and returns
+    the ``finalize`` hook evaluated at local quiescence.
+    """
+    seed_txn_ids(worker_id)
+    config: RunConfig = run_obj.config
+    metrics = Metrics()
+    homes = [h for h in (config.homes if config.homes is not None
+                         else range(config.n_partitions))
+             if cluster.owns(h)]
+    _spawn_load(run_obj.workload, run_obj.executor, config, cluster,
+                metrics, homes)
+
+    def finalize() -> dict:
+        metrics.wall_seconds = cluster.sim.now / 1e6
+        metrics.events_processed = cluster.sim.events_fired
+        return {"metrics": metrics, "end_time": cluster.sim.now,
+                "stats": cluster.network.stats}
+
+    return finalize
+
+
+def run_mp_benchmark(spec: MpRunSpec, config: RunConfig,
+                     database: Database | None = None) -> RunResult:
+    """Run ``spec`` across worker processes and merge their metrics.
+
+    ``database`` (the parent-side template build, if any) rides along
+    in the RunResult for schema inspection; its stores are *not* the
+    ones the run mutated — those lived in the workers.
+    """
+    if spec.driver is None:
+        spec = dataclasses.replace(spec, driver=mp_benchmark_driver)
+    payloads = run_mp_workers(spec, config)
+    metrics = Metrics.merged([p["metrics"] for p in payloads])
+    if database is not None:
+        # surface the measured traffic where every backend's consumers
+        # read it (the template's own counters are all zero)
+        for payload in payloads:
+            database.cluster.network.stats.merge_from(payload["stats"])
+    return RunResult(metrics=metrics, database=database, history=None,
+                     config=config,
+                     end_time=max(p["end_time"] for p in payloads))

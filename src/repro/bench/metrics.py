@@ -34,6 +34,21 @@ class Metrics:
     def add(self, outcome: Outcome) -> None:
         self.outcomes.append(outcome)
 
+    @classmethod
+    def merged(cls, parts: list["Metrics"]) -> "Metrics":
+        """Combine per-worker metrics from a parallel (mp) run.
+
+        Outcome lists concatenate; wall time is the *max* (workers ran
+        concurrently); events sum across processes.
+        """
+        merged = cls()
+        for part in parts:
+            merged.outcomes.extend(part.outcomes)
+            merged.wall_seconds = max(merged.wall_seconds,
+                                      part.wall_seconds)
+            merged.events_processed += part.events_processed
+        return merged
+
     def events_per_wall_second(self) -> float:
         """Simulator event rate — the hot-path speed figure."""
         if self.wall_seconds <= 0.0:

@@ -30,7 +30,9 @@ from ..txn import (Database, HistoryRecorder, OccExecutor, TwoPLExecutor)
 from ..workloads.instacart import InstacartWorkload
 from ..workloads.tpcc import (REPLICATED_TABLES, TpccScale, TpccWorkload,
                               tpcc_routing)
-from .harness import RunConfig, RunResult, make_cluster, run_benchmark
+from ..sim import MpRunSpec, current_worker_cluster
+from .harness import (RunConfig, RunResult, make_cluster,
+                      mp_benchmark_driver, run_benchmark, run_mp_benchmark)
 
 ExecutorName = Literal["2pl", "occ", "chiller"]
 
@@ -73,8 +75,14 @@ class TpccRun:
     executor: object
     config: RunConfig
     hot_table: HotRecordTable | None = None
+    mp_spec: MpRunSpec | None = None
+    """How mp-backend worker processes rebuild this run (attached by the
+    setup factories when ``config.backend == "mp"`` in the parent)."""
 
     def run(self) -> RunResult:
+        if self.mp_spec is not None:
+            return run_mp_benchmark(self.mp_spec, self.config,
+                                    database=self.database)
         return run_benchmark(self.workload, self.executor, self.config)
 
 
@@ -112,7 +120,15 @@ def make_tpcc_run(executor_name: ExecutorName,
                                    history)
     else:
         raise ValueError(f"unknown executor {executor_name!r}")
-    return TpccRun(workload, db, executor, config, hot_table)
+    run = TpccRun(workload, db, executor, config, hot_table)
+    if config.backend == "mp" and current_worker_cluster() is None:
+        # parent-side build: record how each worker process re-creates
+        # this exact cell (same args -> same deterministic database)
+        run.mp_spec = MpRunSpec(
+            builder=make_tpcc_run, args=(executor_name, config),
+            kwargs={"workload": workload, "hot_from_stats": hot_from_stats},
+            driver=mp_benchmark_driver)
+    return run
 
 
 def tpcc_static_hot_table(workload: TpccWorkload,
@@ -250,4 +266,10 @@ def make_instacart_run(setup: InstacartSetup, layout: InstacartLayout,
                 lambda table, key: catalog.partition_of(table, key))
         executor = ChillerExecutor(db, hot_table, config.exec_config,
                                    history)
-    return TpccRun(setup.workload, db, executor, config, None)
+    run = TpccRun(setup.workload, db, executor, config, None)
+    if config.backend == "mp" and current_worker_cluster() is None:
+        run.mp_spec = MpRunSpec(
+            builder=make_instacart_run, args=(setup, layout, config),
+            kwargs={"executor_override": executor_override},
+            driver=mp_benchmark_driver)
+    return run

@@ -14,11 +14,16 @@ from .aio_runtime import (AioCluster, AioEngine, AioNetwork, AioTransport,
                           AsyncioEffectRuntime, LoopbackTransport,
                           TcpTransport)
 from .cluster import Cluster, Server
+from .codec import (CodecError, DispatchContext, OpDescriptor, decode_op,
+                    encode_op, op_handler)
 from .coroutines import Engine
 from .cpu import Core
 from .effects import (All, Await, BatchedOneSided, Compute, Coroutine,
                       Effect, OneSided, OneWay, Rpc, Signal, Sleep)
 from .events import EventHandle, Simulator
+from .mp_runtime import (MpRunError, MpRunSpec, MpTemplateCluster,
+                         MpWorkerCluster, current_worker_cluster,
+                         effective_mp_workers, run_mp_workers)
 from .network import (Network, NetworkConfig, NetworkStats,
                       approx_payload_bytes)
 from .runtime import EffectRuntime, EffectRuntimeBase
@@ -33,20 +38,27 @@ __all__ = [
     "Await",
     "BatchedOneSided",
     "Cluster",
+    "CodecError",
     "Compute",
     "Core",
     "Coroutine",
+    "DispatchContext",
     "Effect",
     "EffectRuntime",
     "EffectRuntimeBase",
     "Engine",
     "EventHandle",
     "LoopbackTransport",
+    "MpRunError",
+    "MpRunSpec",
+    "MpTemplateCluster",
+    "MpWorkerCluster",
     "Network",
     "NetworkConfig",
     "NetworkStats",
     "OneSided",
     "OneWay",
+    "OpDescriptor",
     "Rpc",
     "Server",
     "Signal",
@@ -54,4 +66,10 @@ __all__ = [
     "Sleep",
     "TcpTransport",
     "approx_payload_bytes",
+    "current_worker_cluster",
+    "decode_op",
+    "effective_mp_workers",
+    "encode_op",
+    "op_handler",
+    "run_mp_workers",
 ]

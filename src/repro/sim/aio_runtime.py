@@ -20,16 +20,21 @@ Two transports move payloads between servers:
   wire protocol.  FIFO per channel follows from TCP byte ordering plus a
   single writer/reader task pair per connection.
 
-**The escrow.**  Effect payloads — one-sided verb closures, RPC wrappers
-holding continuations — are not picklable, and the servers here are
-tasks-of-one-process, not separate OS processes.  The TCP transport
-therefore ships a *frame* over the socket (length prefix + pickled
-``(src, token, padding)``) while the Python object rides an in-process
-escrow keyed by token; the padding sizes the frame to the accounted
-payload bytes, so real wire traffic tracks the traffic model.  Real
-framing, buffering, and scheduling; simulated serialization.  A future
-multiprocess backend replaces the escrow with a real codec behind the
-same :class:`AioTransport` interface.
+**Codec frames and the escrow fallback.**  Everything the wire codec
+(:mod:`repro.sim.codec`) covers — one-sided verbs emitted as
+:class:`~repro.sim.codec.OpDescriptor` data, verb replies, one-way
+replication messages — is *really serialized*: the TCP transport
+pickles the wire form into the frame and the receiving server re-binds
+descriptors to its dispatch context, the same codec path the
+multiprocess backend (:mod:`repro.sim.mp_runtime`) uses across real
+process boundaries.  The in-process **escrow** stays only as a
+documented fallback for genuinely local payloads: RPC request/reply
+wrappers carry live continuations (meaningless outside this process),
+and raw-closure verbs from effect-level tests never claim to be
+shippable.  Escrow frames still cross the socket (length prefix +
+pickled ``(src, token, padding)``) with the object riding an in-process
+table keyed by token; either way frames are padded to the accounted
+payload bytes, so real wire traffic tracks the traffic model.
 
 What the backends guarantee:
 
@@ -54,7 +59,9 @@ import time
 from typing import Any, Callable, Sequence
 
 from .cluster import Server
-from .effects import Coroutine
+from .codec import (OpDescriptor, WireOneWay, WireVerbReply, WireVerbs,
+                    decode_op)
+from .effects import Coroutine, OneWay
 from .network import (MESSAGE_NOMINAL_BYTES, VERB_NOMINAL_BYTES,
                       NetworkConfig, NetworkStats, approx_payload_bytes)
 from .runtime import EffectRuntimeBase
@@ -128,7 +135,15 @@ class AioTransport:
             raise exc
 
     def register(self, server_id: int,
-                 deliver: Callable[[int, Any], None]) -> None:
+                 deliver: Callable[[int, Any], None],
+                 binder: Callable[[OpDescriptor], OpDescriptor] | None = None,
+                 ) -> None:
+        """Install ``server_id``'s delivery callback.
+
+        ``binder`` re-binds op descriptors that arrived as codec frames
+        to the receiving server's dispatch context; transports without a
+        serialization boundary may ignore it.
+        """
         raise NotImplementedError
 
     async def start(self, loop: asyncio.AbstractEventLoop) -> None:
@@ -160,7 +175,11 @@ class LoopbackTransport(AioTransport):
         self.frames_sent = 0
 
     def register(self, server_id: int,
-                 deliver: Callable[[int, Any], None]) -> None:
+                 deliver: Callable[[int, Any], None],
+                 binder: Callable[[OpDescriptor], OpDescriptor] | None = None,
+                 ) -> None:
+        # no serialization boundary: payloads (descriptors included)
+        # arrive as the very objects that were sent, so no re-binding
         self._deliver[server_id] = deliver
 
     async def start(self, loop: asyncio.AbstractEventLoop) -> None:
@@ -199,26 +218,38 @@ class TcpTransport(AioTransport):
     ephemeral port; the first send on an ordered pair lazily opens that
     channel's connection, and a per-channel queue + writer task keeps
     sends FIFO even while the connection is still being established.
-    Frames are length-prefixed pickles; payload objects ride the escrow
-    (see module docstring) and frames are padded to the accounted size.
+    Frames are length-prefixed pickles.  Codec-covered payloads (see
+    module docstring) are pickled *into* the frame and decoded — with
+    descriptors re-bound via the destination's ``binder`` — at the
+    receiving server; everything else rides the escrow.  Frames are
+    padded to the accounted size either way.
     """
 
     def __init__(self, host: str = "127.0.0.1"):
         self._host = host
         self._deliver: dict[int, Callable[[int, Any], None]] = {}
+        self._binders: dict[int, Callable[[OpDescriptor], OpDescriptor]] = {}
         self._loop: asyncio.AbstractEventLoop | None = None
         self._servers: dict[int, asyncio.AbstractServer] = {}
         self._ports: dict[int, int] = {}
         self._queues: dict[tuple[int, int], asyncio.Queue] = {}
         self._writers: dict[tuple[int, int], asyncio.Task] = {}
         self._escrow: dict[int, Any] = {}
+        self._in_flight = 0
         self._next_token = 0
         self.frames_sent = 0
+        self.codec_frames_sent = 0
+        """Frames whose payload really serialized (no escrow entry)."""
+
         self.wire_bytes_sent = 0
 
     def register(self, server_id: int,
-                 deliver: Callable[[int, Any], None]) -> None:
+                 deliver: Callable[[int, Any], None],
+                 binder: Callable[[OpDescriptor], OpDescriptor] | None = None,
+                 ) -> None:
         self._deliver[server_id] = deliver
+        if binder is not None:
+            self._binders[server_id] = binder
 
     async def start(self, loop: asyncio.AbstractEventLoop) -> None:
         self._loop = loop
@@ -235,9 +266,16 @@ class TcpTransport(AioTransport):
         if self._loop is None:
             raise RuntimeError("transport not started (is the cluster "
                                "running?)")
-        token = self._next_token
-        self._next_token += 1
-        self._escrow[token] = payload
+        body = _codec_body(payload)
+        if body is not None:
+            item: tuple = (src, _MODE_CODEC, body)
+            self.codec_frames_sent += 1
+        else:
+            token = self._next_token
+            self._next_token += 1
+            self._escrow[token] = payload
+            item = (src, _MODE_ESCROW, token)
+        self._in_flight += 1
         pad = b"\x00" * max(0, nbytes - _FRAME_OVERHEAD)
         channel = (src, dst)
         queue = self._queues.get(channel)
@@ -246,7 +284,7 @@ class TcpTransport(AioTransport):
             self._queues[channel] = queue
             self._writers[channel] = self._loop.create_task(
                 self._write_channel(dst, queue))
-        queue.put_nowait((src, token, pad))
+        queue.put_nowait(item + (pad,))
 
     async def _write_channel(self, dst: int, queue: asyncio.Queue) -> None:
         writer = None
@@ -287,9 +325,16 @@ class TcpTransport(AioTransport):
                 header = await reader.readexactly(_LENGTH_BYTES)
                 length = int.from_bytes(header, "big")
                 body = await reader.readexactly(length)
-                src, token, _pad = pickle.loads(body)
-                payload = self._escrow.pop(token)
-                deliver(src, payload)
+                src, mode, value, _pad = pickle.loads(body)
+                if mode == _MODE_CODEC:
+                    payload = _payload_from_wire(pickle.loads(value),
+                                                 self._binders.get(dst))
+                else:
+                    payload = self._escrow.pop(value)
+                try:
+                    deliver(src, payload)
+                finally:
+                    self._in_flight -= 1
         except (asyncio.IncompleteReadError, ConnectionError):
             pass  # peer closed the channel (normal at shutdown)
         except asyncio.CancelledError:
@@ -300,7 +345,7 @@ class TcpTransport(AioTransport):
             writer.close()
 
     def idle(self) -> bool:
-        return (not self._escrow
+        return (self._in_flight == 0
                 and all(q.empty() for q in self._queues.values()))
 
     async def stop(self) -> None:
@@ -315,6 +360,7 @@ class TcpTransport(AioTransport):
         self._queues.clear()
         self._writers.clear()
         self._escrow.clear()  # frames stranded by an aborted run
+        self._in_flight = 0
         self._loop = None
 
 
@@ -342,6 +388,57 @@ class _VerbReply:
         self.token = token
         self.values = values
         self.batched = batched
+
+
+# -- codec framing (shared wire forms from repro.sim.codec) -------------------
+
+_MODE_ESCROW = 0
+_MODE_CODEC = 1
+
+
+def _payload_to_wire(payload: Any) -> Any:
+    """The codec wire form of a transport payload, or None if only the
+    escrow can carry it (RPC wrappers hold live continuations; verb
+    requests may carry raw local closures)."""
+    if isinstance(payload, _VerbRequest):
+        if all(isinstance(op, OpDescriptor) for op in payload.ops):
+            return WireVerbs(payload.token,
+                             tuple(op.spec() for op in payload.ops),
+                             payload.batched)
+        return None
+    if isinstance(payload, _VerbReply):
+        return WireVerbReply(payload.token, tuple(payload.values),
+                             payload.batched)
+    if isinstance(payload, OneWay):
+        return WireOneWay(payload.payload)
+    return None
+
+
+def _codec_body(payload: Any) -> bytes | None:
+    """Really serialize ``payload`` if the codec covers it *and* its
+    contents pickle; unpicklable contents (e.g. a verb reply carrying an
+    arbitrary test object) fall back to the escrow — in one process
+    that is always legal."""
+    wire = _payload_to_wire(payload)
+    if wire is None:
+        return None
+    try:
+        return pickle.dumps(wire)
+    except Exception:
+        return None
+
+
+def _payload_from_wire(wire: Any, binder) -> Any:
+    if isinstance(wire, WireVerbs):
+        ops = tuple(decode_op(spec) for spec in wire.specs)
+        if binder is not None:
+            ops = tuple(binder(op) for op in ops)
+        return _VerbRequest(wire.token, ops, wire.batched)
+    if isinstance(wire, WireVerbReply):
+        return _VerbReply(wire.token, list(wire.values), wire.batched)
+    if isinstance(wire, WireOneWay):
+        return OneWay(wire.payload)
+    raise TypeError(f"unexpected codec wire payload {wire!r}")
 
 
 class AsyncioEffectRuntime(EffectRuntimeBase):
@@ -458,6 +555,14 @@ class AsyncioEffectRuntime(EffectRuntimeBase):
         self.on_message(src, payload)
 
 
+def _runtime_binder(runtime: "AsyncioEffectRuntime"):
+    """Re-bind descriptors decoded from codec frames to the receiving
+    server's dispatch context (installed by the database layer)."""
+    def bind(op: OpDescriptor) -> OpDescriptor:
+        return op.bind(runtime.dispatch_context)
+    return bind
+
+
 class AioEngine:
     """Per-server facade over one :class:`AsyncioEffectRuntime`.
 
@@ -526,9 +631,11 @@ class AioCluster:
         self.servers = [Server(i, AioEngine(self, i))
                         for i in range(n_servers)]
         for server in self.servers:
+            runtime = server.engine.runtime
             self.transport.register(
                 server.id,
-                self._guarded(server.engine.runtime.on_transport))
+                self._guarded(runtime.on_transport),
+                binder=_runtime_binder(runtime))
 
     def __len__(self) -> int:
         return len(self.servers)

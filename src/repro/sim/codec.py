@@ -1,0 +1,218 @@
+"""Wire codec: remote operations as *data*, not closures.
+
+The simulated and asyncio backends could get away with shipping Python
+closures between servers because every server lived in one process.  A
+multiprocess backend cannot: anything that crosses a server boundary
+must survive serialization.  This module is that boundary's vocabulary:
+
+* :class:`OpDescriptor` — a picklable ``(kind, partition, table, key,
+  args)`` description of one one-sided verb.  Descriptors are
+  *callable*: in-process backends invoke them exactly like the closures
+  they replaced (the descriptor carries a non-serialized binding to a
+  :class:`DispatchContext`), while cross-process transports ship
+  :meth:`OpDescriptor.spec` and re-bind at the receiving server.
+* A **server-side dispatch table** (:data:`OP_HANDLERS`, populated via
+  :func:`op_handler`): each verb kind maps to a handler executing
+  against the target's storage.  The transaction layer registers its
+  verbs (lock_read, commit, validate_*, replica_apply, ...) at import
+  time, so any process that builds a database can serve any verb.
+* **Wire message forms** (:class:`WireVerbs`, :class:`WireRpc`, ...):
+  the picklable shapes one-sided verbs, RPC calls, and replication
+  messages take on a real socket, with token-based reply routing
+  replacing in-process continuation identity.
+
+Layering: this module knows nothing about storage or transactions — it
+owns the registry and the envelope shapes; the layers above register
+handlers and choose what to put in ``args`` (which must be picklable).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Any, Callable, Tuple
+
+
+class CodecError(TypeError):
+    """A payload cannot cross a serialization boundary.
+
+    Raised when an effect carries a raw closure (or otherwise
+    unpicklable payload) toward a remote process; the message names the
+    offending effect so the emitting layer is easy to find.
+    """
+
+
+class DispatchContext:
+    """What a server-side verb handler may touch.
+
+    One per database build: ``store_of(partition)`` resolves the local
+    copy of a partition's primary store, ``replicas`` is the local
+    :class:`~repro.replication.ReplicaManager` (or ``None``).  In-process
+    backends share one context; each multiprocess worker builds its own
+    from its deterministic copy of the database.
+    """
+
+    __slots__ = ("store_of", "replicas")
+
+    def __init__(self, store_of: Callable[[int], Any],
+                 replicas: Any = None):
+        self.store_of = store_of
+        self.replicas = replicas
+
+
+OP_HANDLERS: dict[str, Callable[[DispatchContext, "OpDescriptor"], Any]] = {}
+"""The server-side dispatch table: verb kind -> handler."""
+
+
+def op_handler(kind: str):
+    """Register a server-side handler for descriptor kind ``kind``."""
+    def register(fn):
+        if kind in OP_HANDLERS:
+            raise ValueError(f"op handler {kind!r} already registered")
+        OP_HANDLERS[kind] = fn
+        return fn
+    return register
+
+
+OpSpec = Tuple[str, int, Any, Any, tuple]
+"""The picklable form of a descriptor: (kind, partition, table, key, args)."""
+
+
+class OpDescriptor:
+    """One remote operation as data.
+
+    ``partition`` is the partition whose primary store the verb runs
+    against (for most verbs this equals the target server; replica
+    verbs address the hosting server and carry the replicated partition
+    in ``args``).  ``args`` must be picklable.
+
+    The ``_ctx`` binding is deliberately excluded from pickling: a
+    descriptor arriving in another process is re-bound to *that*
+    process's :class:`DispatchContext` before execution.
+    """
+
+    __slots__ = ("kind", "partition", "table", "key", "args", "_ctx")
+
+    def __init__(self, kind: str, partition: int, table: str | None = None,
+                 key: Any = None, args: tuple = ()):
+        self.kind = kind
+        self.partition = partition
+        self.table = table
+        self.key = key
+        self.args = args
+        self._ctx: DispatchContext | None = None
+
+    def bind(self, ctx: DispatchContext | None) -> "OpDescriptor":
+        self._ctx = ctx
+        return self
+
+    def spec(self) -> OpSpec:
+        return (self.kind, self.partition, self.table, self.key, self.args)
+
+    def __call__(self) -> Any:
+        if self._ctx is None:
+            raise CodecError(
+                f"descriptor {self!r} is unbound: bind() it to a "
+                f"DispatchContext before executing")
+        handler = OP_HANDLERS.get(self.kind)
+        if handler is None:
+            raise CodecError(
+                f"no op handler registered for verb kind {self.kind!r} "
+                f"(is the transaction layer imported in this process?)")
+        return handler(self._ctx, self)
+
+    def __getstate__(self) -> OpSpec:
+        return self.spec()
+
+    def __setstate__(self, state: OpSpec) -> None:
+        self.kind, self.partition, self.table, self.key, self.args = state
+        self._ctx = None
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, OpDescriptor)
+                and self.spec() == other.spec())
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.partition, self.table))
+
+    def __repr__(self) -> str:
+        return (f"OpDescriptor({self.kind!r}, p{self.partition}, "
+                f"{self.table!r}, {self.key!r})")
+
+
+def encode_op(op: Any, effect: str = "a one-sided effect") -> OpSpec:
+    """The wire form of one verb; raises :class:`CodecError` for closures.
+
+    ``effect`` names the emitting effect in the error so the layer still
+    shipping a raw closure toward a remote process is easy to locate.
+    """
+    if isinstance(op, OpDescriptor):
+        return op.spec()
+    raise CodecError(
+        f"{effect} carries a raw callable {op!r} which cannot cross a "
+        f"process boundary; emit a sim.codec.OpDescriptor instead "
+        f"(closures are only legal for local targets)")
+
+
+def decode_op(spec: OpSpec) -> OpDescriptor:
+    """Rebuild an (unbound) descriptor from its wire form."""
+    kind, partition, table, key, args = spec
+    return OpDescriptor(kind, partition, table, key, args)
+
+
+def dumps(obj: Any, what: str) -> bytes:
+    """Pickle ``obj`` or raise a :class:`CodecError` naming ``what``."""
+    try:
+        return pickle.dumps(obj)
+    except Exception as exc:  # pickle raises a zoo of types
+        raise CodecError(f"{what} is not picklable and cannot cross a "
+                         f"process boundary: {exc}") from exc
+
+
+# -- wire message envelopes ---------------------------------------------------
+#
+# Token-based request/reply routing: the in-process runtimes route RPC
+# replies by carrying the request object (and its continuation) inside
+# the payload; across processes only the token travels, and each side
+# keeps its own token -> continuation table.
+
+@dataclass(frozen=True)
+class WireVerbs:
+    """A chain of one-sided verbs: run at the target, reply with values.
+
+    ``batched=True`` marks a fused doorbell chain (the sender's
+    continuation expects the list); a plain verb resumes with the single
+    value.
+    """
+
+    token: int
+    specs: tuple  # of OpSpec
+    batched: bool
+
+
+@dataclass(frozen=True)
+class WireVerbReply:
+    token: int
+    values: tuple
+    batched: bool
+
+
+@dataclass(frozen=True)
+class WireRpc:
+    """An RPC request: spawn the target's handler, reply with its return."""
+
+    token: int
+    payload: Any
+
+
+@dataclass(frozen=True)
+class WireRpcReply:
+    token: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class WireOneWay:
+    """A fire-and-forget message (no reply is routed back)."""
+
+    payload: Any

@@ -50,6 +50,15 @@ class Compute(Effect):
 class OneSided(Effect):
     """Execute ``op`` against server ``target``'s storage via the NIC.
 
+    ``op`` is either a zero-argument callable (legal only while the
+    target lives in the issuing process — the in-process backends and
+    genuinely local verbs) or, in its **descriptor form**, a
+    :class:`~repro.sim.codec.OpDescriptor`: the same operation as
+    picklable data, which any backend can ship across a real process
+    boundary and dispatch server-side.  The transaction layers emit
+    descriptors for every record verb; raw closures remain a documented
+    fallback for local-only payloads.
+
     ``kind`` and ``nbytes`` feed the network's per-kind traffic
     accounting; ``nbytes=None`` uses a nominal verb size.
     """
@@ -106,6 +115,14 @@ class Rpc(Effect):
     def __init__(self, target: int, payload: Any):
         self.target = target
         self.payload = payload
+
+    def describe(self) -> str:
+        """Human label used by codec errors to name the effect."""
+        kind = ""
+        if (isinstance(self.payload, tuple) and self.payload
+                and isinstance(self.payload[0], str)):
+            kind = f"kind={self.payload[0]!r}, "
+        return f"Rpc({kind}...) to server {self.target}"
 
 
 class All(Effect):

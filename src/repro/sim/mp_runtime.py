@@ -1,0 +1,842 @@
+"""Multiprocess execution backend: every server is a real OS process.
+
+The asyncio backend runs all servers as tasks of one process, so its
+wall-clock numbers understate what truly parallel coordinators do to
+each other.  Here each worker process runs its own asyncio event loop
+(one or more servers per worker), and **everything** that crosses a
+server boundary crosses a process boundary: one-sided verbs travel as
+pickled :class:`~repro.sim.codec.OpDescriptor` specs dispatched against
+the receiving worker's storage, RPC calls and replication messages as
+token-routed wire envelopes (:class:`~repro.sim.codec.WireRpc` & co).
+There is no escrow — a payload that cannot serialize raises a
+:class:`~repro.sim.codec.CodecError` naming the offending effect.
+
+**Topology.**  ``run_mp_workers(spec, config)`` (the parent) spawns one
+worker per server by default (``config.mp_workers`` caps the process
+count; servers are assigned round-robin).  Every worker deterministically
+rebuilds the database from the spec's *builder* — a picklable
+module-level factory — so all workers hold identical initial data; the
+copy of partition ``p`` on ``p``'s owning worker is the authoritative
+one, and every access to ``p`` routes there (local copies of foreign
+partitions are never touched after loading).
+
+**Lifecycle.**  Workers exchange listener ports through the parent,
+connect lazily (one TCP connection per ordered worker pair, FIFO per
+(src, dst) server channel), drive their share of the load, report
+``done`` with their metrics payload at local quiescence, and keep
+*serving* remote requests until the parent — having heard from every
+worker — broadcasts ``stop``.  Teardown is unconditional: on success,
+failure, or timeout the parent joins every worker, escalating to
+``terminate``/``kill`` so an aborted run can never leak processes.
+
+**Determinism caveat.**  Like the asyncio backend, runs are wall-clock
+and scheduling-dependent — now additionally subject to OS process
+scheduling.  Commit/abort *decisions* of contention-free programs remain
+identical across sim/aio/mp (the conformance suite asserts this); counts
+under contention are not bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import pickle
+import socket
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .aio_runtime import AioClock, AioNetwork
+from .cluster import Server
+from .codec import (CodecError, WireOneWay, WireRpc, WireRpcReply,
+                    WireVerbReply, WireVerbs, decode_op, dumps, encode_op)
+from .effects import Coroutine, OneWay
+from .network import (MESSAGE_NOMINAL_BYTES, NetworkConfig,
+                      approx_payload_bytes)
+from .runtime import EffectRuntimeBase, _payload_kind, _RpcRequest
+
+_LENGTH_BYTES = 8
+_HOST = "127.0.0.1"
+
+_STOP_GRACE_S = 5.0
+"""How long a stopping worker keeps serving stragglers after ``stop``."""
+
+
+class MpRunError(RuntimeError):
+    """A multiprocess run failed (worker error, death, or timeout)."""
+
+
+@dataclass
+class MpRunSpec:
+    """How each worker process recreates its share of a run.
+
+    ``builder`` must be a *module-level* (picklable-by-reference)
+    factory: ``builder(*args, **kwargs)`` builds the cluster via the
+    harness's ``make_cluster`` (which, inside a worker, hands back that
+    worker's live cluster) and returns a run object exposing
+    ``workload`` / ``executor`` / ``config``.  ``driver(run_obj,
+    cluster, worker_id)`` spawns that worker's tasks and returns a
+    ``finalize() -> payload`` callable evaluated at local quiescence;
+    the picklable payloads are what ``run_mp_workers`` returns to the
+    parent.  Drivers are responsible for namespacing transaction ids
+    (``repro.txn.common.seed_txn_ids``) before driving load.
+    """
+
+    builder: Callable[..., Any]
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    driver: Callable[[Any, "MpWorkerCluster", int], Callable[[], Any]] = None
+
+
+def effective_mp_workers(config: Any) -> int:
+    """Worker-process count for ``config`` (duck-typed RunConfig)."""
+    n = config.n_partitions
+    requested = getattr(config, "mp_workers", None)
+    if requested is None:
+        return n
+    if requested < 1:
+        raise ValueError(f"mp_workers must be >= 1, got {requested}")
+    return min(requested, n)
+
+
+# -- worker-side runtime ------------------------------------------------------
+
+
+class MpServerRuntime(EffectRuntimeBase):
+    """Interprets the effect vocabulary for one server of one worker.
+
+    Owned targets (servers assigned to this worker) are reached
+    in-process exactly like the asyncio loopback; everything else is
+    encoded through the wire codec — descriptors for verbs, token-routed
+    envelopes for RPCs and one-way messages — and crosses a real socket
+    to the owning worker process.
+    """
+
+    def __init__(self, cluster: "MpWorkerCluster", server_id: int):
+        super().__init__(server_id)
+        self._cluster = cluster
+        self.network = cluster.network
+        self.cpu_us = 0.0
+        self._verb_pending: dict[int, tuple[Callable, bool]] = {}
+        self._rpc_pending: dict[int, Callable[[Any], None]] = {}
+        self._next_token = 0
+
+    # -- base-class hooks --------------------------------------------------
+
+    def _task_started(self) -> None:
+        self._cluster._task_started()
+
+    def _task_finished(self) -> None:
+        self._cluster._task_finished()
+
+    def perform(self, effect, cont) -> None:
+        self._cluster.clock.events_fired += 1
+        super().perform(effect, cont)
+
+    def _batching_enabled(self) -> bool:
+        return self.network.config.doorbell_batching
+
+    def _defer(self, fn: Callable[[], None]) -> None:
+        self._cluster.loop.call_soon(fn)
+
+    def _do_compute(self, cost: float,
+                    cont: Callable[[Any], None]) -> None:
+        self.cpu_us += cost
+        self._cluster.loop.call_soon(cont, None)
+
+    def _do_sleep(self, delay: float,
+                  cont: Callable[[Any], None]) -> None:
+        if delay <= 0.0:
+            self._cluster.loop.call_soon(cont, None)
+            return
+        self._cluster.loop.call_later(delay * 1e-6, cont, None)
+
+    # -- verbs -------------------------------------------------------------
+
+    def _one_sided(self, target: int, op: Callable[[], Any],
+                   cont: Callable[[Any], None],
+                   kind: str, nbytes: int | None) -> None:
+        self.network.stats.record_one_sided(kind, nbytes,
+                                            remote=target != self.server_id)
+        if self._cluster.owns(target):
+            self._cluster.loop.call_soon(lambda: cont(op()))
+            return
+        self._send_verbs(target, (op,), cont, batched=False,
+                         effect=f"OneSided(kind={kind!r}) to server {target}")
+
+    def _one_sided_batch(self, target, ops, cont, kinds) -> None:
+        self.network.stats.record_batch(kinds)
+        if self._cluster.owns(target):
+            self._cluster.loop.call_soon(
+                lambda: cont([op() for op in ops]))
+            return
+        kind = kinds[0][0] if kinds else "one_sided"
+        self._send_verbs(
+            target, tuple(ops), cont, batched=True,
+            effect=(f"BatchedOneSided(kind={kind!r}, {len(ops)} verbs) "
+                    f"to server {target}"))
+
+    def _send_verbs(self, target: int, ops: tuple, cont: Callable,
+                    batched: bool, effect: str) -> None:
+        specs = tuple(encode_op(op, effect) for op in ops)
+        token = self._next_token
+        self._next_token += 1
+        self._verb_pending[token] = (cont, batched)
+        self._cluster.transport.send(
+            self.server_id, target, WireVerbs(token, specs, batched),
+            what=effect)
+
+    # -- messages ----------------------------------------------------------
+
+    def _payload_nbytes(self, size_of: Any) -> int:
+        if self.network.config.account_payload_bytes:
+            return approx_payload_bytes(size_of)
+        return MESSAGE_NOMINAL_BYTES
+
+    def send_rpc(self, effect, cont: Callable[[Any], None]) -> None:
+        target = effect.target
+        kind = _payload_kind(effect.payload, "rpc")
+        self.network.stats.record_message(
+            kind, self._payload_nbytes(effect.payload),
+            remote=target != self.server_id)
+        if self._cluster.owns(target):
+            self._cluster.deliver_local(
+                target, self.server_id,
+                _RpcRequest(self.server_id, effect.payload, cont))
+            return
+        token = self._next_token
+        self._next_token += 1
+        self._rpc_pending[token] = cont
+        self._cluster.transport.send(
+            self.server_id, target, WireRpc(token, effect.payload),
+            what=effect.describe())
+
+    def post(self, target: int, payload: Any) -> None:
+        kind = _payload_kind(payload, "one_way")
+        self.network.stats.record_message(
+            kind, self._payload_nbytes(payload),
+            remote=target != self.server_id)
+        if self._cluster.owns(target):
+            self._cluster.deliver_local(target, self.server_id,
+                                        OneWay(payload))
+            return
+        self._cluster.transport.send(
+            self.server_id, target, WireOneWay(payload),
+            what=f"one-way message (kind={kind!r}) to server {target}")
+
+    def send_payload(self, target: int, payload: Any,
+                     kind: str, size_of: Any) -> None:
+        # Only in-process plumbing wrappers (RPC request/reply objects
+        # carrying live continuations) reach this hook; cross-worker
+        # traffic goes through the wire forms above.
+        self.network.stats.record_message(
+            kind, self._payload_nbytes(size_of),
+            remote=target != self.server_id)
+        if not self._cluster.owns(target):
+            raise CodecError(
+                f"in-process payload {payload!r} addressed to foreign "
+                f"server {target}; this is a runtime routing bug")
+        self._cluster.deliver_local(target, self.server_id, payload)
+
+    # -- wire delivery -----------------------------------------------------
+
+    def on_transport(self, src: int, wire: Any) -> None:
+        """Handle one decoded wire envelope addressed to this server."""
+        if isinstance(wire, WireVerbs):
+            values = []
+            for spec in wire.specs:
+                op = decode_op(spec).bind(self.dispatch_context)
+                values.append(op())
+            self._cluster.transport.send(
+                self.server_id, src,
+                WireVerbReply(wire.token, tuple(values), wire.batched),
+                what="a verb reply")
+        elif isinstance(wire, WireVerbReply):
+            cont, batched = self._verb_pending.pop(wire.token)
+            values = list(wire.values)
+            cont(values if batched else values[0])
+        elif isinstance(wire, WireRpc):
+            if self.rpc_handler is None:
+                raise RuntimeError(
+                    f"server {self.server_id} received an RPC but has no "
+                    f"handler installed")
+
+            def reply(value: Any, token: int = wire.token,
+                      requester: int = src) -> None:
+                self.network.stats.record_message(
+                    "rpc_reply", self._payload_nbytes(value), remote=True)
+                self._cluster.transport.send(
+                    self.server_id, requester, WireRpcReply(token, value),
+                    what="an RPC reply")
+
+            self.spawn(self.rpc_handler(src, wire.payload), on_done=reply)
+        elif isinstance(wire, WireRpcReply):
+            self._rpc_pending.pop(wire.token)(wire.value)
+        elif isinstance(wire, WireOneWay):
+            self.on_message(src, OneWay(wire.payload))
+        else:
+            raise TypeError(f"unexpected wire payload {wire!r}")
+
+
+class MpEngine:
+    """Per-server facade over one :class:`MpServerRuntime` (same surface
+    as :class:`~repro.sim.coroutines.Engine`)."""
+
+    def __init__(self, cluster: "MpWorkerCluster", server_id: int):
+        self.server_id = server_id
+        self._cluster = cluster
+        self.runtime = MpServerRuntime(cluster, server_id)
+
+    @property
+    def active_tasks(self) -> int:
+        return self.runtime.active_tasks
+
+    def set_rpc_handler(self,
+                        handler: Callable[[int, Any], Coroutine]) -> None:
+        self.runtime.rpc_handler = handler
+
+    def spawn(self, gen: Coroutine,
+              on_done: Callable[[Any], None] | None = None) -> None:
+        self._cluster._spawn(self.runtime, gen, on_done)
+
+    def post(self, target: int, payload: Any) -> None:
+        self.runtime.post(target, payload)
+
+
+# -- worker-side cluster ------------------------------------------------------
+
+
+class MpWorkerCluster:
+    """One worker process's view of the N-server cluster.
+
+    Presents the full ``servers`` / ``engine()`` / ``network`` / ``sim``
+    surface so the database layer wires storage and RPC dispatch for
+    every server — but only the servers this worker *owns*
+    (``server_id % n_workers == worker_id``) execute anything; their
+    local copies of foreign partitions are never touched after loading.
+    """
+
+    def __init__(self, n_servers: int, worker_id: int, n_workers: int,
+                 config: NetworkConfig | None = None):
+        if not 0 <= worker_id < n_workers <= n_servers:
+            raise ValueError(f"bad worker topology: worker {worker_id} of "
+                             f"{n_workers} over {n_servers} servers")
+        self.n_workers = n_workers
+        self.worker_id = worker_id
+        self.clock = AioClock()
+        self.sim = self.clock
+        self.network = AioNetwork(config)
+        self.transport: MpWorkerTransport | None = None
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self._pending_spawns: list[tuple] = []
+        self._active = 0
+        self._idle: asyncio.Event | None = None
+        self._error: BaseException | None = None
+        self._claimed = False
+        self.servers = [Server(i, MpEngine(self, i))
+                        for i in range(n_servers)]
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    def server(self, server_id: int) -> Server:
+        return self.servers[server_id]
+
+    def engine(self, server_id: int) -> MpEngine:
+        return self.servers[server_id].engine
+
+    def owns(self, server_id: int) -> bool:
+        return server_id % self.n_workers == self.worker_id
+
+    def owner_of(self, server_id: int) -> int:
+        return server_id % self.n_workers
+
+    def owned_servers(self) -> list[int]:
+        return [s.id for s in self.servers if self.owns(s.id)]
+
+    def run(self, max_events: int | None = None) -> None:
+        raise RuntimeError("mp worker clusters are driven by the worker "
+                           "serve loop, not run(); drive mp runs through "
+                           "run_mp_benchmark / TpccRun.run() in the parent")
+
+    def _claim(self, n_partitions: int) -> "MpWorkerCluster":
+        if self._claimed:
+            raise RuntimeError("the spec builder must create exactly one "
+                               "cluster per worker (make_cluster called "
+                               "twice)")
+        if n_partitions != len(self.servers):
+            raise ValueError(f"builder asked for {n_partitions} partitions "
+                             f"but this worker serves {len(self.servers)}")
+        self._claimed = True
+        return self
+
+    # -- task latch & spawning ---------------------------------------------
+
+    def _spawn(self, runtime: MpServerRuntime, gen: Coroutine,
+               on_done: Callable[[Any], None] | None) -> None:
+        if not self.owns(runtime.server_id):
+            raise ValueError(
+                f"worker {self.worker_id} cannot drive tasks for foreign "
+                f"server {runtime.server_id}")
+        if self.loop is None:
+            self._pending_spawns.append((runtime, gen, on_done))
+        else:
+            runtime.spawn(gen, on_done)
+
+    def _task_started(self) -> None:
+        self._active += 1
+        if self._idle is not None:
+            self._idle.clear()
+
+    def _task_finished(self) -> None:
+        self._active -= 1
+        if self._active == 0 and self._idle is not None:
+            self._idle.set()
+
+    # -- delivery & failure -------------------------------------------------
+
+    def deliver_local(self, dst: int, src: int, payload: Any) -> None:
+        runtime = self.engine(dst).runtime
+
+        def arrive() -> None:
+            try:
+                runtime.on_message(src, payload)
+            except BaseException as exc:  # noqa: BLE001 - fatal for the run
+                self._fatal(exc)
+
+        self.loop.call_soon(arrive)
+
+    def _deliver_wire(self, dst: int, src: int, wire: Any) -> None:
+        if not self.owns(dst):
+            self._fatal(RuntimeError(
+                f"worker {self.worker_id} received a frame for foreign "
+                f"server {dst} (routing bug)"))
+            return
+        try:
+            self.engine(dst).runtime.on_transport(src, wire)
+        except BaseException as exc:  # noqa: BLE001 - fatal for the run
+            self._fatal(exc)
+
+    def _fatal(self, exc: BaseException) -> None:
+        if self._error is None:
+            self._error = exc
+        if self._idle is not None:
+            self._idle.set()
+
+    def _loop_exception(self, loop: asyncio.AbstractEventLoop,
+                        context: dict) -> None:
+        self._fatal(context.get("exception")
+                    or RuntimeError(context.get("message",
+                                                "event loop error")))
+
+    async def _drain(self) -> None:
+        """Local quiescence: no active task after settling, transport
+        outbound flushed.  A recorded fatal error ends the drain."""
+        while True:
+            await self._idle.wait()
+            if self._error is not None:
+                return
+            settled = True
+            for _ in range(4):
+                await asyncio.sleep(0)
+                if self._active or self._error is not None:
+                    settled = False
+                    break
+            if not settled:
+                if self._error is not None:
+                    return
+                continue
+            if not self.transport.idle():
+                await asyncio.sleep(0.001)
+                continue
+            if self._active == 0:
+                return
+
+
+# -- the wire -----------------------------------------------------------------
+
+
+class MpWorkerTransport:
+    """Real sockets between worker processes.
+
+    One lazily-opened TCP connection per ordered (src_worker,
+    dst_worker) pair; frames are length-prefixed pickles of
+    ``(src_server, dst_server, wire_envelope)``.  Per-(src, dst) server
+    channel FIFO follows from one connection + one writer task per
+    worker pair and TCP byte ordering.
+    """
+
+    def __init__(self, cluster: MpWorkerCluster, listener: socket.socket,
+                 ports: dict[int, int]):
+        self._cluster = cluster
+        self._listener = listener
+        self._ports = ports
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._queues: dict[int, asyncio.Queue] = {}
+        self._writers: dict[int, asyncio.Task] = {}
+        self.frames_sent = 0
+        self.wire_bytes_sent = 0
+
+    async def start(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._loop = loop
+        self._server = await asyncio.start_server(self._serve,
+                                                  sock=self._listener)
+        # connections are established up front (every peer's acceptor is
+        # already listening before the parent shares the port map), like
+        # an RDMA cluster's queue pairs — the measurement window never
+        # pays connect latency
+        for dst_worker in self._ports:
+            if dst_worker == self._cluster.worker_id:
+                continue
+            streams = await asyncio.open_connection(
+                _HOST, self._ports[dst_worker])
+            queue: asyncio.Queue = asyncio.Queue()
+            self._queues[dst_worker] = queue
+            self._writers[dst_worker] = loop.create_task(
+                self._write_channel(streams[1], queue))
+
+    def send(self, src: int, dst: int, wire: Any, what: str) -> None:
+        if self._loop is None:
+            raise RuntimeError("mp transport not started")
+        body = dumps((src, dst, wire), what)
+        dst_worker = self._cluster.owner_of(dst)
+        if dst_worker == self._cluster.worker_id:
+            raise RuntimeError(f"frame for owned server {dst} reached the "
+                               f"transport (routing bug)")
+        self._queues[dst_worker].put_nowait(body)
+
+    async def _write_channel(self, writer: asyncio.StreamWriter,
+                             queue: asyncio.Queue) -> None:
+        try:
+            while True:
+                body = await queue.get()
+                if body is _CloseChannel:
+                    break
+                frame = len(body).to_bytes(_LENGTH_BYTES, "big") + body
+                writer.write(frame)
+                self.frames_sent += 1
+                self.wire_bytes_sent += len(frame)
+                await writer.drain()
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self._cluster._fatal(exc)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                header = await reader.readexactly(_LENGTH_BYTES)
+                length = int.from_bytes(header, "big")
+                body = await reader.readexactly(length)
+                src, dst, wire = pickle.loads(body)
+                self._cluster._deliver_wire(dst, src, wire)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass  # peer worker closed the channel (normal at shutdown)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self._cluster._fatal(exc)
+        finally:
+            writer.close()
+
+    def idle(self) -> bool:
+        return all(q.empty() for q in self._queues.values())
+
+    async def stop(self) -> None:
+        for queue in self._queues.values():
+            queue.put_nowait(_CloseChannel)
+        if self._writers:
+            await asyncio.gather(*self._writers.values(),
+                                 return_exceptions=True)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._queues.clear()
+        self._writers.clear()
+        self._loop = None
+
+
+class _CloseChannel:
+    """Sentinel asking a channel writer task to flush and exit."""
+
+
+# -- worker process entry -----------------------------------------------------
+
+_ACTIVE_CLUSTER: MpWorkerCluster | None = None
+
+
+def current_worker_cluster() -> MpWorkerCluster | None:
+    """The live cluster while a spec builder runs inside a worker."""
+    return _ACTIVE_CLUSTER
+
+
+def cluster_for_config(n_partitions: int,
+                       config: NetworkConfig | None) -> Any:
+    """What ``make_cluster(backend="mp")`` returns.
+
+    Inside a worker: that worker's live cluster (exactly once per
+    build).  In the parent: an inert template so databases and
+    executors can be constructed for inspection — driving the run
+    happens through :func:`run_mp_workers`.
+    """
+    active = _ACTIVE_CLUSTER
+    if active is not None:
+        return active._claim(n_partitions)
+    return MpTemplateCluster(n_partitions, config)
+
+
+class _TemplateEngine:
+    """Accepts wiring (RPC handlers) but refuses to execute."""
+
+    def __init__(self, server_id: int):
+        self.server_id = server_id
+        self.active_tasks = 0
+        self.rpc_handler = None
+
+    def set_rpc_handler(self, handler) -> None:
+        self.rpc_handler = handler
+
+    def spawn(self, gen, on_done=None) -> None:
+        raise RuntimeError(
+            "this database was built against the parent-side template of "
+            "a multiprocess run; drive it through run_mp_benchmark / "
+            "TpccRun.run(), which re-creates it inside worker processes")
+
+    post = spawn
+
+
+class MpTemplateCluster:
+    """Parent-side stand-in: carries the shape, never runs."""
+
+    def __init__(self, n_servers: int, config: NetworkConfig | None = None):
+        if n_servers <= 0:
+            raise ValueError("cluster needs at least one server")
+        self.clock = AioClock()
+        self.sim = self.clock
+        self.network = AioNetwork(config)
+        self.servers = [Server(i, _TemplateEngine(i))
+                        for i in range(n_servers)]
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    def server(self, server_id: int) -> Server:
+        return self.servers[server_id]
+
+    def engine(self, server_id: int) -> _TemplateEngine:
+        return self.servers[server_id].engine
+
+    def run(self, max_events: int | None = None) -> None:
+        raise RuntimeError(
+            "an mp-backend cluster in the parent process is a template; "
+            "drive the run through run_mp_benchmark / TpccRun.run()")
+
+
+def _worker_entry(conn, spec: MpRunSpec, config: Any, worker_id: int,
+                  n_workers: int) -> None:
+    """Spawned process main: build, serve, report, exit."""
+    try:
+        _worker_body(conn, spec, config, worker_id, n_workers)
+    except BaseException:  # noqa: BLE001 - report, never hang the parent
+        try:
+            conn.send(("error", worker_id, traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+def _worker_body(conn, spec: MpRunSpec, config: Any, worker_id: int,
+                 n_workers: int) -> None:
+    global _ACTIVE_CLUSTER
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind((_HOST, 0))
+    listener.listen(64)
+    conn.send(("port", worker_id, listener.getsockname()[1]))
+    msg = conn.recv()
+    if not msg or msg[0] != "ports":
+        listener.close()
+        return  # parent aborted before the run started
+    ports: dict[int, int] = msg[1]
+
+    cluster = MpWorkerCluster(config.n_partitions, worker_id, n_workers,
+                              config.network_config())
+    _ACTIVE_CLUSTER = cluster
+    try:
+        run_obj = spec.builder(*spec.args, **spec.kwargs)
+    finally:
+        _ACTIVE_CLUSTER = None
+    if not cluster._claimed:
+        raise RuntimeError(
+            f"spec builder {spec.builder!r} never built a cluster via "
+            f"make_cluster (is its config backend set to 'mp'?)")
+    finalize = spec.driver(run_obj, cluster, worker_id)
+    asyncio.run(_serve_worker(cluster, conn, listener, ports, finalize,
+                              worker_id))
+
+
+async def _serve_worker(cluster: MpWorkerCluster, conn,
+                        listener: socket.socket, ports: dict[int, int],
+                        finalize: Callable[[], Any],
+                        worker_id: int) -> None:
+    loop = asyncio.get_running_loop()
+    cluster.loop = loop
+    cluster._idle = asyncio.Event()
+    cluster._error = None
+    cluster._active = 0
+    loop.set_exception_handler(cluster._loop_exception)
+    transport = MpWorkerTransport(cluster, listener, ports)
+    cluster.transport = transport
+    stop = asyncio.Event()
+
+    def on_parent_message() -> None:
+        try:
+            while conn.poll():
+                msg = conn.recv()
+                if msg and msg[0] == "stop":
+                    stop.set()
+        except (EOFError, OSError):
+            stop.set()  # parent died: shut down rather than linger
+
+    loop.add_reader(conn.fileno(), on_parent_message)
+    try:
+        await transport.start(loop)
+        cluster.clock.start()
+        pending, cluster._pending_spawns = cluster._pending_spawns, []
+        for runtime, gen, on_done in pending:
+            runtime.spawn(gen, on_done)
+        if cluster._active == 0:
+            cluster._idle.set()
+        await cluster._drain()
+        if cluster._error is not None:
+            raise cluster._error
+        conn.send(("done", worker_id, finalize()))
+        # keep serving foreign requests until every worker reported done
+        # and the parent broadcast the stop
+        await stop.wait()
+        deadline = loop.time() + _STOP_GRACE_S
+        while (loop.time() < deadline
+               and not (cluster._active == 0 and transport.idle())):
+            await asyncio.sleep(0.01)
+    finally:
+        loop.remove_reader(conn.fileno())
+        await transport.stop()
+        cluster.loop = None
+
+
+# -- parent-side controller ---------------------------------------------------
+
+
+def run_mp_workers(spec: MpRunSpec, config: Any) -> list[Any]:
+    """Spawn the workers, run the spec, return per-worker payloads.
+
+    ``config`` is duck-typed (the bench layer's ``RunConfig``): the
+    controller reads ``n_partitions`` / ``mp_workers`` /
+    ``mp_run_timeout_s`` / ``horizon_us`` and forwards the whole object
+    to every worker's builder.  Teardown is unconditional — whatever
+    happens, every worker process is joined (terminated, then killed if
+    necessary) before this returns or raises.
+    """
+    if spec.driver is None:
+        raise ValueError("MpRunSpec.driver is required")
+    n_workers = effective_mp_workers(config)
+    timeout = getattr(config, "mp_run_timeout_s", None)
+    if timeout is None:
+        timeout = getattr(config, "horizon_us", 0.0) / 1e6 + 60.0
+    ctx = multiprocessing.get_context("spawn")
+    workers: list[tuple] = []
+    try:
+        for worker_id in range(n_workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_entry,
+                args=(child_conn, spec, config, worker_id, n_workers),
+                daemon=True, name=f"mp-worker-{worker_id}")
+            workers.append((proc, parent_conn, child_conn))
+        for proc, _parent, _child in workers:
+            proc.start()
+        for _proc, _parent, child in workers:
+            child.close()
+        deadline = time.monotonic() + timeout
+        ports = _collect(workers, "port", deadline)
+        for _proc, parent, _child in workers:
+            parent.send(("ports", ports))
+        results = _collect(workers, "done", deadline)
+        for _proc, parent, _child in workers:
+            try:
+                parent.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        join_deadline = time.monotonic() + _STOP_GRACE_S + 5.0
+        for proc, _parent, _child in workers:
+            proc.join(timeout=max(0.1, join_deadline - time.monotonic()))
+        return [results[w] for w in range(n_workers)]
+    finally:
+        _teardown(workers)
+
+
+def _collect(workers: list[tuple], tag: str,
+             deadline: float) -> dict[int, Any]:
+    """Gather one ``(tag, worker_id, value)`` message per worker,
+    surfacing worker errors, deaths, and timeouts as MpRunError."""
+    by_conn = {parent: proc for proc, parent, _child in workers}
+    pending = set(by_conn)
+    out: dict[int, Any] = {}
+    while pending:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise MpRunError(
+                f"timed out waiting for {len(pending)} worker(s) to "
+                f"report {tag!r} (raise RunConfig.mp_run_timeout_s if the "
+                f"run is legitimately long)")
+        ready = multiprocessing.connection.wait(pending,
+                                                timeout=remaining)
+        for conn in ready:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                proc = by_conn[conn]
+                raise MpRunError(
+                    f"worker {proc.name} died before reporting {tag!r} "
+                    f"(exit code {proc.exitcode})") from None
+            if msg[0] == "error":
+                raise MpRunError(
+                    f"worker {msg[1]} failed:\n{msg[2]}")
+            if msg[0] != tag:
+                raise MpRunError(f"protocol error: expected {tag!r}, "
+                                 f"worker sent {msg[0]!r}")
+            out[msg[1]] = msg[2]
+            pending.discard(conn)
+    return out
+
+
+def _teardown(workers: list[tuple]) -> None:
+    """Join every worker, escalating so none can leak."""
+    for proc, _parent, _child in workers:
+        if proc.is_alive():
+            proc.terminate()
+    for proc, _parent, _child in workers:
+        if proc.is_alive():
+            proc.join(timeout=5.0)
+    for proc, _parent, _child in workers:
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=5.0)
+    for _proc, parent, _child in workers:
+        try:
+            parent.close()
+        except Exception:
+            pass

@@ -215,6 +215,20 @@ class NetworkStats:
         self.one_sided_batched_verbs += n_verbs
         return total
 
+    def merge_from(self, other: "NetworkStats") -> None:
+        """Fold another process's counters into this one (mp runs merge
+        each worker's stats into the parent-side result)."""
+        self.one_sided_local += other.one_sided_local
+        self.one_sided_remote += other.one_sided_remote
+        self.messages += other.messages
+        self.messages_local += other.messages_local
+        self.one_sided_batches += other.one_sided_batches
+        self.one_sided_batched_verbs += other.one_sided_batched_verbs
+        for kind, nbytes in other.bytes_by_kind.items():
+            self.add_bytes(kind, nbytes, remote=True)
+        for kind, nbytes in other.local_bytes_by_kind.items():
+            self.add_bytes(kind, nbytes, remote=False)
+
     def total_remote_ops(self) -> int:
         """Round trips / deliveries that crossed the wire.  A fused
         batch counts once, however many verbs it carries; local

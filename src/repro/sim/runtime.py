@@ -76,6 +76,10 @@ class EffectRuntimeBase:
         self.server_id = server_id
         self.active_tasks = 0
         self.rpc_handler: Callable[[int, Any], Coroutine] | None = None
+        self.dispatch_context: Any = None
+        """The :class:`~repro.sim.codec.DispatchContext` op descriptors
+        arriving over a serialization boundary are re-bound to;
+        installed by the database layer when it wires storage."""
 
     # -- task scheduling -------------------------------------------------
 

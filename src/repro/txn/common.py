@@ -9,10 +9,26 @@ from typing import Any, Mapping
 
 _txn_counter = itertools.count(1)
 
+TXN_ID_NAMESPACE_SPAN = 2 ** 40
+"""Ids per :func:`seed_txn_ids` namespace — far beyond any run's count."""
+
 
 def next_txn_id() -> int:
     """Globally unique transaction id (process-wide, deterministic)."""
     return next(_txn_counter)
+
+
+def seed_txn_ids(namespace: int) -> None:
+    """Restart the id counter inside a disjoint namespace.
+
+    Transaction ids double as lock owners, so two *processes*
+    coordinating transactions against the same logical database (the
+    multiprocess backend's workers) must never mint the same id — a
+    collision would let one transaction release or re-enter another's
+    locks.  Each worker seeds its own namespace before driving load.
+    """
+    global _txn_counter
+    _txn_counter = itertools.count(namespace * TXN_ID_NAMESPACE_SPAN + 1)
 
 
 @dataclass(frozen=True)

@@ -14,6 +14,7 @@ from typing import Any, Callable, Iterable
 from ..analysis import ProcedureRegistry
 from ..replication import ReplicaManager
 from ..sim import Cluster, Coroutine
+from ..sim.codec import DispatchContext
 from ..storage import Catalog, PartitionStore, TableSpec
 
 
@@ -46,9 +47,17 @@ class Database:
         if n_replicas > 0:
             self.replicas = ReplicaManager(len(cluster), n_replicas,
                                            self.tables, now_fn=now_fn)
+        self.dispatch_context = DispatchContext(self.store, self.replicas)
+        """What this process's servers expose to decoded op descriptors
+        (see :mod:`repro.sim.codec`): the local stores and replicas."""
         self._rpc_kinds: dict[str, RpcFactory] = {}
         for server in cluster.servers:
             server.engine.set_rpc_handler(self._dispatcher(server.id))
+            runtime = getattr(server.engine, "runtime", None)
+            if runtime is not None:
+                # lets transports re-bind descriptors that arrived over
+                # a real serialization boundary to this database
+                runtime.dispatch_context = self.dispatch_context
 
     # -- placement ---------------------------------------------------------
 

@@ -22,7 +22,8 @@ from ..analysis import OpInstance, OpKind
 from ..replication import ReplicaWrite
 from ..sim import (All, BatchedOneSided, Compute, OneSided,
                    approx_payload_bytes)
-from ..storage import LockMode, PartitionStore
+from ..sim.codec import DispatchContext, OpDescriptor, op_handler
+from ..storage import LockMode
 from .common import (AbortReason, BufferedWrite, CommitLog, Outcome,
                      TxnRequest, WriteKind, next_txn_id)
 from .database import Database
@@ -245,17 +246,17 @@ class BaseExecutor:
             state.locations[inst.name] = (table, key, pid)
             if inst.spec.kind is OpKind.READ:
                 state.touched.add(pid)
-                op = (_lock_read_op(self.db.store(pid), table, key,
+                op = (_lock_read_op(self.db, pid, table, key,
                                     inst.lock_mode(), state.txn_id)
                       if locking else
-                      _plain_read_op(self.db.store(pid), table, key))
+                      _plain_read_op(self.db, pid, table, key))
                 items.append((pid, op))
                 metas.append((inst, "read", key, pid))
             else:  # INSERT: reserve the bucket now (2PL); skip under OCC
                 if locking:
                     state.touched.add(pid)
                     items.append((pid, _lock_insert_op(
-                        self.db.store(pid), table, key, state.txn_id)))
+                        self.db, pid, table, key, state.txn_id)))
                     metas.append((inst, "insert", key, pid))
         if not items:
             return True
@@ -366,7 +367,7 @@ class BaseExecutor:
             nbytes = approx_payload_bytes(shipped) if account else None
             for rserver in replicas.replica_servers(pid):
                 items.append((rserver,
-                              _replica_apply_op(replicas, rserver, pid,
+                              _replica_apply_op(self.db, rserver, pid,
                                                 shipped)))
                 sizes.append(nbytes)
         if items:
@@ -386,7 +387,7 @@ class BaseExecutor:
         total_writes = sum(len(ws) for ws in writes.values())
         yield Compute(self.cfg.cpu_dispatch_us
                       + self.cfg.cpu_apply_us * total_writes)
-        items = [(pid, _commit_op(self.db.store(pid),
+        items = [(pid, _commit_op(self.db, pid,
                                   writes.get(pid, []), state.txn_id))
                  for pid in sorted(targets)]
         results = yield from self.network_round(items, kind="commit")
@@ -399,7 +400,7 @@ class BaseExecutor:
             return
         yield Compute(self.cfg.cpu_dispatch_us)
         yield from self.network_round(
-            [(pid, _release_op(self.db.store(pid), state.txn_id))
+            [(pid, _release_op(self.db, pid, state.txn_id))
              for pid in sorted(state.touched)],
             kind="release")
 
@@ -419,67 +420,105 @@ class BaseExecutor:
                        used_two_region=state.used_two_region)
 
 
-# -- one-sided closures (run atomically at the target partition) ------------
+# -- one-sided verbs as descriptors ------------------------------------------
+#
+# Remote record operations are emitted as picklable
+# :class:`~repro.sim.codec.OpDescriptor` data — never closures — so
+# every backend (including the multiprocess one) can ship them across a
+# real serialization boundary.  The builders below bind each descriptor
+# to this database's dispatch context, which makes it a plain callable
+# for the in-process backends; the ``@op_handler`` functions are the
+# server-side dispatch table executing the verb against the target
+# partition's (local copy of the) store.
 
-def _lock_read_op(store: PartitionStore, table: str, key: Any,
-                  mode: LockMode, txn_id: int) -> Callable[[], tuple]:
-    def op() -> tuple:
-        if not store.try_lock(table, key, mode, txn_id):
-            return ("conflict",)
-        result = store.read(table, key)
-        if result is None:
-            return ("missing",)
-        fields, version = result
-        return ("ok", fields, version)
-    return op
-
-
-def _plain_read_op(store: PartitionStore, table: str,
-                   key: Any) -> Callable[[], tuple]:
-    def op() -> tuple:
-        result = store.read(table, key)
-        if result is None:
-            return ("missing",)
-        fields, version = result
-        return ("ok", fields, version)
-    return op
+def _lock_read_op(db: Database, pid: int, table: str, key: Any,
+                  mode: LockMode, txn_id: int) -> OpDescriptor:
+    return OpDescriptor("lock_read", pid, table, key,
+                        (mode, txn_id)).bind(db.dispatch_context)
 
 
-def _lock_insert_op(store: PartitionStore, table: str, key: Any,
-                    txn_id: int) -> Callable[[], tuple]:
-    def op() -> tuple:
-        if not store.try_lock(table, key, LockMode.EXCLUSIVE, txn_id):
-            return ("conflict",)
-        if store.read(table, key) is not None:
-            return ("duplicate",)
-        return ("ok",)
-    return op
+@op_handler("lock_read")
+def _do_lock_read(ctx: DispatchContext, d: OpDescriptor) -> tuple:
+    store = ctx.store_of(d.partition)
+    mode, txn_id = d.args
+    if not store.try_lock(d.table, d.key, mode, txn_id):
+        return ("conflict",)
+    result = store.read(d.table, d.key)
+    if result is None:
+        return ("missing",)
+    fields, version = result
+    return ("ok", fields, version)
 
 
-def _commit_op(store: PartitionStore, writes: list[BufferedWrite],
-               txn_id: int) -> Callable[[], list]:
-    def op() -> list:
-        versions: list[tuple[tuple[str, Any], int]] = []
-        for write in writes:
-            rid = (write.table, write.key)
-            if write.kind is WriteKind.UPDATE:
-                store.write(write.table, write.key, write.values)
-                versions.append((rid, store.version_of(write.table,
-                                                       write.key)))
-            elif write.kind is WriteKind.INSERT:
-                store.insert(write.table, write.key, write.values)
-                versions.append((rid, 0))
-            else:
-                old = store.version_of(write.table, write.key)
-                store.delete(write.table, write.key)
-                versions.append((rid, (old or 0) + 1))
-        store.release_all(txn_id)
-        return versions
-    return op
+def _plain_read_op(db: Database, pid: int, table: str,
+                   key: Any) -> OpDescriptor:
+    return OpDescriptor("plain_read", pid, table,
+                        key).bind(db.dispatch_context)
 
 
-def _release_op(store: PartitionStore, txn_id: int) -> Callable[[], int]:
-    return lambda: store.release_all(txn_id)
+@op_handler("plain_read")
+def _do_plain_read(ctx: DispatchContext, d: OpDescriptor) -> tuple:
+    result = ctx.store_of(d.partition).read(d.table, d.key)
+    if result is None:
+        return ("missing",)
+    fields, version = result
+    return ("ok", fields, version)
+
+
+def _lock_insert_op(db: Database, pid: int, table: str, key: Any,
+                    txn_id: int) -> OpDescriptor:
+    return OpDescriptor("lock_insert", pid, table, key,
+                        (txn_id,)).bind(db.dispatch_context)
+
+
+@op_handler("lock_insert")
+def _do_lock_insert(ctx: DispatchContext, d: OpDescriptor) -> tuple:
+    store = ctx.store_of(d.partition)
+    (txn_id,) = d.args
+    if not store.try_lock(d.table, d.key, LockMode.EXCLUSIVE, txn_id):
+        return ("conflict",)
+    if store.read(d.table, d.key) is not None:
+        return ("duplicate",)
+    return ("ok",)
+
+
+def _commit_op(db: Database, pid: int, writes: list[BufferedWrite],
+               txn_id: int) -> OpDescriptor:
+    wire = tuple((w.kind.value, w.table, w.key, w.values) for w in writes)
+    return OpDescriptor("commit", pid,
+                        args=(wire, txn_id)).bind(db.dispatch_context)
+
+
+@op_handler("commit")
+def _do_commit(ctx: DispatchContext, d: OpDescriptor) -> list:
+    store = ctx.store_of(d.partition)
+    writes, txn_id = d.args
+    versions: list[tuple[tuple[str, Any], int]] = []
+    for kind, table, key, values in writes:
+        rid = (table, key)
+        if kind == "update":
+            store.write(table, key, values)
+            versions.append((rid, store.version_of(table, key)))
+        elif kind == "insert":
+            store.insert(table, key, values)
+            versions.append((rid, 0))
+        else:
+            old = store.version_of(table, key)
+            store.delete(table, key)
+            versions.append((rid, (old or 0) + 1))
+    store.release_all(txn_id)
+    return versions
+
+
+def _release_op(db: Database, pid: int, txn_id: int) -> OpDescriptor:
+    return OpDescriptor("release", pid,
+                        args=(txn_id,)).bind(db.dispatch_context)
+
+
+@op_handler("release")
+def _do_release(ctx: DispatchContext, d: OpDescriptor) -> int:
+    (txn_id,) = d.args
+    return ctx.store_of(d.partition).release_all(txn_id)
 
 
 def _to_replica_write(write: BufferedWrite) -> ReplicaWrite:
@@ -487,6 +526,16 @@ def _to_replica_write(write: BufferedWrite) -> ReplicaWrite:
                         write.values)
 
 
-def _replica_apply_op(replicas, rserver: int, pid: int,
-                      writes: tuple[ReplicaWrite, ...]) -> Callable[[], None]:
-    return lambda: replicas.apply(rserver, pid, writes)
+def _replica_apply_op(db: Database, rserver: int, pid: int,
+                      writes: tuple[ReplicaWrite, ...]) -> OpDescriptor:
+    return OpDescriptor("replica_apply", rserver,
+                        args=(pid, writes)).bind(db.dispatch_context)
+
+
+@op_handler("replica_apply")
+def _do_replica_apply(ctx: DispatchContext, d: OpDescriptor) -> None:
+    if ctx.replicas is None:
+        raise RuntimeError("replica_apply verb arrived but this process "
+                           "has no ReplicaManager")
+    pid, writes = d.args
+    return ctx.replicas.apply(d.partition, pid, writes)

@@ -23,8 +23,10 @@ from __future__ import annotations
 from typing import Any, Callable, Generator
 
 from ..sim import Compute
-from ..storage import LockMode, PartitionStore
+from ..sim.codec import DispatchContext, OpDescriptor, op_handler
+from ..storage import LockMode
 from .common import AbortReason, TxnRequest, WriteKind
+from .database import Database
 from .executor import BaseExecutor, TxnState
 
 
@@ -74,7 +76,7 @@ class OccExecutor(BaseExecutor):
                 written.add(rid)
                 expected = read_versions.get(rid)
                 lock_items.append((pid, _validate_write_op(
-                    self.db.store(pid), write.table, write.key,
+                    self.db, pid, write.table, write.key,
                     state.txn_id, expected,
                     is_insert=write.kind is WriteKind.INSERT)))
         if lock_items:
@@ -95,7 +97,7 @@ class OccExecutor(BaseExecutor):
             pid = self.db.partition_of(table, key,
                                        reader=state.request.home)
             check_items.append((pid, _validate_read_op(
-                self.db.store(pid), table, key, state.txn_id, version)))
+                self.db, pid, table, key, state.txn_id, version)))
         if check_items:
             yield Compute(self.cfg.cpu_dispatch_us
                           + self.round_cpu((pid for pid, _ in check_items),
@@ -110,29 +112,41 @@ class OccExecutor(BaseExecutor):
         return True
 
 
-def _validate_write_op(store: PartitionStore, table: str, key: Any,
+def _validate_write_op(db: Database, pid: int, table: str, key: Any,
                        txn_id: int, expected_version: int | None,
-                       is_insert: bool) -> Callable[[], str]:
-    def op() -> str:
-        if not store.try_lock(table, key, LockMode.EXCLUSIVE, txn_id):
-            return "conflict"
-        current = store.version_of(table, key)
-        if is_insert:
-            return "ok" if current is None else "duplicate"
-        if current != expected_version:
-            return "stale"
-        return "ok"
-    return op
+                       is_insert: bool) -> OpDescriptor:
+    return OpDescriptor("validate_write", pid, table, key,
+                        (txn_id, expected_version,
+                         is_insert)).bind(db.dispatch_context)
 
 
-def _validate_read_op(store: PartitionStore, table: str, key: Any,
-                      txn_id: int, expected_version: int
-                      ) -> Callable[[], str]:
-    def op() -> str:
-        if store.version_of(table, key) != expected_version:
-            return "stale"
-        lock = store.table(table).lock_for(key)
-        if not lock.is_free() and lock.held_by(txn_id) is None:
-            return "locked"  # a concurrent validator owns it
-        return "ok"
-    return op
+@op_handler("validate_write")
+def _do_validate_write(ctx: DispatchContext, d: OpDescriptor) -> str:
+    store = ctx.store_of(d.partition)
+    txn_id, expected_version, is_insert = d.args
+    if not store.try_lock(d.table, d.key, LockMode.EXCLUSIVE, txn_id):
+        return "conflict"
+    current = store.version_of(d.table, d.key)
+    if is_insert:
+        return "ok" if current is None else "duplicate"
+    if current != expected_version:
+        return "stale"
+    return "ok"
+
+
+def _validate_read_op(db: Database, pid: int, table: str, key: Any,
+                      txn_id: int, expected_version: int) -> OpDescriptor:
+    return OpDescriptor("validate_read", pid, table, key,
+                        (txn_id, expected_version)).bind(db.dispatch_context)
+
+
+@op_handler("validate_read")
+def _do_validate_read(ctx: DispatchContext, d: OpDescriptor) -> str:
+    store = ctx.store_of(d.partition)
+    txn_id, expected_version = d.args
+    if store.version_of(d.table, d.key) != expected_version:
+        return "stale"
+    lock = store.table(d.table).lock_for(d.key)
+    if not lock.is_free() and lock.held_by(txn_id) is None:
+        return "locked"  # a concurrent validator owns it
+    return "ok"

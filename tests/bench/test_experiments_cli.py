@@ -107,3 +107,25 @@ def test_unknown_backend_rejected(stubbed):
         ex.main(["fig9a", "--backend", "quantum"])
     with pytest.raises(SystemExit):
         ex.main(["fig9a", "--backend"])
+
+
+def test_mp_backend_flag_prints_parallel_note(stubbed, capsys):
+    ex.main(["fig9a", "--backend", "mp"])
+    assert [call[0] for call in stubbed] == ["fig9"]
+    assert "multiprocess backend" in capsys.readouterr().out
+
+
+def test_workers_flag_both_spellings(stubbed, capsys):
+    ex.main(["fig9a", "--backend", "mp", "--workers", "2"])
+    assert "packed onto 2 workers" in capsys.readouterr().out
+    ex.main(["fig9a", "--backend=mp", "--workers=3"])
+    assert "packed onto 3 workers" in capsys.readouterr().out
+
+
+def test_workers_flag_rejects_bad_values(stubbed):
+    with pytest.raises(SystemExit):
+        ex.main(["fig9a", "--workers", "zero"])
+    with pytest.raises(SystemExit):
+        ex.main(["fig9a", "--workers", "0"])
+    with pytest.raises(SystemExit):
+        ex.main(["fig9a", "--workers"])

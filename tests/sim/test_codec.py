@@ -1,0 +1,175 @@
+"""Round-trip property tests for the wire codec (sim/codec.py).
+
+Every descriptor kind the transaction layer registers must encode to a
+picklable spec and decode to an *equivalent* op: executing the decoded
+descriptor against an identical database produces the identical result
+(and the identical store mutations, verified by running the follow-up
+ops).  Unpicklable payloads must fail loudly, naming the offending
+effect — never ship half a closure and hang a worker.
+"""
+
+import pickle
+
+import pytest
+
+from repro.bench.conformance import build_conformance_run, conformance_config
+from repro.sim import CodecError, OpDescriptor, decode_op, encode_op
+from repro.sim.codec import OP_HANDLERS, dumps
+from repro.storage import LockMode
+from repro.txn.executor import (_commit_op, _lock_insert_op, _lock_read_op,
+                                _plain_read_op, _release_op,
+                                _replica_apply_op, _to_replica_write)
+from repro.txn.occ import _validate_read_op, _validate_write_op
+from repro.txn.common import BufferedWrite, WriteKind
+
+
+@pytest.fixture
+def twin_dbs():
+    """Two independently built but identical databases."""
+    def build():
+        return build_conformance_run(conformance_config("sim")).database
+    return build(), build()
+
+
+def roundtrip(desc: OpDescriptor) -> OpDescriptor:
+    """encode -> pickle -> decode, as a real transport would."""
+    spec = encode_op(desc, "test effect")
+    decoded = decode_op(pickle.loads(pickle.dumps(spec)))
+    assert decoded == desc, "wire round trip must preserve the spec"
+    return decoded
+
+
+def run_twin(desc: OpDescriptor, db_a, db_b):
+    """Run the original on A and the round-tripped copy on B."""
+    direct = desc()
+    wired = roundtrip(desc).bind(db_b.dispatch_context)()
+    assert wired == direct
+    return direct
+
+
+KEY = 1
+TXN = 7001
+
+
+def test_lock_read_insert_commit_release_round_trip(twin_dbs):
+    """The 2PL verb sequence behaves identically through the wire."""
+    db_a, db_b = twin_dbs
+    pid = db_a.partition_of("accounts", KEY)
+
+    status = run_twin(_lock_read_op(db_a, pid, "accounts", KEY,
+                                    LockMode.EXCLUSIVE, TXN), db_a, db_b)
+    assert status[0] == "ok"
+    # the lock really took on both sides: a second owner conflicts
+    conflict = run_twin(_lock_read_op(db_a, pid, "accounts", KEY,
+                                      LockMode.EXCLUSIVE, TXN + 1),
+                        db_a, db_b)
+    assert conflict == ("conflict",)
+
+    run_twin(_plain_read_op(db_a, pid, "accounts", KEY), db_a, db_b)
+
+    missing = run_twin(_lock_read_op(db_a, pid, "accounts", "no-such-key",
+                                     LockMode.SHARED, TXN), db_a, db_b)
+    assert missing == ("missing",)
+
+    writes = [BufferedWrite(WriteKind.UPDATE, "accounts", KEY,
+                            {"balance": 42.0}),
+              BufferedWrite(WriteKind.INSERT, "accounts", 9000,
+                            {"balance": 1.0})]
+    versions = run_twin(_commit_op(db_a, pid, writes, TXN), db_a, db_b)
+    assert (("accounts", KEY), 1) in versions  # load=v0, update -> v1
+    assert db_a.store(pid).read("accounts", KEY)[0]["balance"] == 42.0
+    assert db_b.store(pid).read("accounts", KEY)[0]["balance"] == 42.0
+
+    run_twin(_release_op(db_a, pid, TXN + 1), db_a, db_b)
+    # and the insert is now readable on both sides
+    assert run_twin(_plain_read_op(db_a, pid, "accounts", 9000),
+                    db_a, db_b)[0] == "ok"
+
+
+def test_lock_insert_and_duplicate_round_trip(twin_dbs):
+    db_a, db_b = twin_dbs
+    pid = db_a.partition_of("accounts", 9100)
+    assert run_twin(_lock_insert_op(db_a, pid, "accounts", 9100, TXN),
+                    db_a, db_b) == ("ok",)
+    key_pid = db_a.partition_of("accounts", KEY)
+    dup = run_twin(_lock_insert_op(db_a, key_pid, "accounts", KEY, TXN),
+                   db_a, db_b)
+    assert dup == ("duplicate",)
+
+
+def test_validate_ops_round_trip(twin_dbs):
+    db_a, db_b = twin_dbs
+    pid = db_a.partition_of("accounts", KEY)
+    version = db_a.store(pid).version_of("accounts", KEY)
+
+    assert run_twin(_validate_read_op(db_a, pid, "accounts", KEY, TXN,
+                                      version), db_a, db_b) == "ok"
+    assert run_twin(_validate_read_op(db_a, pid, "accounts", KEY, TXN,
+                                      version + 5), db_a, db_b) == "stale"
+    assert run_twin(_validate_write_op(db_a, pid, "accounts", KEY, TXN,
+                                       version, is_insert=False),
+                    db_a, db_b) == "ok"
+    assert run_twin(_validate_write_op(db_a, pid, "accounts", KEY,
+                                       TXN + 1, version,
+                                       is_insert=False),
+                    db_a, db_b) == "conflict"
+
+
+def test_replica_apply_round_trip(twin_dbs):
+    db_a, db_b = twin_dbs
+    pid = db_a.partition_of("accounts", KEY)
+    (rserver,) = db_a.replicas.replica_servers(pid)
+    shipped = tuple([_to_replica_write(
+        BufferedWrite(WriteKind.UPDATE, "accounts", KEY,
+                      {"balance": 7.0}))])
+    run_twin(_replica_apply_op(db_a, rserver, pid, shipped), db_a, db_b)
+    for db in (db_a, db_b):
+        fields, _v = db.replicas.store_on(rserver, pid).read("accounts",
+                                                             KEY)
+        assert fields["balance"] == 7.0
+
+
+def test_every_registered_kind_is_exercised():
+    """A new verb kind must come with a round-trip test above."""
+    assert set(OP_HANDLERS) == {
+        "lock_read", "plain_read", "lock_insert", "commit", "release",
+        "validate_write", "validate_read", "replica_apply"}
+
+
+# -- failure modes -----------------------------------------------------------
+
+
+def test_encoding_a_raw_closure_names_the_effect():
+    with pytest.raises(CodecError) as err:
+        encode_op(lambda: 1, effect="OneSided(kind='lock_read') to server 3")
+    assert "OneSided(kind='lock_read') to server 3" in str(err.value)
+    assert "process boundary" in str(err.value)
+
+
+def test_dumps_unpicklable_payload_names_the_effect():
+    with pytest.raises(CodecError) as err:
+        dumps(lambda: 1, what="Rpc(kind='chiller_inner', ...) to server 2")
+    assert "Rpc(kind='chiller_inner', ...) to server 2" in str(err.value)
+
+
+def test_unbound_descriptor_refuses_to_execute():
+    desc = OpDescriptor("plain_read", 0, "accounts", 1)
+    with pytest.raises(CodecError, match="unbound"):
+        desc()
+
+
+def test_unknown_kind_refuses_to_dispatch(twin_dbs):
+    db_a, _ = twin_dbs
+    desc = OpDescriptor("warp_drive", 0).bind(db_a.dispatch_context)
+    with pytest.raises(CodecError, match="warp_drive"):
+        desc()
+
+
+def test_pickled_descriptor_arrives_unbound(twin_dbs):
+    db_a, _ = twin_dbs
+    pid = db_a.partition_of("accounts", KEY)
+    desc = _plain_read_op(db_a, pid, "accounts", KEY)
+    clone = pickle.loads(pickle.dumps(desc))
+    assert clone == desc
+    with pytest.raises(CodecError, match="unbound"):
+        clone()  # the receiving process must bind its own context

@@ -1,0 +1,165 @@
+"""Multiprocess backend: conformance, benchmark path, and teardown.
+
+These tests spawn real worker processes (multiprocessing "spawn"), so
+the builders and drivers they hand the workers live at module level —
+the children re-import them by reference.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.bench import RunConfig, make_cluster, run_benchmark, \
+    run_mp_benchmark
+from repro.bench.conformance import (build_conformance_run,
+                                     conformance_config, run_conformance)
+from repro.bench.setups import make_tpcc_run
+from repro.sim import (MpRunError, MpRunSpec, MpTemplateCluster, OneSided,
+                       Sleep, run_mp_workers)
+
+
+def no_leaked_workers() -> bool:
+    return not [p for p in multiprocessing.active_children()
+                if p.name.startswith("mp-worker-")]
+
+
+def mp_config(**overrides) -> RunConfig:
+    defaults = dict(n_partitions=2, concurrent_per_engine=2,
+                    horizon_us=15_000.0, warmup_us=0.0, n_replicas=1,
+                    backend="mp", mp_run_timeout_s=120.0)
+    defaults.update(overrides)
+    return RunConfig(**defaults)
+
+
+# -- parent-side wiring ------------------------------------------------------
+
+
+def test_make_cluster_mp_returns_inert_template():
+    cluster = make_cluster(mp_config())
+    assert isinstance(cluster, MpTemplateCluster)
+    with pytest.raises(RuntimeError, match="template"):
+        cluster.run()
+    with pytest.raises(RuntimeError, match="worker processes"):
+        cluster.engine(0).spawn(iter(()))
+
+
+def test_run_benchmark_requires_a_spec_for_mp():
+    run = build_conformance_run(conformance_config("mp"))
+    with pytest.raises(ValueError, match="mp_spec"):
+        run_benchmark(run.workload, run.executor, run.config)
+
+
+def test_mp_workers_knob_bounds():
+    from repro.sim import effective_mp_workers
+    assert effective_mp_workers(mp_config()) == 2
+    assert effective_mp_workers(mp_config(mp_workers=1)) == 1
+    assert effective_mp_workers(mp_config(mp_workers=9)) == 2  # capped
+    with pytest.raises(ValueError):
+        effective_mp_workers(mp_config(mp_workers=0))
+
+
+# -- cross-backend conformance -----------------------------------------------
+
+
+@pytest.mark.parametrize("executor", ["2pl", "occ"])
+def test_identical_decisions_on_sim_aio_and_mp(executor):
+    """The shared effect program must commit/abort identically — same
+    decisions, same abort reasons, same order — on every backend."""
+    sim = run_conformance("sim", executor)
+    assert any(committed for _p, committed, _r in sim)
+    assert ("transfer", False, "logical") in sim
+    assert ("transfer", False, "read_miss") in sim
+    assert run_conformance("aio", executor) == sim
+    assert run_conformance("mp", executor) == sim
+    assert no_leaked_workers()
+
+
+# -- end-to-end benchmark path ------------------------------------------------
+
+
+def test_tpcc_cell_runs_on_mp_backend():
+    """The full setups path (Database + replicas + RPC dispatch) on real
+    worker processes, wall-clock metrics merged at the parent."""
+    run = make_tpcc_run("2pl", mp_config(horizon_us=20_000.0))
+    assert run.mp_spec is not None
+    result = run.run()
+    assert result.metrics.commits > 0
+    assert result.metrics.wall_seconds > 0.0
+    assert result.metrics.events_processed > 0
+    summary = result.perf_summary()
+    assert summary["backend"] == "mp"
+    assert summary["workers"] == 2
+    # the workers' measured traffic is merged into the parent result
+    stats = result.database.cluster.network.stats
+    assert stats.total_remote_ops() > 0
+    assert stats.total_bytes() > 0
+    assert no_leaked_workers()
+
+
+def test_run_mp_benchmark_merges_worker_metrics():
+    config = mp_config(horizon_us=20_000.0)
+    spec = make_tpcc_run("2pl", config).mp_spec
+    result = run_mp_benchmark(spec, config)
+    attempts_per_proc = result.metrics.attempts_by_proc()
+    assert sum(attempts_per_proc.values()) == result.metrics.attempts > 0
+    assert no_leaked_workers()
+
+
+# -- teardown regressions -----------------------------------------------------
+#
+# Workers must be *joined*, never leaked, when a run aborts mid-horizon
+# — whether the failure is a builder crash, an unshippable payload, or
+# a hang caught by the timeout.
+
+
+def exploding_builder(config):
+    raise RuntimeError("boom-at-build")
+
+
+def null_driver(run_obj, cluster, worker_id):
+    return dict
+
+
+def test_worker_build_failure_aborts_run_and_joins_workers():
+    with pytest.raises(MpRunError, match="boom-at-build"):
+        run_mp_workers(MpRunSpec(builder=exploding_builder,
+                                 args=(mp_config(),), driver=null_driver),
+                       mp_config())
+    assert no_leaked_workers()
+
+
+def closure_driver(run_obj, cluster, worker_id):
+    """Ships a raw closure at a remote server: must fail loudly."""
+    def program():
+        yield OneSided(1, lambda: 1)
+
+    if cluster.owns(0):
+        cluster.engine(0).spawn(program())
+    return dict
+
+
+def test_raw_closure_to_remote_server_raises_codec_error():
+    config = mp_config()
+    spec = MpRunSpec(builder=build_conformance_run, args=(config,),
+                     driver=closure_driver)
+    with pytest.raises(MpRunError, match="process boundary"):
+        run_mp_workers(spec, config)
+    assert no_leaked_workers()
+
+
+def hanging_driver(run_obj, cluster, worker_id):
+    def forever():
+        yield Sleep(3_600_000_000.0)  # an hour of wall clock
+
+    for server in cluster.owned_servers():
+        cluster.engine(server).spawn(forever())
+    return dict
+
+
+def test_hung_worker_is_terminated_not_leaked():
+    config = mp_config(mp_run_timeout_s=4.0)
+    spec = MpRunSpec(builder=build_conformance_run, args=(config,),
+                     driver=hanging_driver)
+    with pytest.raises(MpRunError, match="timed out"):
+        run_mp_workers(spec, config)
+    assert no_leaked_workers()
