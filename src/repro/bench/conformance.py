@@ -24,15 +24,19 @@ backend's spawned workers can rebuild it by reference; the tier-1 suite
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from ..analysis import ProcedureRegistry
 from ..partitioning import HashScheme
+from ..sched import SchedAction, Scheduler
 from ..storage import Catalog
 from ..txn import Database, OccExecutor, TwoPLExecutor
 from ..txn.common import TxnRequest, seed_txn_ids
 from ..workloads.bank import BankWorkload
-from .harness import RunConfig, make_cluster
+from ..workloads.ycsb import YcsbWorkload
+from .harness import (RunConfig, build_database, make_cluster,
+                      make_schedulers)
 
 N_ACCOUNTS = 64
 DRIVER_HOME = 0
@@ -156,5 +160,137 @@ def run_conformance(backend: str, executor: str = "2pl") -> list[tuple]:
     decisions: list = []
     run.database.cluster.engine(DRIVER_HOME).spawn(
         decision_program(run, decisions))
+    run.database.cluster.run()
+    return decisions
+
+
+# -- scheduler conformance ----------------------------------------------------
+#
+# The scheduling layer must be *transparent* to decision logic: a fixed,
+# race-free request sequence has to produce the identical commit/abort
+# decisions whether it runs through the raw executor loop, through
+# FifoScheduler mediation, or through ConflictClassScheduler mediation
+# — and, for each scheduler, identically on every backend.  The bank
+# program above covers cross-partition verbs; the YCSB snippet below
+# hammers two hot keys so conflict classes actually form (sequential
+# execution means the classes serialize trivially, which is exactly the
+# point: scheduling may reorder *when*, never *what*).
+
+YCSB_N_KEYS = 64
+YCSB_HOT_KEYS = (0, 1)
+
+
+def build_ycsb_conformance_run(config: RunConfig,
+                               executor: str = "2pl") -> ConformanceRun:
+    """Deterministic hot-key YCSB database + executor (module-level and
+    picklable-by-reference, like :func:`build_conformance_run`)."""
+    workload = YcsbWorkload(n_keys=YCSB_N_KEYS, reads_per_txn=2,
+                            writes_per_txn=2)
+    db, _cluster = build_database(
+        workload, Catalog(config.n_partitions,
+                          HashScheme(config.n_partitions)), config)
+    if executor == "2pl":
+        exec_ = TwoPLExecutor(db)
+    elif executor == "occ":
+        exec_ = OccExecutor(db)
+    else:
+        raise ValueError(f"unknown conformance executor {executor!r}")
+    return ConformanceRun(workload, db, exec_, config, executor)
+
+
+def ycsb_conformance_requests() -> list[TxnRequest]:
+    """A fixed hot-key program: every transaction writes one of two hot
+    keys plus a distinct cold key, so the conflict scheduler builds
+    real (overlapping) classes while the decisions stay deterministic."""
+    reqs = []
+    for i in range(12):
+        hot = YCSB_HOT_KEYS[i % len(YCSB_HOT_KEYS)]
+        cold = 8 + i
+        reqs.append(TxnRequest("ycsb", {
+            "read_keys": [16 + i, 40 + (i % 4)],
+            "write_keys": [hot, cold],
+        }, home=DRIVER_HOME))
+    return reqs
+
+
+def scheduled_decision_program(run: ConformanceRun,
+                               scheduler: Scheduler | None,
+                               decisions: list,
+                               requests: list[TxnRequest]):
+    """Execute ``requests`` in sequence, mediated by ``scheduler``.
+
+    ``scheduler=None`` is the historical raw loop.  Mirrors the
+    harness's dispatch exactly: admit → (wait) → execute → on_outcome;
+    shed requests record a typed decision instead of an Outcome.
+    """
+    cluster = run.database.cluster
+    for request in requests:
+        if scheduler is not None:
+            decision = scheduler.admit(request, cluster.sim.now)
+            while decision.action is SchedAction.DEFER:
+                yield decision.wait_effect()
+                decision = scheduler.readmit(request, decision,
+                                             cluster.sim.now)
+            if decision.action is SchedAction.SHED:
+                decisions.append((request.proc, "shed",
+                                  decision.reason.value))
+                continue
+        outcome = yield from run.executor.execute(request)
+        if scheduler is not None:
+            scheduler.on_outcome(decision, outcome, cluster.sim.now,
+                                 will_retry=False)
+        decisions.append((request.proc, outcome.committed,
+                          outcome.reason.value if outcome.reason else None))
+    return decisions
+
+
+def _engine_scheduler(run: ConformanceRun) -> Scheduler | None:
+    """The driver engine's scheduler per ``run.config`` (None: raw loop,
+    signalled by ``config.scheduler`` being the sentinel ``"raw"``)."""
+    if run.config.scheduler == "raw":
+        return None
+    return make_schedulers(run.executor, run.config,
+                           [DRIVER_HOME])[DRIVER_HOME]
+
+
+def ycsb_conformance_driver(run: ConformanceRun, cluster, worker_id: int):
+    """mp worker driver for the scheduled YCSB program."""
+    seed_txn_ids(worker_id)
+    decisions: list = []
+    if cluster.owns(DRIVER_HOME):
+        cluster.engine(DRIVER_HOME).spawn(scheduled_decision_program(
+            run, _engine_scheduler(run), decisions,
+            ycsb_conformance_requests()))
+
+    def finalize() -> dict:
+        return {"decisions": decisions}
+
+    return finalize
+
+
+def run_ycsb_conformance(backend: str, executor: str = "2pl",
+                         scheduler: str | None = "fifo") -> list[tuple]:
+    """The scheduled hot-key program's decisions on ``backend``.
+
+    ``scheduler``: ``"fifo"`` / ``"conflict"`` mediate through that
+    scheduler; ``None`` runs the raw (unscheduled) loop.
+    """
+    config = dataclasses.replace(
+        conformance_config(backend),
+        scheduler=scheduler if scheduler else "raw")
+    if backend == "mp":
+        from ..sim import MpRunSpec, run_mp_workers
+        spec = MpRunSpec(builder=build_ycsb_conformance_run,
+                         args=(config,), kwargs={"executor": executor},
+                         driver=ycsb_conformance_driver)
+        payloads = run_mp_workers(spec, config)
+        decisions = [p["decisions"] for p in payloads if p["decisions"]]
+        assert len(decisions) == 1, "exactly one worker drives the program"
+        return decisions[0]
+    run = build_ycsb_conformance_run(config, executor)
+    decisions: list = []
+    run.database.cluster.engine(DRIVER_HOME).spawn(
+        scheduled_decision_program(run, _engine_scheduler(run), decisions,
+                                   ycsb_conformance_requests()))
     run.database.cluster.run()
     return decisions

@@ -12,7 +12,11 @@ Run from the command line::
     python -m repro.bench.experiments fig9a --quick --backend aio
     python -m repro.bench.experiments fig9a --quick --backend mp
     python -m repro.bench.experiments fig9a --quick --backend mp --workers 2
+    python -m repro.bench.experiments fig9a --scheduler conflict
 
+``--scheduler fifo|conflict`` selects the cross-transaction scheduling
+policy (:mod:`repro.sched`); unset and ``fifo`` reproduce the
+historical raw dispatch loop bit-for-bit.
 ``--backend aio`` drives the same sweep through the asyncio runtime
 (real event loop, wall-clock time) instead of the simulator;
 ``--backend mp`` through the multiprocess runtime (one OS process per
@@ -33,6 +37,7 @@ from typing import Iterable, Sequence
 
 from ..workloads.instacart import InstacartWorkload
 from ..workloads.tpcc import TpccScale, TpccWorkload
+from ..sched import SCHEDULERS
 from .harness import BACKENDS, RunConfig
 from .setups import (build_instacart_layout, build_instacart_setup,
                      make_instacart_run, make_tpcc_run)
@@ -47,14 +52,16 @@ def instacart_config(n_partitions: int, quick: bool = False,
                      seed: int = 2,
                      doorbell_batching: bool = False,
                      backend: str = "sim",
-                     mp_workers: int | None = None) -> RunConfig:
+                     mp_workers: int | None = None,
+                     scheduler: str | None = None) -> RunConfig:
     return RunConfig(n_partitions=n_partitions,
                      concurrent_per_engine=4,
                      horizon_us=4_000.0 if quick else 12_000.0,
                      warmup_us=500.0 if quick else 2_000.0,
                      seed=seed, n_replicas=1, route_by_data=True,
                      doorbell_batching=doorbell_batching,
-                     backend=backend, mp_workers=mp_workers)
+                     backend=backend, mp_workers=mp_workers,
+                     scheduler=scheduler)
 
 
 def instacart_sweep(partitions: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
@@ -64,7 +71,8 @@ def instacart_sweep(partitions: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
                     workload_factory=InstacartWorkload,
                     doorbell_batching: bool = False,
                     backend: str = "sim",
-                    mp_workers: int | None = None) -> list[dict]:
+                    mp_workers: int | None = None,
+                    scheduler: str | None = None) -> list[dict]:
     """One row per partition count with every layout's metrics.
 
     Feeds Fig. 7 (throughput), Fig. 8 (distributed ratio), the lookup
@@ -84,7 +92,7 @@ def instacart_sweep(partitions: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
             run = make_instacart_run(
                 setup, layout,
                 instacart_config(k, quick, seed, doorbell_batching,
-                                 backend, mp_workers))
+                                 backend, mp_workers, scheduler))
             result = run.run()
             metrics = result.metrics
             row[f"{name}_throughput"] = result.throughput
@@ -142,21 +150,24 @@ def tpcc_config(n_partitions: int, concurrent: int, quick: bool = False,
                 seed: int = 3,
                 doorbell_batching: bool = False,
                 backend: str = "sim",
-                mp_workers: int | None = None) -> RunConfig:
+                mp_workers: int | None = None,
+                scheduler: str | None = None) -> RunConfig:
     return RunConfig(n_partitions=n_partitions,
                      concurrent_per_engine=concurrent,
                      horizon_us=5_000.0 if quick else 15_000.0,
                      warmup_us=500.0 if quick else 2_000.0,
                      seed=seed, n_replicas=1,
                      doorbell_batching=doorbell_batching,
-                     backend=backend, mp_workers=mp_workers)
+                     backend=backend, mp_workers=mp_workers,
+                     scheduler=scheduler)
 
 
 def fig9_rows(concurrency: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
               n_partitions: int = 4, quick: bool = False,
               seed: int = 3, doorbell_batching: bool = False,
               backend: str = "sim",
-              mp_workers: int | None = None) -> list[dict]:
+              mp_workers: int | None = None,
+              scheduler: str | None = None) -> list[dict]:
     """Throughput + abort rates per executor per concurrency level."""
     rows = []
     for concurrent in concurrency:
@@ -164,7 +175,8 @@ def fig9_rows(concurrency: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
         for name in TPCC_EXECUTORS:
             run = make_tpcc_run(
                 name, tpcc_config(n_partitions, concurrent, quick, seed,
-                                  doorbell_batching, backend, mp_workers))
+                                  doorbell_batching, backend, mp_workers,
+                                  scheduler))
             result = run.run()
             metrics = result.metrics
             row[f"{name}_throughput"] = result.throughput
@@ -215,7 +227,8 @@ def fig10_rows(percents: Sequence[int] = (0, 20, 40, 60, 80, 100),
                n_partitions: int = 4, quick: bool = False,
                seed: int = 5, doorbell_batching: bool = False,
                backend: str = "sim",
-               mp_workers: int | None = None) -> list[dict]:
+               mp_workers: int | None = None,
+               scheduler: str | None = None) -> list[dict]:
     """Throughput vs fraction of distributed transactions."""
     rows = []
     for percent in percents:
@@ -228,7 +241,8 @@ def fig10_rows(percents: Sequence[int] = (0, 20, 40, 60, 80, 100),
                 new_order_remote_prob=percent / 100.0)
             run = make_tpcc_run(
                 name, tpcc_config(n_partitions, concurrent, quick, seed,
-                                  doorbell_batching, backend, mp_workers),
+                                  doorbell_batching, backend, mp_workers,
+                                  scheduler),
                 workload=workload)
             result = run.run()
             row[f"{name}_{concurrent}_throughput"] = result.throughput
@@ -254,7 +268,8 @@ def reorder_ablation_rows(n_partitions: int = 4, n_train: int = 1200,
                           quick: bool = False, seed: int = 2,
                           doorbell_batching: bool = False,
                           backend: str = "sim",
-                          mp_workers: int | None = None) -> list[dict]:
+                          mp_workers: int | None = None,
+                          scheduler: str | None = None) -> list[dict]:
     """Two-region execution without contention-aware partitioning.
 
     The paper's Section 1 claim: "re-ordering operations without
@@ -266,7 +281,7 @@ def reorder_ablation_rows(n_partitions: int = 4, n_train: int = 1200,
     setup = build_instacart_setup(n_partitions, n_train=n_train,
                                   seed=seed)
     config = instacart_config(n_partitions, quick, seed, doorbell_batching,
-                              backend, mp_workers)
+                              backend, mp_workers, scheduler)
     rows = []
     combos = (("hashing", "2pl", "2PL on hashing"),
               ("hashing", "chiller", "two-region on hashing"),
@@ -304,13 +319,14 @@ def min_weight_ablation_rows(weights: Sequence[float] = (0.0, 0.05, 0.2,
                              seed: int = 2,
                              doorbell_batching: bool = False,
                              backend: str = "sim",
-                             mp_workers: int | None = None) -> list[dict]:
+                             mp_workers: int | None = None,
+                             scheduler: str | None = None) -> list[dict]:
     """Section 4.4: a minimum edge weight co-optimizes contention and
     the number of distributed transactions."""
     setup = build_instacart_setup(n_partitions, n_train=n_train,
                                   seed=seed)
     config = instacart_config(n_partitions, quick, seed, doorbell_batching,
-                              backend, mp_workers)
+                              backend, mp_workers, scheduler)
     rows = []
     for weight in weights:
         layout = build_instacart_layout(setup, "chiller", seed=seed,
@@ -362,6 +378,33 @@ def _parse_backend(args: list[str]) -> tuple[str, list[str]]:
     return backend, rest
 
 
+def _parse_scheduler(args: list[str]) -> tuple[str | None, list[str]]:
+    """Extract ``--scheduler X`` / ``--scheduler=X``; returns
+    (scheduler, rest).  None keeps the historical raw-loop behavior."""
+    scheduler: str | None = None
+    rest: list[str] = []
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg == "--scheduler":
+            if i + 1 >= len(args):
+                raise SystemExit(
+                    f"--scheduler needs a value ({' | '.join(SCHEDULERS)})")
+            scheduler = args[i + 1]
+            i += 2
+            continue
+        if arg.startswith("--scheduler="):
+            scheduler = arg.split("=", 1)[1]
+            i += 1
+            continue
+        rest.append(arg)
+        i += 1
+    if scheduler is not None and scheduler not in SCHEDULERS:
+        raise SystemExit(f"unknown scheduler {scheduler!r} "
+                         f"(expected {' | '.join(SCHEDULERS)})")
+    return scheduler, rest
+
+
 def _parse_workers(args: list[str]) -> tuple[int | None, list[str]]:
     """Extract ``--workers N`` / ``--workers=N`` (mp worker processes)."""
     workers: int | None = None
@@ -395,6 +438,7 @@ def main(argv: Iterable[str] | None = None) -> None:
     args = list(sys.argv[1:] if argv is None else argv)
     backend, args = _parse_backend(args)
     workers, args = _parse_workers(args)
+    scheduler, args = _parse_scheduler(args)
     quick = "--quick" in args
     doorbell = "--doorbell" in args
     args = [a for a in args if not a.startswith("--")]
@@ -415,12 +459,16 @@ def main(argv: Iterable[str] | None = None) -> None:
               + "; throughput is wall-clock across truly parallel "
               "workers — comparable to aio numbers only, never to sim "
               "figures)")
+    if scheduler:
+        print(f"(scheduler: {scheduler} — every engine mediates its "
+              f"load through repro.sched before executing)")
 
     if wanted & {"fig7", "fig8", "lookup", "cost"}:
         partitions = (2, 4, 8) if quick else (2, 3, 4, 5, 6, 7, 8)
         rows = instacart_sweep(partitions, quick=quick,
                                doorbell_batching=doorbell,
-                               backend=backend, mp_workers=workers)
+                               backend=backend, mp_workers=workers,
+                               scheduler=scheduler)
         if "fig7" in wanted:
             print_fig7(rows)
         if "fig8" in wanted:
@@ -433,7 +481,7 @@ def main(argv: Iterable[str] | None = None) -> None:
         concurrency = (1, 2, 4, 8) if quick else (1, 2, 3, 4, 5, 6, 7, 8)
         rows = fig9_rows(concurrency, quick=quick,
                          doorbell_batching=doorbell, backend=backend,
-                         mp_workers=workers)
+                         mp_workers=workers, scheduler=scheduler)
         if "fig9a" in wanted:
             print_fig9a(rows)
         if "fig9b" in wanted:
@@ -444,16 +492,18 @@ def main(argv: Iterable[str] | None = None) -> None:
         percents = (0, 50, 100) if quick else (0, 20, 40, 60, 80, 100)
         print_fig10(fig10_rows(percents, quick=quick,
                                doorbell_batching=doorbell,
-                               backend=backend, mp_workers=workers))
+                               backend=backend, mp_workers=workers,
+                               scheduler=scheduler))
     if "reorder" in wanted:
         print_reorder(reorder_ablation_rows(quick=quick,
                                             doorbell_batching=doorbell,
                                             backend=backend,
-                                            mp_workers=workers))
+                                            mp_workers=workers,
+                                            scheduler=scheduler))
     if "minweight" in wanted:
         print_min_weight(min_weight_ablation_rows(
             quick=quick, doorbell_batching=doorbell, backend=backend,
-            mp_workers=workers))
+            mp_workers=workers, scheduler=scheduler))
 
 
 if __name__ == "__main__":

@@ -2,9 +2,14 @@
 
 The driver mirrors the paper's setup: each server pins one execution
 engine which keeps up to ``concurrent`` transactions in flight (worker
-coroutines); an aborted transaction retries after a short randomized
-backoff — NO_WAIT systems retry at the client, and the abort *rate*
-counts every attempt.
+coroutines).  Dispatch is scheduler-mediated (:mod:`repro.sched`):
+every request passes through its engine's scheduler before executing,
+and every attempt's outcome feeds back into it.  With the default
+:class:`~repro.sched.FifoScheduler` this reproduces the historical
+behavior bit-for-bit — an aborted transaction retries after a short
+randomized backoff (NO_WAIT systems retry at the client, and the abort
+*rate* counts every attempt); the conflict scheduler instead
+serializes known-conflicting requests and sheds hopeless queues.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from typing import Iterable
 
 from .._util import make_rng
 from ..analysis import ProcedureRegistry
+from ..sched import SchedAction, Scheduler, SchedulerSpec, as_spec
 from ..sim import (AioCluster, Cluster, MpRunSpec, NetworkConfig, Sleep,
                    effective_mp_workers, run_mp_workers)
 from ..sim import mp_runtime
@@ -99,6 +105,14 @@ class RunConfig:
     a bound from the wall-clock horizon plus a minute of build/drain
     headroom."""
 
+    scheduler: SchedulerSpec | str | None = None
+    """Cross-transaction scheduling policy: ``None``/``"fifo"`` (admit
+    everything immediately — bit-identical to the historical raw retry
+    loop), ``"conflict"`` (serialize conflict classes, see
+    :mod:`repro.sched`), or a full :class:`~repro.sched.SchedulerSpec`.
+    Each engine builds its own scheduler instance from this picklable
+    value, so the knob works unchanged on sim/aio/mp."""
+
     def network_config(self) -> NetworkConfig:
         """The effective network model for this run.
 
@@ -177,6 +191,9 @@ class RunResult:
             summary["sim_us"] = self.end_time
         if self.config.backend == "mp":
             summary["workers"] = effective_mp_workers(self.config)
+        sched = self.metrics.scheduler_summary()
+        if sched is not None:
+            summary["scheduler"] = sched.summary()
         return summary
 
 
@@ -236,23 +253,52 @@ def run_benchmark(workload, executor: BaseExecutor,
     metrics = Metrics()
     homes = list(config.homes if config.homes is not None
                  else range(config.n_partitions))
-    _spawn_load(workload, executor, config, cluster, metrics, homes)
+    schedulers = _spawn_load(workload, executor, config, cluster, metrics,
+                             homes)
     events_before = cluster.sim.events_fired
     wall_start = time.perf_counter()
     cluster.run()
     metrics.wall_seconds = time.perf_counter() - wall_start
     metrics.events_processed = cluster.sim.events_fired - events_before
+    metrics.scheduler_stats = {home: sched.stats
+                               for home, sched in schedulers.items()}
     return RunResult(metrics=metrics, database=db,
                      history=executor.history, config=config,
                      end_time=cluster.sim.now)
 
 
+def make_schedulers(executor: BaseExecutor, config: RunConfig,
+                    homes: Iterable[int]) -> dict[int, Scheduler]:
+    """One scheduler per engine, built from the run's picklable spec.
+
+    The conflict-class fingerprint comes from the executor's
+    pre-execution read/write-set estimate
+    (:meth:`~repro.txn.executor.BaseExecutor.estimate_rw_sets`).
+    """
+    spec = as_spec(config.scheduler)
+
+    def fingerprint(request):
+        reads, writes = executor.estimate_rw_sets(request)
+        return tuple(writes | reads) if spec.include_reads \
+            else tuple(writes)
+
+    return {home: spec.build(fingerprint) for home in homes}
+
+
 def _spawn_load(workload, executor: BaseExecutor, config: RunConfig,
                 cluster, metrics: Metrics,
-                homes: Iterable[int]) -> None:
-    """Spawn the worker coroutines that generate and retry load on
-    ``homes`` (a subset on mp workers, all engines elsewhere)."""
+                homes: Iterable[int]) -> dict[int, Scheduler]:
+    """Spawn the worker coroutines that generate load on ``homes`` (a
+    subset on mp workers, all engines elsewhere).
+
+    Every request passes through its engine's scheduler before any
+    effect is emitted — admission, class serialization, and shedding
+    happen engine-side, which is why the same logic runs unchanged on
+    all three backends.  Returns the per-engine schedulers so the
+    caller can surface their stats after the run drains.
+    """
     db = executor.db
+    schedulers = make_schedulers(executor, config, homes)
     routed_queues: dict[int, deque] = {home: deque() for home in homes}
 
     def next_routed(home: int, rng: random.Random):
@@ -278,11 +324,19 @@ def _spawn_load(workload, executor: BaseExecutor, config: RunConfig,
 
     def worker(home: int, slot: int):
         rng = make_rng(config.seed, "worker", home, slot)
+        scheduler = schedulers[home]
         while cluster.sim.now < config.horizon_us:
             if config.route_by_data:
                 request = next_routed(home, rng)
             else:
                 request = workload.next_request(home, rng)
+            decision = scheduler.admit(request, cluster.sim.now)
+            while decision.action is SchedAction.DEFER:
+                yield decision.wait_effect()
+                decision = scheduler.readmit(request, decision,
+                                             cluster.sim.now)
+            if decision.action is SchedAction.SHED:
+                continue  # typed reason already recorded in the stats
             attempts = 0
             while True:
                 outcome = yield from executor.execute(request)
@@ -293,13 +347,17 @@ def _spawn_load(workload, executor: BaseExecutor, config: RunConfig,
                              and config.retry_aborts
                              and attempts < config.max_attempts
                              and cluster.sim.now < config.horizon_us)
+                scheduler.on_outcome(decision, outcome, cluster.sim.now,
+                                     will_retry=retryable)
                 if not retryable:
                     break
-                yield Sleep(rng.uniform(0.0, config.retry_backoff_us))
+                yield Sleep(scheduler.retry_backoff_us(
+                    decision, rng, config.retry_backoff_us))
 
     for home in homes:
         for slot in range(config.concurrent_per_engine):
             cluster.engine(home).spawn(worker(home, slot))
+    return schedulers
 
 
 # -- the multiprocess path ----------------------------------------------------
@@ -317,12 +375,14 @@ def mp_benchmark_driver(run_obj, cluster, worker_id: int):
     homes = [h for h in (config.homes if config.homes is not None
                          else range(config.n_partitions))
              if cluster.owns(h)]
-    _spawn_load(run_obj.workload, run_obj.executor, config, cluster,
-                metrics, homes)
+    schedulers = _spawn_load(run_obj.workload, run_obj.executor, config,
+                             cluster, metrics, homes)
 
     def finalize() -> dict:
         metrics.wall_seconds = cluster.sim.now / 1e6
         metrics.events_processed = cluster.sim.events_fired
+        metrics.scheduler_stats = {home: sched.stats
+                                   for home, sched in schedulers.items()}
         return {"metrics": metrics, "end_time": cluster.sim.now,
                 "stats": cluster.network.stats}
 

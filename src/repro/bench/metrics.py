@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+from ..sched import SchedulerStats
 from ..txn.common import AbortReason, Outcome
 
 APP_ABORTS = frozenset({AbortReason.LOGICAL, AbortReason.READ_MISS})
@@ -31,6 +32,11 @@ class Metrics:
     events_processed: int = 0
     """Simulator events fired during the run; filled by the harness."""
 
+    scheduler_stats: dict[int, SchedulerStats] = field(default_factory=dict)
+    """Per-engine scheduling counters (queue depth, queueing delay,
+    deferrals/sheds by typed reason); filled by the harness.  Shed
+    requests never produced an Outcome — this is where they show up."""
+
     def add(self, outcome: Outcome) -> None:
         self.outcomes.append(outcome)
 
@@ -39,7 +45,9 @@ class Metrics:
         """Combine per-worker metrics from a parallel (mp) run.
 
         Outcome lists concatenate; wall time is the *max* (workers ran
-        concurrently); events sum across processes.
+        concurrently); events sum across processes; scheduler stats
+        union by engine (each engine's scheduler lived in exactly one
+        worker).
         """
         merged = cls()
         for part in parts:
@@ -47,7 +55,26 @@ class Metrics:
             merged.wall_seconds = max(merged.wall_seconds,
                                       part.wall_seconds)
             merged.events_processed += part.events_processed
+            merged.scheduler_stats.update(part.scheduler_stats)
         return merged
+
+    def scheduler_summary(self) -> SchedulerStats | None:
+        """All engines' scheduling counters folded into one view."""
+        if not self.scheduler_stats:
+            return None
+        return SchedulerStats.merged(list(self.scheduler_stats.values()))
+
+    @property
+    def shed_requests(self) -> int:
+        """Requests admission control dropped before execution."""
+        return sum(stats.sheds for stats in self.scheduler_stats.values())
+
+    def wasted_attempts(self) -> int:
+        """Attempts that aborted on contention — work the system paid
+        CPU and network for with nothing to show (application aborts
+        are workload semantics, not waste)."""
+        return sum(1 for o in self.outcomes
+                   if not o.committed and o.reason not in APP_ABORTS)
 
     def events_per_wall_second(self) -> float:
         """Simulator event rate — the hot-path speed figure."""

@@ -1,0 +1,53 @@
+"""Admission control: backpressure for hot conflict classes.
+
+Serializing a hot class bounds *wasted work* but not *queue growth*:
+under heavy skew every engine worker can end up parked behind the same
+record, at which point the honest answer is to shed load, not to let
+the queue (and every queued transaction's latency) grow without bound
+— the optimistic-abort argument of Jepsen et al.: when a transaction
+is doomed or unpayable, abort it *early*, before it spends round trips.
+
+The controller owns the two caps the conflict scheduler consults:
+
+* ``class_width`` — concurrent in-flight transactions per class (the
+  serialization degree, enforced by the scheduler's slot accounting).
+* ``max_queue_per_class`` — waiters a class may park before further
+  admissions are **shed** with a typed
+  :class:`~repro.sched.base.SchedReason` recorded in the stats (and
+  thus in ``Metrics``), instead of silently joining a hopeless queue.
+
+Shed requests never execute: the generating worker drops them and
+moves on, which is exactly what an overloaded front door should do.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from .base import (AdmitDecision, SchedAction, SchedReason, SchedulerSpec,
+                   SchedulerStats)
+
+
+class AdmissionController:
+    """Queue-cap backpressure shared by class-aware schedulers."""
+
+    def __init__(self, spec: SchedulerSpec, stats: SchedulerStats):
+        self.spec = spec
+        self.stats = stats
+
+    def check_queue(self, class_key: Hashable,
+                    queue_len: int) -> AdmitDecision | None:
+        """Shed verdict for one more waiter on ``class_key``, or None.
+
+        ``max_queue_per_class == 0`` disables shedding entirely (defer
+        forever); otherwise a class whose queue is full rejects the
+        admission outright.
+        """
+        cap = self.spec.max_queue_per_class
+        if cap <= 0 or queue_len < cap:
+            return None
+        decision = AdmitDecision(SchedAction.SHED,
+                                 class_keys=(class_key,),
+                                 reason=SchedReason.CLASS_OVERLOAD)
+        self.stats.count_shed(decision.reason)
+        return decision

@@ -1,0 +1,329 @@
+"""Scheduler interface: cross-transaction admission decisions.
+
+Everything below the scheduler attacks contention *inside* one
+transaction (Chiller's regions, doorbell batching); the scheduler is
+the first layer that looks *across* transactions.  Each execution
+engine owns one scheduler instance; worker coroutines ask it for an
+:class:`AdmitDecision` before executing a request and report every
+attempt's :class:`~repro.txn.common.Outcome` back, so the scheduler can
+serialize known-conflicting work instead of letting NO_WAIT burn CPU
+and network on doomed lock acquisitions.
+
+The contract is deliberately effect-free: ``admit``/``on_outcome`` are
+plain calls that never touch the clock, and a decision tells the
+*worker coroutine* what to yield (an :class:`~repro.sim.effects.Await`
+on a wake-up signal, or a :class:`~repro.sim.effects.Sleep`).  That
+keeps schedulers backend-neutral — the same instance runs unchanged on
+the simulator, the asyncio loop, and inside each multiprocess worker —
+and lets :class:`FifoScheduler` reproduce the historical raw retry loop
+bit-for-bit: it makes no decision other than "run now" and injects no
+effects at all.
+
+Schedulers are engine-local by construction: on the multiprocess
+backend there is no shared heap to coordinate through, so each engine
+schedules the transactions *it* coordinates (pair with
+``route_by_data`` to send conflicting requests to the same engine when
+cross-engine serialization matters).  Instances are built per engine
+from a picklable :class:`SchedulerSpec`, which is what crosses into mp
+worker processes inside ``RunConfig``.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Hashable
+
+from ..sim.effects import Await, Effect, Signal, Sleep
+from ..txn.common import Outcome, TxnRequest
+
+SCHEDULERS = ("fifo", "conflict")
+"""Scheduler kinds a run can select (``RunConfig.scheduler``)."""
+
+
+class SchedAction(enum.Enum):
+    RUN = "run"
+    DEFER = "defer"
+    SHED = "shed"
+
+
+class SchedReason(enum.Enum):
+    """Typed reason attached to every defer/shed decision.
+
+    Recorded per reason in :class:`SchedulerStats` (and thus in
+    ``Metrics``), so backpressure is visible in run reports instead of
+    hiding inside silent retries.
+    """
+
+    CLASS_SERIALIZED = "class_serialized"
+    """Another transaction of the same conflict class is in flight."""
+
+    CLASS_COOLDOWN = "class_cooldown"
+    """The class's serialization window is open after an abort spike."""
+
+    CLASS_OVERLOAD = "class_overload"
+    """The class's wait queue hit the admission-control cap."""
+
+
+@dataclass
+class AdmitDecision:
+    """One admission verdict for one request.
+
+    ``RUN`` tickets stay live for the whole request (including retries)
+    and must be closed with :meth:`Scheduler.on_outcome`; ``DEFER``
+    carries the effect to yield before re-admitting; ``SHED`` drops the
+    request entirely.
+    """
+
+    action: SchedAction
+    class_keys: tuple[Hashable, ...] = ()
+    reason: SchedReason | None = None
+    signal: Signal | None = None
+    delay_us: float = 0.0
+    deferred_at: float | None = None
+    """When this DEFER was issued (None: not a deferral).  Optional
+    rather than 0.0 — engines legitimately defer at sim time 0.0."""
+
+    first_admit_at: float | None = None
+    """Original admission time carried across re-admissions."""
+
+    def wait_effect(self) -> Effect:
+        """What the worker coroutine yields before re-admitting."""
+        assert self.action is SchedAction.DEFER
+        if self.signal is not None:
+            return Await(self.signal)
+        return Sleep(self.delay_us)
+
+
+@dataclass
+class SchedulerStats:
+    """Per-engine scheduling counters, surfaced through ``Metrics``.
+
+    Picklable and mergeable: multiprocess workers ship their engines'
+    stats back to the parent, which folds them with
+    :meth:`merge_from` (queue depth merges as a max — the engines ran
+    concurrently, their queues never shared a waiter).
+    """
+
+    scheduler: str = "fifo"
+    admitted: int = 0
+    completed: int = 0
+    deferrals: int = 0
+    sheds: int = 0
+    defer_reasons: dict[str, int] = field(default_factory=dict)
+    shed_reasons: dict[str, int] = field(default_factory=dict)
+    queue_depth: int = 0
+    """Waiters deferred right now (ends at 0 for a drained run)."""
+
+    max_queue_depth: int = 0
+    queueing_delay_us: float = 0.0
+    """Total time admitted requests spent deferred before running."""
+
+    queued_admissions: int = 0
+    """Admitted requests that were deferred at least once."""
+
+    n_classes: int = 0
+    """Distinct conflict classes this engine observed."""
+
+    max_class_occupancy: int = 0
+    """Peak concurrently-running transactions sharing one class."""
+
+    window_widenings: int = 0
+    """Times abort feedback widened a class's serialization window."""
+
+    def count_defer(self, reason: SchedReason) -> None:
+        self.deferrals += 1
+        self.queue_depth += 1
+        self.max_queue_depth = max(self.max_queue_depth, self.queue_depth)
+        book = self.defer_reasons
+        book[reason.value] = book.get(reason.value, 0) + 1
+
+    def count_shed(self, reason: SchedReason) -> None:
+        self.sheds += 1
+        book = self.shed_reasons
+        book[reason.value] = book.get(reason.value, 0) + 1
+
+    def mean_queueing_delay_us(self) -> float:
+        if self.queued_admissions == 0:
+            return 0.0
+        return self.queueing_delay_us / self.queued_admissions
+
+    def merge_from(self, other: "SchedulerStats") -> None:
+        self.scheduler = other.scheduler
+        self.admitted += other.admitted
+        self.completed += other.completed
+        self.deferrals += other.deferrals
+        self.sheds += other.sheds
+        for book, theirs in ((self.defer_reasons, other.defer_reasons),
+                             (self.shed_reasons, other.shed_reasons)):
+            for reason, count in theirs.items():
+                book[reason] = book.get(reason, 0) + count
+        self.queue_depth = max(self.queue_depth, other.queue_depth)
+        self.max_queue_depth = max(self.max_queue_depth,
+                                   other.max_queue_depth)
+        self.queueing_delay_us += other.queueing_delay_us
+        self.queued_admissions += other.queued_admissions
+        self.n_classes += other.n_classes
+        self.max_class_occupancy = max(self.max_class_occupancy,
+                                       other.max_class_occupancy)
+        self.window_widenings += other.window_widenings
+
+    @classmethod
+    def merged(cls, parts: list["SchedulerStats"]) -> "SchedulerStats":
+        total = cls()
+        for part in parts:
+            total.merge_from(part)
+        return total
+
+    def summary(self) -> dict:
+        """Flat report fields for ``RunResult.perf_summary()``."""
+        return {
+            "scheduler": self.scheduler,
+            "admitted": self.admitted,
+            "deferrals": self.deferrals,
+            "sheds": self.sheds,
+            "max_queue_depth": self.max_queue_depth,
+            "mean_queueing_delay_us": round(
+                self.mean_queueing_delay_us(), 3),
+            "conflict_classes": self.n_classes,
+            "max_class_occupancy": self.max_class_occupancy,
+            "window_widenings": self.window_widenings,
+        }
+
+
+Fingerprint = Callable[[TxnRequest], tuple[Hashable, ...]]
+"""Estimated conflict classes of one request (empty: unconstrained)."""
+
+
+class Scheduler:
+    """Base class; engines call this surface, subclasses decide."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.stats = SchedulerStats(scheduler=self.name)
+
+    def admit(self, request: TxnRequest, now: float) -> AdmitDecision:
+        """Fresh admission attempt; plain call, never touches the clock."""
+        raise NotImplementedError
+
+    def readmit(self, request: TxnRequest, prior: AdmitDecision,
+                now: float) -> AdmitDecision:
+        """Re-admission after a DEFER's wait effect completed.
+
+        Carries the original admission timestamp forward so queueing
+        delay measures the full wait, however many wake-ups it took.
+        """
+        return self._finish_readmit(self.admit(request, now), prior, now)
+
+    def _finish_readmit(self, decision: AdmitDecision,
+                        prior: AdmitDecision, now: float) -> AdmitDecision:
+        """Thread the original admission time through and account the
+        queueing delay once the request finally runs."""
+        first = (prior.first_admit_at if prior.first_admit_at is not None
+                 else prior.deferred_at)
+        if first is None:
+            first = now
+        decision.first_admit_at = first
+        if decision.action is SchedAction.RUN:
+            self.stats.queued_admissions += 1
+            self.stats.queueing_delay_us += now - first
+        return decision
+
+    def on_outcome(self, decision: AdmitDecision, outcome: Outcome,
+                   now: float, will_retry: bool) -> None:
+        """One attempt of an admitted request finished.
+
+        ``will_retry=False`` closes the ticket (the request is done:
+        committed, gave up, or hit an application abort).
+        """
+        if not will_retry:
+            self.stats.completed += 1
+
+    def retry_backoff_us(self, decision: AdmitDecision,
+                         rng: random.Random, backoff_us: float) -> float:
+        """Delay before retrying an aborted attempt.
+
+        The base policy is the historical blind randomized backoff; it
+        draws from ``rng`` exactly once so schedulers that keep it stay
+        RNG-compatible with the raw loop.
+        """
+        return rng.uniform(0.0, backoff_us)
+
+    # -- bookkeeping helpers for subclasses --------------------------------
+
+    def _admitted(self, decision: AdmitDecision, now: float) -> None:
+        self.stats.admitted += 1
+
+
+class FifoScheduler(Scheduler):
+    """Today's behavior as a scheduler: admit everything immediately.
+
+    Selected explicitly (``--scheduler fifo``) or by default; the
+    mediated dispatch loop with this scheduler is bit-identical to the
+    historical raw retry loop — no extra effects, no extra RNG draws.
+    """
+
+    name = "fifo"
+
+    def admit(self, request: TxnRequest, now: float) -> AdmitDecision:
+        decision = AdmitDecision(SchedAction.RUN)
+        self._admitted(decision, now)
+        return decision
+
+
+@dataclass(frozen=True)
+class SchedulerSpec:
+    """Picklable recipe for building one engine's scheduler.
+
+    This is what ``RunConfig.scheduler`` holds and what multiprocess
+    workers receive; each engine builds its own instance via
+    :meth:`build` (schedulers hold live Signals and queues, so the
+    *instances* never cross a process boundary).
+    """
+
+    kind: str = "fifo"
+    class_width: int = 1
+    """Concurrent transactions admitted per conflict class."""
+
+    max_queue_per_class: int = 16
+    """Waiters per class before admission control sheds (0: never)."""
+
+    window_init_us: float = 20.0
+    """First serialization window opened when a class's abort rate
+    spikes; later spikes double it up to ``window_max_us``."""
+
+    window_max_us: float = 400.0
+    abort_ewma_alpha: float = 0.25
+    abort_spike_threshold: float = 0.5
+    include_reads: bool = False
+    """Fingerprint estimated read records too (serializes readers of a
+    hot class alongside its writers)."""
+
+    def build(self, fingerprint: Fingerprint | None = None) -> Scheduler:
+        if self.kind == "fifo":
+            return FifoScheduler()
+        if self.kind == "conflict":
+            from .conflict import ConflictClassScheduler
+            if fingerprint is None:
+                raise ValueError(
+                    "conflict scheduling needs a fingerprint function "
+                    "(the harness derives one from the executor's "
+                    "estimate_rw_sets hook)")
+            return ConflictClassScheduler(fingerprint, self)
+        raise ValueError(f"unknown scheduler kind {self.kind!r} "
+                         f"(expected one of {SCHEDULERS})")
+
+
+def as_spec(scheduler: "SchedulerSpec | str | None") -> SchedulerSpec:
+    """Normalize ``RunConfig.scheduler`` (None, a kind name, or a full
+    spec) into a :class:`SchedulerSpec`."""
+    if scheduler is None:
+        return SchedulerSpec(kind="fifo")
+    if isinstance(scheduler, str):
+        if scheduler not in SCHEDULERS:
+            raise ValueError(f"unknown scheduler {scheduler!r} "
+                             f"(expected one of {SCHEDULERS})")
+        return SchedulerSpec(kind=scheduler)
+    return scheduler

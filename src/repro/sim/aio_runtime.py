@@ -59,8 +59,8 @@ import time
 from typing import Any, Callable, Sequence
 
 from .cluster import Server
-from .codec import (OpDescriptor, WireOneWay, WireVerbReply, WireVerbs,
-                    decode_op)
+from .codec import (WIRE_PICKLE_PROTOCOL, OpDescriptor, WireOneWay,
+                    WireVerbReply, WireVerbs, decode_op)
 from .effects import Coroutine, OneWay
 from .network import (MESSAGE_NOMINAL_BYTES, VERB_NOMINAL_BYTES,
                       NetworkConfig, NetworkStats, approx_payload_bytes)
@@ -295,7 +295,7 @@ class TcpTransport(AioTransport):
                 item = await queue.get()
                 if item is _CloseChannel:
                     break
-                body = pickle.dumps(item)
+                body = pickle.dumps(item, protocol=WIRE_PICKLE_PROTOCOL)
                 frame = len(body).to_bytes(_LENGTH_BYTES, "big") + body
                 writer.write(frame)
                 self.frames_sent += 1
@@ -423,7 +423,7 @@ def _codec_body(payload: Any) -> bytes | None:
     if wire is None:
         return None
     try:
-        return pickle.dumps(wire)
+        return pickle.dumps(wire, protocol=WIRE_PICKLE_PROTOCOL)
     except Exception:
         return None
 

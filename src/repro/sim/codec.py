@@ -33,6 +33,14 @@ from dataclasses import dataclass
 from typing import Any, Callable, Tuple
 
 
+WIRE_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+"""Pinned pickle protocol for every wire frame (codec ``dumps``, the
+aio TCP framing, and the mp transport all use it).  Explicit pinning
+keeps the hot path off pickle's compatibility default (protocol 4 era
+framing) and makes the wire format an asserted property instead of an
+interpreter accident — see the ROADMAP mp-wire-path note."""
+
+
 class CodecError(TypeError):
     """A payload cannot cross a serialization boundary.
 
@@ -161,9 +169,10 @@ def decode_op(spec: OpSpec) -> OpDescriptor:
 
 
 def dumps(obj: Any, what: str) -> bytes:
-    """Pickle ``obj`` or raise a :class:`CodecError` naming ``what``."""
+    """Pickle ``obj`` (at :data:`WIRE_PICKLE_PROTOCOL`) or raise a
+    :class:`CodecError` naming ``what``."""
     try:
-        return pickle.dumps(obj)
+        return pickle.dumps(obj, protocol=WIRE_PICKLE_PROTOCOL)
     except Exception as exc:  # pickle raises a zoo of types
         raise CodecError(f"{what} is not picklable and cannot cross a "
                          f"process boundary: {exc}") from exc

@@ -483,19 +483,25 @@ class MpWorkerTransport:
         self._loop = loop
         self._server = await asyncio.start_server(self._serve,
                                                   sock=self._listener)
-        # connections are established up front (every peer's acceptor is
+        # channels to every peer are created up front (each writer task
+        # dials its connection immediately — every peer's acceptor is
         # already listening before the parent shares the port map), like
-        # an RDMA cluster's queue pairs — the measurement window never
-        # pays connect latency
+        # an RDMA cluster's queue pairs.  Creation is synchronous: a
+        # fast-starting peer can deliver a verb *while* this worker is
+        # still starting, and the reply must find its channel queue
+        # rather than crash the serve loop.
         for dst_worker in self._ports:
-            if dst_worker == self._cluster.worker_id:
-                continue
-            streams = await asyncio.open_connection(
-                _HOST, self._ports[dst_worker])
-            queue: asyncio.Queue = asyncio.Queue()
+            if dst_worker != self._cluster.worker_id:
+                self._ensure_channel(dst_worker)
+
+    def _ensure_channel(self, dst_worker: int) -> asyncio.Queue:
+        queue = self._queues.get(dst_worker)
+        if queue is None:
+            queue = asyncio.Queue()
             self._queues[dst_worker] = queue
-            self._writers[dst_worker] = loop.create_task(
-                self._write_channel(streams[1], queue))
+            self._writers[dst_worker] = self._loop.create_task(
+                self._write_channel(dst_worker, queue))
+        return queue
 
     def send(self, src: int, dst: int, wire: Any, what: str) -> None:
         if self._loop is None:
@@ -505,11 +511,14 @@ class MpWorkerTransport:
         if dst_worker == self._cluster.worker_id:
             raise RuntimeError(f"frame for owned server {dst} reached the "
                                f"transport (routing bug)")
-        self._queues[dst_worker].put_nowait(body)
+        self._ensure_channel(dst_worker).put_nowait(body)
 
-    async def _write_channel(self, writer: asyncio.StreamWriter,
+    async def _write_channel(self, dst_worker: int,
                              queue: asyncio.Queue) -> None:
+        writer = None
         try:
+            _reader, writer = await asyncio.open_connection(
+                _HOST, self._ports[dst_worker])
             while True:
                 body = await queue.get()
                 if body is _CloseChannel:
@@ -524,11 +533,12 @@ class MpWorkerTransport:
         except Exception as exc:
             self._cluster._fatal(exc)
         finally:
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
+            if writer is not None:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
 
     async def _serve(self, reader: asyncio.StreamReader,
                      writer: asyncio.StreamWriter) -> None:

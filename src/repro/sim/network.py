@@ -131,18 +131,45 @@ class NetworkConfig:
     flat nominal size and ``bytes_by_kind`` becomes a message count
     proxy rather than a byte estimate."""
 
-    def one_sided_rtt(self) -> float:
+    bandwidth_gbps: float | None = None
+    """Optional link bandwidth, in Gbit/s.  When set, every *remote*
+    verb and message additionally pays a payload-serialization term —
+    ``bytes × 8 / bandwidth`` — on its outbound leg, charged from the
+    same per-payload byte estimates the traffic accounting uses, so a
+    multi-kilobyte replicate message genuinely costs more wire time
+    than a 32-byte CAS.  ``None`` (the default) keeps the
+    seed-calibrated latency-only model bit-for-bit.  Local deliveries
+    never pay it (no wire), and it is a property of the *simulated*
+    network — the aio/mp backends measure real serialization instead."""
+
+    def serialization_us(self, nbytes: int) -> float:
+        """Wire-serialization time of ``nbytes`` at ``bandwidth_gbps``.
+
+        ``nbytes * 8`` bits over ``bandwidth_gbps * 1e9`` bits/s,
+        expressed in microseconds; 0 with the bandwidth term off.
+        """
+        if self.bandwidth_gbps is None:
+            return 0.0
+        return nbytes * 0.008 / self.bandwidth_gbps
+
+    def one_sided_rtt(self, nbytes: int = VERB_NOMINAL_BYTES) -> float:
         """Completion time of a remote one-sided verb."""
-        return 2 * self.one_way_us + self.verb_overhead_us
-
-    def one_sided_batch_rtt(self, n_verbs: int) -> float:
-        """Completion time of a doorbell-batched chain of ``n_verbs``."""
         return (2 * self.one_way_us + self.verb_overhead_us
-                + (n_verbs - 1) * self.batched_verb_us)
+                + self.serialization_us(nbytes))
 
-    def message_delay(self) -> float:
+    def one_sided_batch_rtt(self, n_verbs: int,
+                            total_nbytes: int | None = None) -> float:
+        """Completion time of a doorbell-batched chain of ``n_verbs``."""
+        if total_nbytes is None:
+            total_nbytes = n_verbs * VERB_NOMINAL_BYTES
+        return (2 * self.one_way_us + self.verb_overhead_us
+                + (n_verbs - 1) * self.batched_verb_us
+                + self.serialization_us(total_nbytes))
+
+    def message_delay(self, nbytes: int = MESSAGE_NOMINAL_BYTES) -> float:
         """Delivery delay of a one-way message."""
-        return self.one_way_us + self.rpc_overhead_us
+        return (self.one_way_us + self.rpc_overhead_us
+                + self.serialization_us(nbytes))
 
 
 @dataclass
@@ -279,8 +306,10 @@ class Network:
             self._sim.schedule(cfg.local_access_us,
                                lambda: on_complete(op()))
             return
+        size = VERB_NOMINAL_BYTES if nbytes is None else nbytes
         arrive = self._fifo_time(src, dst,
-                                 cfg.one_way_us + cfg.verb_overhead_us)
+                                 cfg.one_way_us + cfg.verb_overhead_us
+                                 + cfg.serialization_us(size))
 
         def _at_target() -> None:
             result = op()
@@ -313,11 +342,13 @@ class Network:
         if len(ops) < 2:
             raise ValueError("a doorbell batch needs at least two verbs")
         cfg = self.config
-        self.stats.record_batch(kinds if kinds is not None
-                                else (("one_sided", None),) * len(ops))
+        total_bytes = self.stats.record_batch(
+            kinds if kinds is not None
+            else (("one_sided", None),) * len(ops))
         arrive = self._fifo_time(
             src, dst, cfg.one_way_us + cfg.verb_overhead_us
-            + (len(ops) - 1) * cfg.batched_verb_us)
+            + (len(ops) - 1) * cfg.batched_verb_us
+            + cfg.serialization_us(total_bytes))
 
         def _at_target() -> None:
             results = [op() for op in ops]
@@ -347,7 +378,7 @@ class Network:
                 nbytes = MESSAGE_NOMINAL_BYTES
         self.stats.record_message(kind, nbytes, remote=src != dst)
         delay = (self.config.local_access_us if src == dst
-                 else self.config.message_delay())
+                 else self.config.message_delay(nbytes))
         arrive = self._fifo_time(src, dst, delay)
         handler = self._handlers[dst]
         self._sim.schedule_at(arrive, lambda: handler(src, payload))

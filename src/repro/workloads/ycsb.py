@@ -83,6 +83,28 @@ class YcsbWorkload(Workload):
         return rng.choices(range(self.n_keys),
                            cum_weights=self._cum_weights, k=1)[0]
 
+    # -- data-affinity routing (``RunConfig.route_by_data``) ----------------
+
+    def route(self, request: TxnRequest, partition_of) -> int:
+        """The partition owning most of the write set (ties: lowest id).
+
+        Routing conflicting transactions to one coordinator is what
+        makes *engine-local* conflict-class scheduling globally
+        effective under hot-key skew: the hot record's writers all meet
+        the same scheduler instead of racing across engines.
+        """
+        votes: dict[int, int] = {}
+        for key in request.params["write_keys"]:
+            pid = partition_of("usertable", key)
+            votes[pid] = votes.get(pid, 0) + 1
+        if not votes:
+            return request.home
+        return min(votes, key=lambda pid: (-votes[pid], pid))
+
+    def rebind(self, request: TxnRequest, home: int) -> TxnRequest:
+        """Re-home a request (YCSB params carry no home-derived keys)."""
+        return TxnRequest(request.proc, request.params, home=home)
+
 
 def expected_counter_total(db, n_keys: int) -> int:
     """Sum of all counters (equals total committed write ops)."""

@@ -1,0 +1,50 @@
+"""Admission control: queue caps shed with typed reasons."""
+
+from repro.sched import (AdmissionController, ConflictClassScheduler,
+                         SchedAction, SchedReason, SchedulerSpec,
+                         SchedulerStats)
+from repro.txn.common import Outcome, TxnRequest
+
+
+def req(*classes):
+    return TxnRequest("t", {"classes": tuple(classes)}, home=0)
+
+
+def fingerprint(request):
+    return request.params["classes"]
+
+
+def test_controller_sheds_at_cap_with_typed_reason():
+    stats = SchedulerStats(scheduler="conflict")
+    ctl = AdmissionController(SchedulerSpec(max_queue_per_class=2), stats)
+    assert ctl.check_queue("hot", 0) is None
+    assert ctl.check_queue("hot", 1) is None
+    decision = ctl.check_queue("hot", 2)
+    assert decision is not None
+    assert decision.action is SchedAction.SHED
+    assert decision.reason is SchedReason.CLASS_OVERLOAD
+    assert stats.sheds == 1
+    assert stats.shed_reasons == {"class_overload": 1}
+
+
+def test_zero_cap_disables_shedding():
+    stats = SchedulerStats()
+    ctl = AdmissionController(SchedulerSpec(max_queue_per_class=0), stats)
+    assert ctl.check_queue("hot", 10_000) is None
+    assert stats.sheds == 0
+
+
+def test_scheduler_sheds_when_class_queue_is_full():
+    spec = SchedulerSpec(kind="conflict", max_queue_per_class=1)
+    sched = ConflictClassScheduler(fingerprint, spec)
+    holder = sched.admit(req("hot"), 0.0)
+    assert holder.action is SchedAction.RUN
+    assert sched.admit(req("hot"), 0.0).action is SchedAction.DEFER
+    shed = sched.admit(req("hot"), 0.0)
+    assert shed.action is SchedAction.SHED
+    assert shed.reason is SchedReason.CLASS_OVERLOAD
+    # the shed request holds nothing: releasing the holder frees a slot
+    sched.on_outcome(holder,
+                     Outcome(txn_id=1, proc="t", committed=True),
+                     1.0, will_retry=False)
+    assert sched.admit(req("hot"), 1.0).action is SchedAction.RUN

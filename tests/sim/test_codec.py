@@ -173,3 +173,29 @@ def test_pickled_descriptor_arrives_unbound(twin_dbs):
     assert clone == desc
     with pytest.raises(CodecError, match="unbound"):
         clone()  # the receiving process must bind its own context
+
+
+def test_wire_pickle_protocol_is_pinned_and_asserted():
+    """Every wire frame must carry the pinned (highest) protocol: the
+    two-byte pickle preamble is \\x80 <proto>."""
+    import pickle
+
+    from repro.sim.codec import WIRE_PICKLE_PROTOCOL, WireVerbs, dumps
+
+    assert WIRE_PICKLE_PROTOCOL == pickle.HIGHEST_PROTOCOL
+    frame = dumps(WireVerbs(1, (("lock_read", 0, "t", 1, ()),), False),
+                  "a test envelope")
+    assert frame[0] == 0x80
+    assert frame[1] == WIRE_PICKLE_PROTOCOL
+    wire = pickle.loads(frame)
+    assert wire.token == 1 and wire.batched is False
+
+
+def test_aio_codec_body_uses_pinned_protocol():
+    from repro.sim.aio_runtime import _codec_body
+    from repro.sim.codec import WIRE_PICKLE_PROTOCOL
+    from repro.sim.effects import OneWay
+
+    body = _codec_body(OneWay(("kind", "payload")))
+    assert body is not None
+    assert body[1] == WIRE_PICKLE_PROTOCOL

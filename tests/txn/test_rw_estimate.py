@@ -1,0 +1,71 @@
+"""BaseExecutor.estimate_rw_sets: pre-execution fingerprint source."""
+
+from repro.analysis import ProcedureRegistry
+from repro.partitioning import HashScheme
+from repro.sim import Cluster
+from repro.storage import Catalog
+from repro.txn import Database, TwoPLExecutor
+from repro.txn.common import TxnRequest
+from repro.workloads.bank import BankWorkload
+from repro.workloads.tpcc import TpccScale, TpccWorkload
+from repro.workloads.ycsb import YcsbWorkload
+
+
+def build_executor(workload, n_partitions=2):
+    cluster = Cluster(n_partitions)
+    registry = ProcedureRegistry()
+    for proc in workload.procedures():
+        registry.register(proc)
+    db = Database(cluster, Catalog(n_partitions, HashScheme(n_partitions)),
+                  workload.tables(), registry, n_replicas=0)
+    workload.populate(db.loader())
+    return TwoPLExecutor(db)
+
+
+def test_ycsb_reads_and_for_update_writes():
+    executor = build_executor(YcsbWorkload(n_keys=100))
+    request = TxnRequest("ycsb", {"read_keys": [1, 2],
+                                  "write_keys": [3, 4]}, home=0)
+    reads, writes = executor.estimate_rw_sets(request)
+    assert reads == {("usertable", 1), ("usertable", 2)}
+    # for_update reads conflict like writes (exclusive lock up front)
+    assert writes == {("usertable", 3), ("usertable", 4)}
+
+
+def test_write_set_wins_on_overlap():
+    executor = build_executor(YcsbWorkload(n_keys=100))
+    request = TxnRequest("ycsb", {"read_keys": [5],
+                                  "write_keys": [5]}, home=0)
+    reads, writes = executor.estimate_rw_sets(request)
+    assert ("usertable", 5) in writes
+    assert ("usertable", 5) not in reads
+
+
+def test_bank_transfer_estimates_both_accounts_as_writes():
+    executor = build_executor(BankWorkload(n_accounts=20))
+    request = TxnRequest("transfer",
+                         {"src": 3, "dst": 7, "amount": 1.0}, home=0)
+    reads, writes = executor.estimate_rw_sets(request)
+    assert ("accounts", 3) in writes
+    assert ("accounts", 7) in writes
+
+
+def test_tpcc_new_order_covers_hot_rows_despite_derived_keys():
+    """Param-computable keys (warehouse, district, stock) land in the
+    estimate; the order/order-line inserts have derived keys whose
+    hints are placement-equivalent — they never mislead the fingerprint
+    into a wrong *record* identity, so only exact keys are claimed."""
+    workload = TpccWorkload(TpccScale(n_warehouses=2), n_partitions=2)
+    executor = build_executor(workload)
+    request = TxnRequest("new_order", {
+        "w_id": 0, "d_id": 1, "c_id": 2, "entry_d": 7,
+        "items": [{"supply_w_id": 0, "i_id": 5, "qty": 1},
+                  {"supply_w_id": 1, "i_id": 9, "qty": 2}],
+    }, home=0)
+    reads, writes = executor.estimate_rw_sets(request)
+    assert ("district", (0, 1)) in writes       # D_NEXT_O_ID increment
+    assert ("warehouse", 0) in reads
+    assert ("stock", (0, 5)) in writes and ("stock", (1, 9)) in writes
+    # derived-key inserts (order rows) only carry placement hints, not
+    # exact record identities — they must not be claimed as records
+    assert not any(table == "order" for table, _ in writes)
