@@ -28,8 +28,13 @@ import dataclasses
 from dataclasses import dataclass
 
 from ..analysis import ProcedureRegistry
+from ..core import HotRecordTable
 from ..partitioning import HashScheme
+from ..placement import (MigrationExecutor, PlacementSpec, PlacementStats,
+                         install_flip_handler)
 from ..sched import SchedAction, Scheduler
+from ..sim import OneSided
+from ..sim.codec import OpDescriptor
 from ..storage import Catalog
 from ..txn import Database, OccExecutor, TwoPLExecutor
 from ..txn.common import TxnRequest, seed_txn_ids
@@ -292,5 +297,134 @@ def run_ycsb_conformance(backend: str, executor: str = "2pl",
     run.database.cluster.engine(DRIVER_HOME).spawn(
         scheduled_decision_program(run, _engine_scheduler(run), decisions,
                                    ycsb_conformance_requests()))
+    run.database.cluster.run()
+    return decisions
+
+
+# -- migration conformance ----------------------------------------------------
+#
+# Live record migration must be *transparent* to decision logic: a
+# fixed, race-free program that interleaves transactions with record
+# moves has to produce identical commit/abort decisions — and identical
+# final record values — on every backend.  The program below hammers
+# one hot YCSB key across two partitions: write it, migrate it to the
+# other partition (a locking migration txn: lock at source, ship,
+# install, flip the epoch-versioned routing, delete at source), write
+# it again at its new home, migrate it *back*, and audit the counter.
+# The counter equals the number of committed writes everywhere, which
+# is the sequential form of "a migrating record never loses a
+# committed write" (the concurrent form lives in
+# tests/placement/test_migration.py on the deterministic simulator).
+
+MIGRATION_HOT_KEY = 3
+
+
+def build_migration_conformance_run(config: RunConfig,
+                                    executor: str = "2pl",
+                                    ) -> ConformanceRun:
+    """Deterministic YCSB database over a *live* epoch-versioned
+    catalog scheme, with the placement-flip RPC installed (module-level
+    and picklable-by-reference for mp workers)."""
+    workload = YcsbWorkload(n_keys=YCSB_N_KEYS, reads_per_txn=2,
+                            writes_per_txn=2)
+    catalog = Catalog(config.n_partitions,
+                      HotRecordTable.empty().live_scheme(
+                          HashScheme(config.n_partitions)))
+    db, _cluster = build_database(workload, catalog, config)
+    install_flip_handler(db, PlacementSpec(kind="adaptive"),
+                         PlacementStats(placement="adaptive"))
+    if executor == "2pl":
+        exec_ = TwoPLExecutor(db)
+    elif executor == "occ":
+        exec_ = OccExecutor(db)
+    else:
+        raise ValueError(f"unknown conformance executor {executor!r}")
+    return ConformanceRun(workload, db, exec_, config, executor)
+
+
+def migration_decision_program(run: ConformanceRun, decisions: list):
+    """Transactions interleaved with live migrations, in sequence."""
+    db = run.database
+    stats = PlacementStats(placement="adaptive")
+    migrator = MigrationExecutor(db, DRIVER_HOME,
+                                 PlacementSpec(kind="adaptive"), stats)
+    hot = MIGRATION_HOT_KEY
+
+    def txn(reads, writes):
+        outcome = yield from run.executor.execute(TxnRequest(
+            "ycsb", {"read_keys": reads, "write_keys": writes},
+            home=DRIVER_HOME))
+        decisions.append(("ycsb", outcome.committed,
+                          outcome.reason.value if outcome.reason else None))
+
+    def note_placement():
+        decisions.append(("placed", db.partition_of("usertable", hot),
+                          db.placement_epoch()))
+
+    yield from txn([1, 2], [hot, 5])          # write the hot key at home
+    yield from txn([hot, 6], [7, 8])          # read it
+    note_placement()
+
+    src = db.partition_of("usertable", hot)
+    dst = (src + 1) % db.n_partitions
+    moved = yield from migrator.migrate("usertable", hot, dst, epoch=1)
+    decisions.append(("migrate", moved, None))
+    note_placement()
+
+    yield from txn([9, 10], [hot, 11])        # write at the new home
+    yield from txn([hot, 12], [13, 14])       # read at the new home
+
+    moved = yield from migrator.migrate("usertable", hot, src, epoch=2)
+    decisions.append(("migrate_back", moved, None))
+    note_placement()
+    yield from txn([15], [hot, 16])           # write back at the old home
+
+    # a move of a nonexistent record must skip cleanly (and leave no lock)
+    missing = yield from migrator.migrate("usertable", 9999,
+                                          dst, epoch=3)
+    decisions.append(("migrate_missing", missing, None))
+    yield from txn([17], [18, 19])            # the table still works
+
+    pid = db.partition_of("usertable", hot)
+    value = yield OneSided(pid, OpDescriptor(
+        "plain_read", pid, "usertable", hot).bind(db.dispatch_context),
+        kind="lock_read")
+    decisions.append(("counter", value[1]["counter"],
+                      stats.moves_applied))
+    return decisions
+
+
+def migration_conformance_driver(run: ConformanceRun, cluster,
+                                 worker_id: int):
+    """mp worker driver: worker 0 drives, every worker serves flips."""
+    seed_txn_ids(worker_id)
+    decisions: list = []
+    if cluster.owns(DRIVER_HOME):
+        cluster.engine(DRIVER_HOME).spawn(
+            migration_decision_program(run, decisions))
+
+    def finalize() -> dict:
+        return {"decisions": decisions}
+
+    return finalize
+
+
+def run_migration_conformance(backend: str,
+                              executor: str = "2pl") -> list[tuple]:
+    """The migration program's decisions on ``backend``."""
+    config = conformance_config(backend)
+    if backend == "mp":
+        from ..sim import MpRunSpec, run_mp_workers
+        spec = MpRunSpec(builder=build_migration_conformance_run,
+                         args=(config,), kwargs={"executor": executor},
+                         driver=migration_conformance_driver)
+        payloads = run_mp_workers(spec, config)
+        decisions = [p["decisions"] for p in payloads if p["decisions"]]
+        assert len(decisions) == 1, "exactly one worker drives the program"
+        return decisions[0]
+    run = build_migration_conformance_run(config, executor)
+    decisions: list = []
+    run.database.cluster.engine(DRIVER_HOME).spawn(
+        migration_decision_program(run, decisions))
     run.database.cluster.run()
     return decisions

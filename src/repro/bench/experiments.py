@@ -37,6 +37,7 @@ from typing import Iterable, Sequence
 
 from ..workloads.instacart import InstacartWorkload
 from ..workloads.tpcc import TpccScale, TpccWorkload
+from ..placement import PLACEMENTS
 from ..sched import SCHEDULERS
 from .harness import BACKENDS, RunConfig
 from .setups import (build_instacart_layout, build_instacart_setup,
@@ -53,7 +54,8 @@ def instacart_config(n_partitions: int, quick: bool = False,
                      doorbell_batching: bool = False,
                      backend: str = "sim",
                      mp_workers: int | None = None,
-                     scheduler: str | None = None) -> RunConfig:
+                     scheduler: str | None = None,
+                     placement: str | None = None) -> RunConfig:
     return RunConfig(n_partitions=n_partitions,
                      concurrent_per_engine=4,
                      horizon_us=4_000.0 if quick else 12_000.0,
@@ -61,7 +63,7 @@ def instacart_config(n_partitions: int, quick: bool = False,
                      seed=seed, n_replicas=1, route_by_data=True,
                      doorbell_batching=doorbell_batching,
                      backend=backend, mp_workers=mp_workers,
-                     scheduler=scheduler)
+                     scheduler=scheduler, placement=placement)
 
 
 def instacart_sweep(partitions: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
@@ -72,7 +74,8 @@ def instacart_sweep(partitions: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
                     doorbell_batching: bool = False,
                     backend: str = "sim",
                     mp_workers: int | None = None,
-                    scheduler: str | None = None) -> list[dict]:
+                    scheduler: str | None = None,
+                    placement: str | None = None) -> list[dict]:
     """One row per partition count with every layout's metrics.
 
     Feeds Fig. 7 (throughput), Fig. 8 (distributed ratio), the lookup
@@ -92,7 +95,8 @@ def instacart_sweep(partitions: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
             run = make_instacart_run(
                 setup, layout,
                 instacart_config(k, quick, seed, doorbell_batching,
-                                 backend, mp_workers, scheduler))
+                                 backend, mp_workers, scheduler,
+                                 placement))
             result = run.run()
             metrics = result.metrics
             row[f"{name}_throughput"] = result.throughput
@@ -151,7 +155,8 @@ def tpcc_config(n_partitions: int, concurrent: int, quick: bool = False,
                 doorbell_batching: bool = False,
                 backend: str = "sim",
                 mp_workers: int | None = None,
-                scheduler: str | None = None) -> RunConfig:
+                scheduler: str | None = None,
+                placement: str | None = None) -> RunConfig:
     return RunConfig(n_partitions=n_partitions,
                      concurrent_per_engine=concurrent,
                      horizon_us=5_000.0 if quick else 15_000.0,
@@ -159,7 +164,7 @@ def tpcc_config(n_partitions: int, concurrent: int, quick: bool = False,
                      seed=seed, n_replicas=1,
                      doorbell_batching=doorbell_batching,
                      backend=backend, mp_workers=mp_workers,
-                     scheduler=scheduler)
+                     scheduler=scheduler, placement=placement)
 
 
 def fig9_rows(concurrency: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
@@ -167,7 +172,8 @@ def fig9_rows(concurrency: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
               seed: int = 3, doorbell_batching: bool = False,
               backend: str = "sim",
               mp_workers: int | None = None,
-              scheduler: str | None = None) -> list[dict]:
+              scheduler: str | None = None,
+              placement: str | None = None) -> list[dict]:
     """Throughput + abort rates per executor per concurrency level."""
     rows = []
     for concurrent in concurrency:
@@ -176,7 +182,7 @@ def fig9_rows(concurrency: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
             run = make_tpcc_run(
                 name, tpcc_config(n_partitions, concurrent, quick, seed,
                                   doorbell_batching, backend, mp_workers,
-                                  scheduler))
+                                  scheduler, placement))
             result = run.run()
             metrics = result.metrics
             row[f"{name}_throughput"] = result.throughput
@@ -228,7 +234,8 @@ def fig10_rows(percents: Sequence[int] = (0, 20, 40, 60, 80, 100),
                seed: int = 5, doorbell_batching: bool = False,
                backend: str = "sim",
                mp_workers: int | None = None,
-               scheduler: str | None = None) -> list[dict]:
+               scheduler: str | None = None,
+               placement: str | None = None) -> list[dict]:
     """Throughput vs fraction of distributed transactions."""
     rows = []
     for percent in percents:
@@ -242,7 +249,7 @@ def fig10_rows(percents: Sequence[int] = (0, 20, 40, 60, 80, 100),
             run = make_tpcc_run(
                 name, tpcc_config(n_partitions, concurrent, quick, seed,
                                   doorbell_batching, backend, mp_workers,
-                                  scheduler),
+                                  scheduler, placement),
                 workload=workload)
             result = run.run()
             row[f"{name}_{concurrent}_throughput"] = result.throughput
@@ -352,93 +359,62 @@ def print_min_weight(rows: list[dict]) -> None:
 
 # -- CLI ---------------------------------------------------------------------
 
-def _parse_backend(args: list[str]) -> tuple[str, list[str]]:
-    """Extract ``--backend X`` / ``--backend=X``; returns (backend, rest)."""
-    backend = "sim"
+def _parse_option(args: list[str], name: str,
+                  allowed: Sequence[str] | None = None,
+                  ) -> tuple[str | None, list[str]]:
+    """Extract ``--name X`` / ``--name=X``; returns (value, rest).
+
+    One extraction loop for every CLI knob: missing values and (when
+    ``allowed`` is given) unknown values exit with the same message
+    shape everywhere.
+    """
+    flag = f"--{name}"
+    value: str | None = None
     rest: list[str] = []
     i = 0
     while i < len(args):
         arg = args[i]
-        if arg == "--backend":
+        if arg == flag:
             if i + 1 >= len(args):
                 raise SystemExit(
-                    f"--backend needs a value ({' | '.join(BACKENDS)})")
-            backend = args[i + 1]
+                    f"{flag} needs a value"
+                    + (f" ({' | '.join(allowed)})" if allowed else ""))
+            value = args[i + 1]
             i += 2
             continue
-        if arg.startswith("--backend="):
-            backend = arg.split("=", 1)[1]
+        if arg.startswith(flag + "="):
+            value = arg.split("=", 1)[1]
             i += 1
             continue
         rest.append(arg)
         i += 1
-    if backend not in BACKENDS:
-        raise SystemExit(f"unknown backend {backend!r} "
-                         f"(expected {' | '.join(BACKENDS)})")
-    return backend, rest
-
-
-def _parse_scheduler(args: list[str]) -> tuple[str | None, list[str]]:
-    """Extract ``--scheduler X`` / ``--scheduler=X``; returns
-    (scheduler, rest).  None keeps the historical raw-loop behavior."""
-    scheduler: str | None = None
-    rest: list[str] = []
-    i = 0
-    while i < len(args):
-        arg = args[i]
-        if arg == "--scheduler":
-            if i + 1 >= len(args):
-                raise SystemExit(
-                    f"--scheduler needs a value ({' | '.join(SCHEDULERS)})")
-            scheduler = args[i + 1]
-            i += 2
-            continue
-        if arg.startswith("--scheduler="):
-            scheduler = arg.split("=", 1)[1]
-            i += 1
-            continue
-        rest.append(arg)
-        i += 1
-    if scheduler is not None and scheduler not in SCHEDULERS:
-        raise SystemExit(f"unknown scheduler {scheduler!r} "
-                         f"(expected {' | '.join(SCHEDULERS)})")
-    return scheduler, rest
+    if value is not None and allowed is not None and value not in allowed:
+        raise SystemExit(f"unknown {name} {value!r} "
+                         f"(expected {' | '.join(allowed)})")
+    return value, rest
 
 
 def _parse_workers(args: list[str]) -> tuple[int | None, list[str]]:
     """Extract ``--workers N`` / ``--workers=N`` (mp worker processes)."""
-    workers: int | None = None
-    rest: list[str] = []
-    i = 0
-    while i < len(args):
-        arg = args[i]
-        value: str | None = None
-        if arg == "--workers":
-            if i + 1 >= len(args):
-                raise SystemExit("--workers needs a process count")
-            value = args[i + 1]
-            i += 2
-        elif arg.startswith("--workers="):
-            value = arg.split("=", 1)[1]
-            i += 1
-        else:
-            rest.append(arg)
-            i += 1
-            continue
-        try:
-            workers = int(value)
-        except ValueError:
-            raise SystemExit(f"--workers needs an integer, got {value!r}")
-        if workers < 1:
-            raise SystemExit("--workers must be >= 1")
+    value, rest = _parse_option(args, "workers")
+    if value is None:
+        return None, rest
+    try:
+        workers = int(value)
+    except ValueError:
+        raise SystemExit(f"--workers needs an integer, got {value!r}")
+    if workers < 1:
+        raise SystemExit("--workers must be >= 1")
     return workers, rest
 
 
 def main(argv: Iterable[str] | None = None) -> None:
     args = list(sys.argv[1:] if argv is None else argv)
-    backend, args = _parse_backend(args)
+    backend, args = _parse_option(args, "backend", BACKENDS)
+    backend = backend or "sim"
     workers, args = _parse_workers(args)
-    scheduler, args = _parse_scheduler(args)
+    scheduler, args = _parse_option(args, "scheduler", SCHEDULERS)
+    placement, args = _parse_option(args, "placement", PLACEMENTS)
     quick = "--quick" in args
     doorbell = "--doorbell" in args
     args = [a for a in args if not a.startswith("--")]
@@ -462,13 +438,16 @@ def main(argv: Iterable[str] | None = None) -> None:
     if scheduler:
         print(f"(scheduler: {scheduler} — every engine mediates its "
               f"load through repro.sched before executing)")
+    if placement:
+        print(f"(placement: {placement} — access telemetry drives "
+              f"periodic re-partitioning with live record migration)")
 
     if wanted & {"fig7", "fig8", "lookup", "cost"}:
         partitions = (2, 4, 8) if quick else (2, 3, 4, 5, 6, 7, 8)
         rows = instacart_sweep(partitions, quick=quick,
                                doorbell_batching=doorbell,
                                backend=backend, mp_workers=workers,
-                               scheduler=scheduler)
+                               scheduler=scheduler, placement=placement)
         if "fig7" in wanted:
             print_fig7(rows)
         if "fig8" in wanted:
@@ -481,7 +460,8 @@ def main(argv: Iterable[str] | None = None) -> None:
         concurrency = (1, 2, 4, 8) if quick else (1, 2, 3, 4, 5, 6, 7, 8)
         rows = fig9_rows(concurrency, quick=quick,
                          doorbell_batching=doorbell, backend=backend,
-                         mp_workers=workers, scheduler=scheduler)
+                         mp_workers=workers, scheduler=scheduler,
+                         placement=placement)
         if "fig9a" in wanted:
             print_fig9a(rows)
         if "fig9b" in wanted:
@@ -493,7 +473,8 @@ def main(argv: Iterable[str] | None = None) -> None:
         print_fig10(fig10_rows(percents, quick=quick,
                                doorbell_batching=doorbell,
                                backend=backend, mp_workers=workers,
-                               scheduler=scheduler))
+                               scheduler=scheduler,
+                               placement=placement))
     if "reorder" in wanted:
         print_reorder(reorder_ablation_rows(quick=quick,
                                             doorbell_batching=doorbell,

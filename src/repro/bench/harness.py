@@ -23,6 +23,10 @@ from typing import Iterable
 
 from .._util import make_rng
 from ..analysis import ProcedureRegistry
+from ..placement import (AccessTelemetry, MigrationExecutor,
+                         PlacementController, PlacementSpec, PlacementStats,
+                         as_placement_spec, controller_loop,
+                         install_flip_handler)
 from ..sched import SchedAction, Scheduler, SchedulerSpec, as_spec
 from ..sim import (AioCluster, Cluster, MpRunSpec, NetworkConfig, Sleep,
                    effective_mp_workers, run_mp_workers)
@@ -113,6 +117,16 @@ class RunConfig:
     Each engine builds its own scheduler instance from this picklable
     value, so the knob works unchanged on sim/aio/mp."""
 
+    placement: PlacementSpec | str | None = None
+    """Data-placement policy: ``None``/``"static"`` (the layout the
+    setup built never changes — bit-identical to the historical
+    behavior), ``"adaptive"`` (access telemetry feeds a periodic
+    re-partition whose top-K record moves migrate live, see
+    :mod:`repro.placement`), or a full
+    :class:`~repro.placement.PlacementSpec`.  Picklable, so the knob
+    works unchanged on sim/aio/mp (on mp the controller runs in the
+    worker owning its home engine and flips routing cluster-wide)."""
+
     def network_config(self) -> NetworkConfig:
         """The effective network model for this run.
 
@@ -194,7 +208,29 @@ class RunResult:
         sched = self.metrics.scheduler_summary()
         if sched is not None:
             summary["scheduler"] = sched.summary()
+        if self.metrics.placement_stats is not None:
+            summary["placement"] = self.metrics.placement_stats.summary()
+        traffic = self.traffic_summary()
+        if traffic is not None:
+            summary["traffic"] = traffic
         return summary
+
+    def traffic_summary(self) -> dict | None:
+        """Fig.-style traffic breakdown: wire bytes by transaction
+        phase (lock/validate/replicate/commit/...), cluster-wide and
+        per issuing executor.  None when nothing crossed the wire (or
+        no database rode along to read the counters from)."""
+        if self.database is None:
+            return None
+        stats = self.database.cluster.network.stats
+        if not stats.bytes_by_kind:
+            return None
+        return {
+            "bytes_by_phase": stats.bytes_by_phase(),
+            "bytes_by_server_phase": {
+                str(server): phases for server, phases
+                in stats.bytes_by_server_phase().items()},
+        }
 
 
 def make_cluster(config: RunConfig):
@@ -253,15 +289,16 @@ def run_benchmark(workload, executor: BaseExecutor,
     metrics = Metrics()
     homes = list(config.homes if config.homes is not None
                  else range(config.n_partitions))
-    schedulers = _spawn_load(workload, executor, config, cluster, metrics,
-                             homes)
+    wiring = _spawn_load(workload, executor, config, cluster, metrics,
+                         homes)
     events_before = cluster.sim.events_fired
     wall_start = time.perf_counter()
     cluster.run()
     metrics.wall_seconds = time.perf_counter() - wall_start
     metrics.events_processed = cluster.sim.events_fired - events_before
     metrics.scheduler_stats = {home: sched.stats
-                               for home, sched in schedulers.items()}
+                               for home, sched in wiring.schedulers.items()}
+    metrics.placement_stats = wiring.placement_stats
     return RunResult(metrics=metrics, database=db,
                      history=executor.history, config=config,
                      end_time=cluster.sim.now)
@@ -285,20 +322,59 @@ def make_schedulers(executor: BaseExecutor, config: RunConfig,
     return {home: spec.build(fingerprint) for home in homes}
 
 
+@dataclass
+class _LoadWiring:
+    """What `_spawn_load` hands back for post-run stats collection."""
+
+    schedulers: dict[int, Scheduler]
+    placement_stats: PlacementStats | None = None
+    telemetry: dict[int, AccessTelemetry] | None = None
+
+
 def _spawn_load(workload, executor: BaseExecutor, config: RunConfig,
                 cluster, metrics: Metrics,
-                homes: Iterable[int]) -> dict[int, Scheduler]:
+                homes: Iterable[int]) -> _LoadWiring:
     """Spawn the worker coroutines that generate load on ``homes`` (a
     subset on mp workers, all engines elsewhere).
 
     Every request passes through its engine's scheduler before any
     effect is emitted — admission, class serialization, and shedding
     happen engine-side, which is why the same logic runs unchanged on
-    all three backends.  Returns the per-engine schedulers so the
-    caller can surface their stats after the run drains.
+    all three backends.  Returns the per-engine schedulers (and, on
+    adaptive runs, the placement wiring) so the caller can surface
+    their stats after the run drains.
+
+    With ``config.placement`` adaptive, this is also where the
+    placement loop attaches: committed outcomes feed per-engine
+    :class:`~repro.placement.AccessTelemetry`, the ``placement_flip``
+    RPC is installed on this process's database, and — if this process
+    drives the controller's home engine — the observe/plan/migrate
+    controller loop is spawned alongside the load.
     """
     db = executor.db
     schedulers = make_schedulers(executor, config, homes)
+    placement = as_placement_spec(config.placement)
+    placement_stats: PlacementStats | None = None
+    telemetry: dict[int, AccessTelemetry] | None = None
+    if placement.adaptive:
+        if (getattr(cluster, "owns", None) is None
+                and placement.controller_home not in homes):
+            # only mp workers legitimately drive a homes subset (the
+            # controller then lives in the worker owning its engine);
+            # a single-process run that excludes it would silently
+            # collect telemetry and never adapt
+            raise ValueError(
+                f"adaptive placement needs its controller engine "
+                f"{placement.controller_home} among the load homes "
+                f"{sorted(homes)}; set PlacementSpec.controller_home "
+                f"to one of them")
+        placement_stats = PlacementStats(placement="adaptive")
+        install_flip_handler(db, placement, placement_stats)
+        executor.record_footprints = True
+        telemetry = {home: AccessTelemetry(
+                         sample_every=placement.sample_every,
+                         max_samples=placement.max_samples)
+                     for home in homes}
     routed_queues: dict[int, deque] = {home: deque() for home in homes}
 
     def next_routed(home: int, rng: random.Random):
@@ -341,6 +417,8 @@ def _spawn_load(workload, executor: BaseExecutor, config: RunConfig,
             while True:
                 outcome = yield from executor.execute(request)
                 metrics.add(outcome)
+                if telemetry is not None and outcome.committed:
+                    telemetry[home].observe(outcome, cluster.sim.now)
                 attempts += 1
                 retryable = (not outcome.committed
                              and outcome.reason not in APP_ABORTS
@@ -357,7 +435,14 @@ def _spawn_load(workload, executor: BaseExecutor, config: RunConfig,
     for home in homes:
         for slot in range(config.concurrent_per_engine):
             cluster.engine(home).spawn(worker(home, slot))
-    return schedulers
+    if placement.adaptive and placement.controller_home in homes:
+        migrator = MigrationExecutor(db, placement.controller_home,
+                                     placement, placement_stats)
+        cluster.engine(placement.controller_home).spawn(
+            controller_loop(db, telemetry, placement,
+                            PlacementController(placement), migrator,
+                            placement_stats, config.horizon_us))
+    return _LoadWiring(schedulers, placement_stats, telemetry)
 
 
 # -- the multiprocess path ----------------------------------------------------
@@ -375,14 +460,16 @@ def mp_benchmark_driver(run_obj, cluster, worker_id: int):
     homes = [h for h in (config.homes if config.homes is not None
                          else range(config.n_partitions))
              if cluster.owns(h)]
-    schedulers = _spawn_load(run_obj.workload, run_obj.executor, config,
-                             cluster, metrics, homes)
+    wiring = _spawn_load(run_obj.workload, run_obj.executor, config,
+                         cluster, metrics, homes)
 
     def finalize() -> dict:
         metrics.wall_seconds = cluster.sim.now / 1e6
         metrics.events_processed = cluster.sim.events_fired
-        metrics.scheduler_stats = {home: sched.stats
-                                   for home, sched in schedulers.items()}
+        metrics.scheduler_stats = {
+            home: sched.stats
+            for home, sched in wiring.schedulers.items()}
+        metrics.placement_stats = wiring.placement_stats
         return {"metrics": metrics, "end_time": cluster.sim.now,
                 "stats": cluster.network.stats}
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+from ..placement import PlacementStats
 from ..sched import SchedulerStats
 from ..txn.common import AbortReason, Outcome
 
@@ -37,6 +38,11 @@ class Metrics:
     deferrals/sheds by typed reason); filled by the harness.  Shed
     requests never produced an Outcome — this is where they show up."""
 
+    placement_stats: PlacementStats | None = None
+    """Adaptive-placement counters (epochs, planned/applied moves,
+    routing flips); filled by the harness when ``RunConfig.placement``
+    is adaptive, None on static runs."""
+
     def add(self, outcome: Outcome) -> None:
         self.outcomes.append(outcome)
 
@@ -56,6 +62,10 @@ class Metrics:
                                       part.wall_seconds)
             merged.events_processed += part.events_processed
             merged.scheduler_stats.update(part.scheduler_stats)
+            if part.placement_stats is not None:
+                if merged.placement_stats is None:
+                    merged.placement_stats = PlacementStats()
+                merged.placement_stats.merge_from(part.placement_stats)
         return merged
 
     def scheduler_summary(self) -> SchedulerStats | None:

@@ -2,7 +2,7 @@
 
 from .chiller import ChillerExecutor, InnerRequest
 from .contention import contention_likelihood, likelihoods_from_rates, normalize
-from .lookup import HotRecordTable
+from .lookup import EpochLookupScheme, HotRecordTable
 from .partitioner import (ChillerPartitionerConfig, ChillerPartitioning,
                           partition_workload)
 from .regions import RegionPlan, RegionPlanner
@@ -13,6 +13,7 @@ __all__ = [
     "ChillerExecutor",
     "ChillerPartitionerConfig",
     "ChillerPartitioning",
+    "EpochLookupScheme",
     "HotRecordTable",
     "InnerRequest",
     "RegionPlan",

@@ -6,6 +6,17 @@ orthogonal default partitioner (hash/range), keeping the table tiny —
 the paper measures ~10x smaller than Schism's per-record table.  The
 same structure answers the region planner's "is this record hot?" test
 (run-time decision step 1).
+
+Since the adaptive-placement subsystem (:mod:`repro.placement`) landed,
+the table is also **epoch-versioned**: live record migrations flip an
+entry via :meth:`HotRecordTable.apply_move`, which bumps the table's
+epoch and remembers the move history.  A transaction captures the
+epoch at start; when one of its reads later misses, the executor asks
+:meth:`moved_since` to distinguish "this record never existed"
+(a genuine READ_MISS, an application abort) from "this record moved
+under me" (a retryable MIGRATED abort — the retry re-resolves against
+the current epoch).  Static runs never call :meth:`apply_move`, so the
+epoch stays 0 and every path below behaves exactly as before.
 """
 
 from __future__ import annotations
@@ -21,6 +32,11 @@ class HotRecordTable:
 
     def __init__(self, entries: Mapping[RecordId, int]):
         self._entries = dict(entries)
+        self._epoch = 0
+        # rid -> [(epoch, partition), ...] placement history; only
+        # records that actually migrated carry an entry, so static
+        # tables pay nothing
+        self._history: dict[RecordId, list[tuple[int, int]]] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -38,8 +54,85 @@ class HotRecordTable:
         return dict(self._entries)
 
     def scheme(self, fallback) -> LookupScheme:
-        """A catalog placement scheme: hot entries over ``fallback``."""
+        """A catalog placement scheme: hot entries over ``fallback``.
+
+        The scheme holds a *snapshot* of the entries; later
+        :meth:`apply_move` flips are invisible to it.  Adaptive runs
+        use :meth:`live_scheme` instead.
+        """
         return LookupScheme(self._entries, fallback)
+
+    def live_scheme(self, fallback) -> "EpochLookupScheme":
+        """A placement scheme that reads *through* this table.
+
+        Unlike :meth:`scheme`, placements follow the table as records
+        migrate — this is what an adaptive run installs in its catalog
+        so routing flips take effect the moment an epoch advances.
+        """
+        return EpochLookupScheme(self, fallback)
+
+    # -- epoch-versioned migration support ---------------------------------
+
+    @property
+    def current_epoch(self) -> int:
+        """Epoch of the newest applied placement flip (0: never moved)."""
+        return self._epoch
+
+    def apply_move(self, table: str, key, partition: int,
+                   epoch: int) -> None:
+        """Flip one record's placement as part of placement ``epoch``.
+
+        Idempotent: re-applying the same (record, epoch, partition)
+        flip — which happens when the flip is broadcast to every server
+        and several of them share one catalog object — is a no-op, so
+        both the single-process backends (one shared table) and the
+        multiprocess workers (one table per process, several owned
+        servers each) converge to the same state.
+        """
+        if epoch <= 0:
+            raise ValueError("placement epochs start at 1")
+        rid = (table, key)
+        history = self._history.get(rid)
+        if history is None:
+            # seed with the pre-migration placement (if the table had
+            # one) so partition_as_of can answer for old epochs
+            history = self._history[rid] = (
+                [(0, self._entries[rid])] if rid in self._entries else [])
+        if not (history and history[-1] == (epoch, partition)):
+            history.append((epoch, partition))
+        self._entries[rid] = partition
+        self._epoch = max(self._epoch, epoch)
+
+    def moved_since(self, table: str, key, epoch: int) -> bool:
+        """Did this record migrate after placement epoch ``epoch``?
+
+        This is what turns a read miss into a retryable MIGRATED abort:
+        a transaction that captured ``epoch`` at start and later missed
+        the record at its old home should re-resolve, not give up.
+        """
+        history = self._history.get((table, key))
+        return bool(history) and history[-1][0] > epoch
+
+    def partition_as_of(self, table: str, key, epoch: int) -> int | None:
+        """The record's explicit placement as of placement ``epoch``.
+
+        ``None`` means the table had no entry at that epoch (the record
+        fell through to the fallback scheme).  Note that live
+        transactions always resolve against the *current* placement —
+        they capture their start epoch only to classify late read
+        misses (:meth:`moved_since`); this historical view exists for
+        debugging and migration audits, and only records that actually
+        migrated carry any history.
+        """
+        rid = (table, key)
+        history = self._history.get(rid)
+        if not history:
+            return self._entries.get(rid)
+        placed: int | None = None
+        for move_epoch, partition in history:
+            if move_epoch <= epoch:
+                placed = partition
+        return placed
 
     @classmethod
     def from_assignment(cls, record_assignment: Mapping[RecordId, int],
@@ -69,3 +162,49 @@ class HotRecordTable:
     @classmethod
     def empty(cls) -> "HotRecordTable":
         return cls({})
+
+
+class EpochLookupScheme:
+    """A live, epoch-versioned catalog placement scheme.
+
+    Same contract as :class:`~repro.partitioning.base.LookupScheme`,
+    but placements read *through* a :class:`HotRecordTable` so the
+    migration executor's :meth:`HotRecordTable.apply_move` flips are
+    visible to routing immediately.  The extra surface
+    (``current_epoch`` / ``moved_since`` / ``apply_move``) is what the
+    database layer duck-types to decide whether a read miss might be a
+    record that migrated mid-flight.
+    """
+
+    def __init__(self, table: HotRecordTable, fallback):
+        self.table = table
+        self.fallback = fallback
+
+    @property
+    def entries(self) -> dict[RecordId, int]:
+        """Explicit per-record placements (the hot set + migrations).
+
+        Exposed so worker-build pruning can keep explicitly-placed
+        records everywhere, like :class:`LookupScheme` does.
+        """
+        return self.table._entries
+
+    @property
+    def current_epoch(self) -> int:
+        return self.table.current_epoch
+
+    def apply_move(self, table: str, key, partition: int,
+                   epoch: int) -> None:
+        self.table.apply_move(table, key, partition, epoch)
+
+    def moved_since(self, table: str, key, epoch: int) -> bool:
+        return self.table.moved_since(table, key, epoch)
+
+    def partition_of(self, table: str, key) -> int:
+        placed = self.table.partition(table, key)
+        if placed is not None:
+            return placed
+        return self.fallback.partition_of(table, key)
+
+    def lookup_table_size(self) -> int:
+        return len(self.table) + self.fallback.lookup_table_size()

@@ -1,0 +1,240 @@
+"""Live record migration: moves as ordinary locking transactions.
+
+A move never stops the world.  It runs as a small NO_WAIT transaction
+on the controller's engine, built from the same op-descriptor verbs
+the transaction layer ships (so on the aio/mp backends the record's
+value crosses a real serialization boundary through the wire codec):
+
+1. **Lock at source** — an exclusive ``lock_read`` verb.  A conflict
+   means a live transaction owns the record; the move is skipped this
+   epoch (migration never blocks the workload).
+2. **Install at destination** — a ``migrate_install`` verb ships the
+   value; the destination's replicas receive the copy through the
+   ordinary ``replica_apply`` path in the same parallel round.
+3. **Flip routing** — the epoch-versioned catalog entry is updated
+   locally and broadcast to every other server as a ``placement_flip``
+   RPC (on the multiprocess backend each worker applies it to its own
+   catalog copy).  From this instant new transactions resolve the new
+   home; old-epoch in-flight transactions that race the move either
+   hit the migration's lock (LOCK_CONFLICT, retried) or miss the
+   deleted source copy (typed MIGRATED abort, retried) — both retries
+   re-resolve against the new epoch.
+4. **Delete at source** — a ``migrate_remove`` verb removes the old
+   copy and releases the migration's lock; the source's replicas drop
+   their copies through ``replica_apply`` deletes.
+
+Because the exclusive lock is held from step 1 through step 4, no
+committed write can land on the source copy after its value was
+shipped — the "never lose a committed write" property the conformance
+suite asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..replication import ReplicaWrite
+from ..sim import All, Compute, OneSided, Rpc, Sleep
+from ..sim.codec import DispatchContext, OpDescriptor, op_handler
+from ..storage import LockMode
+from ..txn.common import next_txn_id
+from .controller import (MigrationPlan, PlacementController, PlacementSpec,
+                         PlacementStats)
+from .telemetry import AccessTelemetry, TelemetryWindow
+
+RPC_FLIP = "placement_flip"
+
+
+# -- server-side verbs --------------------------------------------------------
+
+@op_handler("migrate_install")
+def _do_migrate_install(ctx: DispatchContext, d: OpDescriptor) -> str:
+    """Install a shipped record value at its new home partition."""
+    store = ctx.store_of(d.partition)
+    (fields,) = d.args
+    if not store.insert(d.table, d.key, fields):
+        # re-migration of a key that bounced back: overwrite in place
+        store.write(d.table, d.key, fields)
+    return "ok"
+
+
+@op_handler("migrate_remove")
+def _do_migrate_remove(ctx: DispatchContext, d: OpDescriptor) -> str:
+    """Drop the source copy and release the migration's lock."""
+    store = ctx.store_of(d.partition)
+    (txn_id,) = d.args
+    store.delete(d.table, d.key)
+    store.release_all(txn_id)
+    return "ok"
+
+
+# -- routing flips ------------------------------------------------------------
+
+def ensure_adaptive_scheme(db) -> None:
+    """Give ``db``'s catalog an epoch-versioned scheme if it lacks one.
+
+    Wraps any static scheme in a live
+    :class:`~repro.core.lookup.EpochLookupScheme` overlay (an empty hot
+    table over the existing layout), so adaptive placement works over
+    hash, modulo, or trained lookup layouts alike.
+    """
+    if hasattr(db.catalog.scheme, "apply_move"):
+        return
+    from ..core.lookup import HotRecordTable
+    db.catalog.scheme = HotRecordTable.empty().live_scheme(
+        db.catalog.scheme)
+
+
+def install_flip_handler(db, spec: PlacementSpec,
+                         stats: PlacementStats) -> None:
+    """Register the ``placement_flip`` RPC on this process's database.
+
+    Every process of an adaptive run installs it (all servers must
+    accept flips, only the controller's engine emits them); repeated
+    installation on one database is a no-op.
+    """
+    if getattr(db, "_placement_flip_installed", False):
+        return
+    ensure_adaptive_scheme(db)
+
+    def factory(server_id: int, src: int, body) -> Generator:
+        return _apply_flip(db, spec, stats, body)
+
+    db.register_rpc(RPC_FLIP, factory)
+    db._placement_flip_installed = True
+
+
+def _apply_flip(db, spec: PlacementSpec, stats: PlacementStats,
+                body) -> Generator:
+    table, key, dst, epoch = body
+    yield Compute(spec.flip_cpu_us)
+    db.catalog.scheme.apply_move(table, key, dst, epoch)
+    stats.flips_applied += 1
+    return "ok"
+
+
+# -- the migration transaction ------------------------------------------------
+
+class MigrationExecutor:
+    """Applies planned moves from one engine, one locking txn each."""
+
+    def __init__(self, db, home: int, spec: PlacementSpec,
+                 stats: PlacementStats):
+        self.db = db
+        self.home = home
+        self.spec = spec
+        self.stats = stats
+
+    def _op(self, kind: str, pid: int, table: str, key, args: tuple,
+            ) -> OpDescriptor:
+        return OpDescriptor(kind, pid, table, key,
+                            args).bind(self.db.dispatch_context)
+
+    def _replica_ships(self, pid: int, write: ReplicaWrite) -> list:
+        if self.db.replicas is None:
+            return []
+        return [OneSided(rserver,
+                         OpDescriptor("replica_apply", rserver,
+                                      args=(pid, (write,))).bind(
+                                          self.db.dispatch_context),
+                         kind="replicate")
+                for rserver in self.db.replicas.replica_servers(pid)]
+
+    def migrate(self, table: str, key, dst: int,
+                epoch: int) -> Generator:
+        """One move as a locking transaction; returns True if applied."""
+        db = self.db
+        stats = self.stats
+        if table in db.catalog.replicated_tables:
+            # replicated tables resolve to the reader: there is no
+            # placement to move, and deleting a copy would lose data
+            return False
+        src = db.partition_of(table, key, reader=self.home)
+        if src == dst:
+            return False
+        txn_id = next_txn_id()
+        result = yield OneSided(
+            src, self._op("lock_read", src, table, key,
+                          (LockMode.EXCLUSIVE, txn_id)),
+            kind="migrate_lock")
+        if result[0] == "conflict":
+            stats.moves_conflicted += 1
+            return False
+        if result[0] == "missing":
+            # the bucket lock was taken before the miss surfaced —
+            # release it, then skip the move (record was deleted)
+            stats.moves_missing += 1
+            yield OneSided(src, self._op("release", src, None, None,
+                                         (txn_id,)),
+                           kind="migrate_remove")
+            return False
+        fields = result[1]
+        install = [OneSided(dst, self._op("migrate_install", dst, table,
+                                          key, (fields,)),
+                            kind="migrate_install")]
+        install += self._replica_ships(
+            dst, ReplicaWrite("insert", table, key, fields))
+        yield All(install)
+        yield from self._flip_everywhere(table, key, dst, epoch)
+        remove = [OneSided(src, self._op("migrate_remove", src, table,
+                                         key, (txn_id,)),
+                           kind="migrate_remove")]
+        remove += self._replica_ships(
+            src, ReplicaWrite("delete", table, key, None))
+        yield All(remove)
+        stats.moves_applied += 1
+        return True
+
+    def _flip_everywhere(self, table: str, key, dst: int,
+                         epoch: int) -> Generator:
+        """Local flip first (new local resolutions see it immediately),
+        then broadcast; the move's delete waits for every ack."""
+        yield Compute(self.spec.flip_cpu_us)
+        self.db.catalog.scheme.apply_move(table, key, dst, epoch)
+        self.stats.flips_applied += 1
+        others = [server.id for server in self.db.cluster.servers
+                  if server.id != self.home]
+        if others:
+            yield All([Rpc(server, (RPC_FLIP, (table, key, dst, epoch)))
+                       for server in others])
+
+
+# -- the controller loop ------------------------------------------------------
+
+def controller_loop(db, telemetry: dict[int, AccessTelemetry],
+                    spec: PlacementSpec, controller: PlacementController,
+                    migrator: MigrationExecutor, stats: PlacementStats,
+                    horizon_us: float) -> Generator:
+    """The per-epoch observe -> plan -> migrate loop (one coroutine,
+    spawned on the controller's engine; runs until the horizon).
+
+    Telemetry is drained from every engine this process drives — the
+    whole cluster on sim/aio, this worker's share on mp.
+    """
+    now_fn = lambda: db.cluster.sim.now  # noqa: E731 - tiny closure
+    while now_fn() < horizon_us:
+        yield Sleep(spec.epoch_us)
+        now = now_fn()
+        stats.epochs += 1
+        window = TelemetryWindow.merged(
+            [t.drain(now) for t in telemetry.values()])
+        stats.commits_observed += window.commits_observed
+        if now >= horizon_us:
+            return
+        if window.commits_observed < spec.min_window_commits:
+            continue
+        yield Compute(spec.plan_cpu_us)
+        epoch = db.placement_epoch() + 1
+        replicated = db.catalog.replicated_tables
+        plan: MigrationPlan = controller.plan(
+            window, db.n_partitions,
+            lambda t, k: db.partition_of(t, k, reader=migrator.home),
+            epoch, movable=lambda table: table not in replicated)
+        stats.plans += 1
+        stats.moves_planned += len(plan)
+        stats.last_epoch = epoch
+        for move in plan.moves:
+            if now_fn() >= horizon_us:
+                return
+            yield from migrator.migrate(move.table, move.key, move.dst,
+                                        epoch)

@@ -25,7 +25,7 @@ from .mp_runtime import (MpRunError, MpRunSpec, MpTemplateCluster,
                          MpWorkerCluster, current_worker_cluster,
                          effective_mp_workers, run_mp_workers)
 from .network import (Network, NetworkConfig, NetworkStats,
-                      approx_payload_bytes)
+                      approx_payload_bytes, phase_of_kind)
 from .runtime import EffectRuntime, EffectRuntimeBase
 
 __all__ = [
@@ -71,5 +71,6 @@ __all__ = [
     "effective_mp_workers",
     "encode_op",
     "op_handler",
+    "phase_of_kind",
     "run_mp_workers",
 ]

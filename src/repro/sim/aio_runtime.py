@@ -500,7 +500,8 @@ class AsyncioEffectRuntime(EffectRuntimeBase):
                    cont: Callable[[Any], None],
                    kind: str, nbytes: int | None) -> None:
         remote = target != self.server_id
-        self.network.stats.record_one_sided(kind, nbytes, remote=remote)
+        self.network.stats.record_one_sided(kind, nbytes, remote=remote,
+                                            server=self.server_id)
         if not remote:
             self._cluster.loop.call_soon(lambda: cont(op()))
             return
@@ -512,7 +513,8 @@ class AsyncioEffectRuntime(EffectRuntimeBase):
                          ops: Sequence[Callable[[], Any]],
                          cont: Callable[[list], None],
                          kinds: list[tuple[str, int | None]]) -> None:
-        total = self.network.stats.record_batch(kinds)
+        total = self.network.stats.record_batch(kinds,
+                                                server=self.server_id)
         self._dispatch_verbs(target, tuple(ops), cont, batched=True,
                              nbytes=total)
 
@@ -535,7 +537,8 @@ class AsyncioEffectRuntime(EffectRuntimeBase):
         else:
             nbytes = MESSAGE_NOMINAL_BYTES
         self.network.stats.record_message(kind, nbytes,
-                                          remote=target != self.server_id)
+                                          remote=target != self.server_id,
+                                          server=self.server_id)
         self._cluster.transport.send(self.server_id, target, payload,
                                      nbytes)
 

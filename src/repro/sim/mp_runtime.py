@@ -158,7 +158,8 @@ class MpServerRuntime(EffectRuntimeBase):
                    cont: Callable[[Any], None],
                    kind: str, nbytes: int | None) -> None:
         self.network.stats.record_one_sided(kind, nbytes,
-                                            remote=target != self.server_id)
+                                            remote=target != self.server_id,
+                                            server=self.server_id)
         if self._cluster.owns(target):
             self._cluster.loop.call_soon(lambda: cont(op()))
             return
@@ -166,7 +167,7 @@ class MpServerRuntime(EffectRuntimeBase):
                          effect=f"OneSided(kind={kind!r}) to server {target}")
 
     def _one_sided_batch(self, target, ops, cont, kinds) -> None:
-        self.network.stats.record_batch(kinds)
+        self.network.stats.record_batch(kinds, server=self.server_id)
         if self._cluster.owns(target):
             self._cluster.loop.call_soon(
                 lambda: cont([op() for op in ops]))
@@ -199,7 +200,7 @@ class MpServerRuntime(EffectRuntimeBase):
         kind = _payload_kind(effect.payload, "rpc")
         self.network.stats.record_message(
             kind, self._payload_nbytes(effect.payload),
-            remote=target != self.server_id)
+            remote=target != self.server_id, server=self.server_id)
         if self._cluster.owns(target):
             self._cluster.deliver_local(
                 target, self.server_id,
@@ -216,7 +217,7 @@ class MpServerRuntime(EffectRuntimeBase):
         kind = _payload_kind(payload, "one_way")
         self.network.stats.record_message(
             kind, self._payload_nbytes(payload),
-            remote=target != self.server_id)
+            remote=target != self.server_id, server=self.server_id)
         if self._cluster.owns(target):
             self._cluster.deliver_local(target, self.server_id,
                                         OneWay(payload))
@@ -232,7 +233,7 @@ class MpServerRuntime(EffectRuntimeBase):
         # traffic goes through the wire forms above.
         self.network.stats.record_message(
             kind, self._payload_nbytes(size_of),
-            remote=target != self.server_id)
+            remote=target != self.server_id, server=self.server_id)
         if not self._cluster.owns(target):
             raise CodecError(
                 f"in-process payload {payload!r} addressed to foreign "
@@ -265,7 +266,8 @@ class MpServerRuntime(EffectRuntimeBase):
             def reply(value: Any, token: int = wire.token,
                       requester: int = src) -> None:
                 self.network.stats.record_message(
-                    "rpc_reply", self._payload_nbytes(value), remote=True)
+                    "rpc_reply", self._payload_nbytes(value), remote=True,
+                    server=self.server_id)
                 self._cluster.transport.send(
                     self.server_id, requester, WireRpcReply(token, value),
                     what="an RPC reply")

@@ -54,6 +54,30 @@ _BACK_REFERENCE_BYTES = 8
 shared reference: serializers ship those as back-references, and
 re-walking them would make the walk exponential on shared DAGs)."""
 
+PHASE_OF_KIND = {
+    "lock_read": "lock",
+    "lock_insert": "lock",
+    "plain_read": "lock",          # OCC's lock-free read phase
+    "validate_read": "validate",
+    "validate_write": "validate",
+    "replicate": "replicate",
+    "chiller_replicate": "replicate",
+    "chiller_ack": "replicate",
+    "commit": "commit",
+    "release": "commit",
+    "inner_commit": "commit",
+    "migrate_lock": "migrate",
+    "migrate_install": "migrate",
+    "migrate_remove": "migrate",
+    "placement_flip": "migrate",
+}
+"""Transaction-phase bucket of each traffic kind, for the Fig.-style
+bytes-by-phase breakdown (unlisted kinds land in ``other``)."""
+
+
+def phase_of_kind(kind: str) -> str:
+    return PHASE_OF_KIND.get(kind, "other")
+
 
 def approx_payload_bytes(obj: Any, _depth: int = 0,
                          _seen: set[int] | None = None) -> int:
@@ -202,10 +226,20 @@ class NetworkStats:
     local_bytes_by_kind: dict[str, int] = field(default_factory=dict)
     """Approximate payload bytes of same-server deliveries, per kind."""
 
+    bytes_by_server_kind: dict[int, dict[str, int]] = field(
+        default_factory=dict)
+    """Wire bytes broken down by *issuing* server (execution engine)
+    and kind — the per-executor traffic view.  Only populated for
+    traffic whose recorder knows its issuer (all three backends pass
+    it); kinds here always sum to ``bytes_by_kind``."""
+
     def add_bytes(self, kind: str, nbytes: int,
-                  remote: bool = True) -> None:
+                  remote: bool = True, server: int | None = None) -> None:
         book = self.bytes_by_kind if remote else self.local_bytes_by_kind
         book[kind] = book.get(kind, 0) + nbytes
+        if remote and server is not None:
+            per = self.bytes_by_server_kind.setdefault(server, {})
+            per[kind] = per.get(kind, 0) + nbytes
 
     # Recording helpers: the one bookkeeping implementation every
     # backend shares (the simulated Network and the asyncio runtime
@@ -213,30 +247,31 @@ class NetworkStats:
     # fallbacks cannot drift between backends.
 
     def record_one_sided(self, kind: str, nbytes: int | None,
-                         remote: bool) -> None:
+                         remote: bool, server: int | None = None) -> None:
         if remote:
             self.one_sided_remote += 1
         else:
             self.one_sided_local += 1
         self.add_bytes(kind, VERB_NOMINAL_BYTES if nbytes is None
-                       else nbytes, remote=remote)
+                       else nbytes, remote=remote, server=server)
 
-    def record_message(self, kind: str, nbytes: int, remote: bool) -> None:
+    def record_message(self, kind: str, nbytes: int, remote: bool,
+                       server: int | None = None) -> None:
         if remote:
             self.messages += 1
         else:
             self.messages_local += 1
-        self.add_bytes(kind, nbytes, remote=remote)
+        self.add_bytes(kind, nbytes, remote=remote, server=server)
 
-    def record_batch(self,
-                     kinds: Iterable[tuple[str, int | None]]) -> int:
+    def record_batch(self, kinds: Iterable[tuple[str, int | None]],
+                     server: int | None = None) -> int:
         """Account one fused doorbell chain; returns its total bytes."""
         self.one_sided_batches += 1
         total = 0
         n_verbs = 0
         for kind, nbytes in kinds:
             size = VERB_NOMINAL_BYTES if nbytes is None else nbytes
-            self.add_bytes(kind, size)
+            self.add_bytes(kind, size, server=server)
             total += size
             n_verbs += 1
         self.one_sided_batched_verbs += n_verbs
@@ -255,6 +290,10 @@ class NetworkStats:
             self.add_bytes(kind, nbytes, remote=True)
         for kind, nbytes in other.local_bytes_by_kind.items():
             self.add_bytes(kind, nbytes, remote=False)
+        for server, per in other.bytes_by_server_kind.items():
+            mine = self.bytes_by_server_kind.setdefault(server, {})
+            for kind, nbytes in per.items():
+                mine[kind] = mine.get(kind, 0) + nbytes
 
     def total_remote_ops(self) -> int:
         """Round trips / deliveries that crossed the wire.  A fused
@@ -268,6 +307,28 @@ class NetworkStats:
 
     def total_local_bytes(self) -> int:
         return sum(self.local_bytes_by_kind.values())
+
+    # -- Fig.-style phase breakdowns --------------------------------------
+
+    def bytes_by_phase(self) -> dict[str, int]:
+        """Wire bytes folded into transaction phases
+        (lock/validate/replicate/commit/migrate/other)."""
+        phases: dict[str, int] = {}
+        for kind, nbytes in self.bytes_by_kind.items():
+            phase = phase_of_kind(kind)
+            phases[phase] = phases.get(phase, 0) + nbytes
+        return phases
+
+    def bytes_by_server_phase(self) -> dict[int, dict[str, int]]:
+        """Per-executor phase breakdown: issuing server -> phase -> bytes."""
+        out: dict[int, dict[str, int]] = {}
+        for server, per in sorted(self.bytes_by_server_kind.items()):
+            phases: dict[str, int] = {}
+            for kind, nbytes in per.items():
+                phase = phase_of_kind(kind)
+                phases[phase] = phases.get(phase, 0) + nbytes
+            out[server] = phases
+        return out
 
 
 class Network:
@@ -301,7 +362,8 @@ class Network:
         traffic accounting.
         """
         cfg = self.config
-        self.stats.record_one_sided(kind, nbytes, remote=src != dst)
+        self.stats.record_one_sided(kind, nbytes, remote=src != dst,
+                                    server=src)
         if src == dst:
             self._sim.schedule(cfg.local_access_us,
                                lambda: on_complete(op()))
@@ -344,7 +406,7 @@ class Network:
         cfg = self.config
         total_bytes = self.stats.record_batch(
             kinds if kinds is not None
-            else (("one_sided", None),) * len(ops))
+            else (("one_sided", None),) * len(ops), server=src)
         arrive = self._fifo_time(
             src, dst, cfg.one_way_us + cfg.verb_overhead_us
             + (len(ops) - 1) * cfg.batched_verb_us
@@ -376,7 +438,8 @@ class Network:
                     payload if size_of is _UNSET else size_of)
             else:
                 nbytes = MESSAGE_NOMINAL_BYTES
-        self.stats.record_message(kind, nbytes, remote=src != dst)
+        self.stats.record_message(kind, nbytes, remote=src != dst,
+                                  server=src)
         delay = (self.config.local_access_us if src == dst
                  else self.config.message_delay(nbytes))
         arrive = self._fifo_time(src, dst, delay)

@@ -48,6 +48,9 @@ class AbortReason(enum.Enum):
     READ_MISS = "read_miss"        # referenced record does not exist
     DUPLICATE_KEY = "duplicate_key"
     INNER_CONFLICT = "inner_conflict"  # inner host failed its local locks
+    MIGRATED = "migrated"          # record moved mid-flight (retryable):
+    # the read resolved against a placement epoch that a live migration
+    # has since advanced; a retry re-resolves and finds the new home
 
 
 class WriteKind(enum.Enum):
@@ -79,6 +82,14 @@ class Outcome:
     partitions: frozenset[int] = frozenset()
     inner_host: int | None = None
     used_two_region: bool = False
+    read_set: tuple = ()
+    """Records actually read, as ``(table, key)`` pairs.  Populated only
+    when the executor's ``record_footprints`` flag is on (adaptive
+    placement samples committed footprints); empty otherwise so the
+    default path carries no extra weight."""
+
+    write_set: tuple = ()
+    """Records actually written; same gating as :attr:`read_set`."""
 
     @property
     def latency(self) -> float:

@@ -38,6 +38,10 @@ class Database:
         self.catalog = catalog
         self.registry = registry
         self.tables = list(tables)
+        self._owns = getattr(cluster, "owns", None)
+        """Worker-ownership predicate (multiprocess workers only).
+        When set, the load path prunes foreign-partition records the
+        worker would never touch — see :meth:`load`."""
         now_fn = lambda: cluster.sim.now  # noqa: E731 - tiny closure
         for server in cluster.servers:
             server.storage = PartitionStore(server.id, self.tables,
@@ -65,6 +69,25 @@ class Database:
                      reader: int | None = None) -> int:
         return self.catalog.partition_of(table, key, reader)
 
+    def placement_epoch(self) -> int:
+        """Current placement epoch (0 under any static scheme).
+
+        Epochs advance only when live migrations flip entries of an
+        epoch-versioned catalog scheme (see
+        :class:`~repro.core.lookup.EpochLookupScheme`); transactions
+        capture this at start so a later read miss can be classified.
+        """
+        return getattr(self.catalog.scheme, "current_epoch", 0)
+
+    def moved_since(self, table: str, key: Any, epoch: int) -> bool:
+        """Did ``(table, key)`` migrate after placement epoch ``epoch``?
+
+        Always False under a static scheme — the miss really is a
+        missing record.
+        """
+        moved = getattr(self.catalog.scheme, "moved_since", None)
+        return moved is not None and moved(table, key, epoch)
+
     def store(self, partition: int) -> PartitionStore:
         """Primary store of ``partition``."""
         return self.cluster.server(partition).storage
@@ -79,15 +102,34 @@ class Database:
         """Load one record into its primary partition and all replicas.
 
         Records of replicated tables are copied to every partition.
+
+        Inside a multiprocess worker (the cluster exposes ``owns``),
+        the build is pruned to what this worker can ever serve: records
+        of its home partitions, replicated tables (for owned partitions
+        only), explicitly-placed hot records, and replica copies hosted
+        on owned servers.  Foreign-partition cold records — the bulk of
+        the database — are skipped entirely; every access to them
+        routes to the owning worker anyway, so the local copies were
+        pure memory waste.
         """
         if table in self.catalog.replicated_tables:
             for partition in range(self.n_partitions):
-                self.store(partition).load(table, key, fields)
+                if self._owns is None or self._owns(partition):
+                    self.store(partition).load(table, key, fields)
             return
         partition = self.partition_of(table, key)
-        self.store(partition).load(table, key, fields)
+        if self._keep_local_copy(partition, table, key):
+            self.store(partition).load(table, key, fields)
         if self.replicas is not None:
-            self.replicas.load(partition, table, key, fields)
+            self.replicas.load(partition, table, key, fields,
+                               server_filter=self._owns)
+
+    def _keep_local_copy(self, partition: int, table: str, key: Any) -> bool:
+        """Should this process keep a primary-store copy of the record?"""
+        if self._owns is None or self._owns(partition):
+            return True
+        entries = getattr(self.catalog.scheme, "entries", None)
+        return entries is not None and (table, key) in entries
 
     def loader(self) -> Callable[[str, Any, dict[str, Any]], None]:
         """A ``load(table, key, fields)`` callable for workload populate

@@ -98,6 +98,10 @@ class TxnState:
     abort_reason: AbortReason | None = None
     inner_host: int | None = None
     used_two_region: bool = False
+    epoch: int = 0
+    """Placement epoch captured at start; read misses on records that
+    migrated past this epoch abort as MIGRATED (retryable) instead of
+    READ_MISS (an application abort)."""
 
     @property
     def params(self) -> Any:
@@ -108,6 +112,12 @@ class BaseExecutor:
     """Common machinery; subclasses implement :meth:`execute`."""
 
     name = "base"
+
+    record_footprints = False
+    """When on, committed Outcomes carry their actual read/write sets
+    (``Outcome.read_set``/``write_set``) so access telemetry
+    (:mod:`repro.placement`) can observe them.  Off by default: the
+    static path ships no footprints."""
 
     def __init__(self, db: Database, config: ExecConfig | None = None,
                  history: HistoryRecorder | None = None):
@@ -126,7 +136,8 @@ class BaseExecutor:
         instances = proc.instantiate(request.params)
         state = TxnState(txn_id=next_txn_id(), request=request,
                          instances=instances,
-                         start=self.db.cluster.sim.now)
+                         start=self.db.cluster.sim.now,
+                         epoch=self.db.placement_epoch())
         state.pending_checks = [inst for inst in instances
                                 if inst.spec.kind is OpKind.CHECK]
         return state
@@ -302,7 +313,14 @@ class BaseExecutor:
                 state.abort_reason = AbortReason.LOCK_CONFLICT
                 return False
             if status == "missing":
-                state.abort_reason = AbortReason.READ_MISS
+                table = state.locations[inst.name][0]
+                # a record that migrated after this txn resolved its
+                # placement is not gone — retrying re-resolves it at
+                # its new home (always READ_MISS under static schemes)
+                state.abort_reason = (
+                    AbortReason.MIGRATED
+                    if self.db.moved_since(table, key, state.epoch)
+                    else AbortReason.READ_MISS)
                 return False
             if status == "duplicate":
                 state.abort_reason = AbortReason.DUPLICATE_KEY
@@ -445,12 +463,26 @@ class BaseExecutor:
             self.history.record(CommitLog(state.txn_id,
                                           reads=state.reads,
                                           writes=state.write_versions))
+        read_set: tuple = ()
+        write_set: tuple = ()
+        if committed and self.record_footprints:
+            # replicated-table records resolve to the reader (always
+            # local, never movable): no placement signal, keep them out
+            replicated = self.db.catalog.replicated_tables
+            write_set = tuple({rid: None
+                               for rid, _v in state.write_versions
+                               if rid[0] not in replicated})
+            write_rids = set(write_set)
+            read_set = tuple({rid: None for rid, _v in state.reads
+                              if rid not in write_rids
+                              and rid[0] not in replicated})
         return Outcome(txn_id=state.txn_id, proc=state.request.proc,
                        committed=committed, reason=state.abort_reason,
                        start=state.start, end=self.db.cluster.sim.now,
                        partitions=frozenset(state.touched),
                        inner_host=state.inner_host,
-                       used_two_region=state.used_two_region)
+                       used_two_region=state.used_two_region,
+                       read_set=read_set, write_set=write_set)
 
 
 # -- one-sided verbs as descriptors ------------------------------------------

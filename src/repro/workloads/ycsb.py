@@ -106,6 +106,85 @@ class YcsbWorkload(Workload):
         return TxnRequest(request.proc, request.params, home=home)
 
 
+class DriftingYcsbWorkload(YcsbWorkload):
+    """YCSB with group-structured co-access and a mid-run hot-set shift.
+
+    Keys are organized into ``n_groups`` groups of ``group_size``
+    consecutive keys; every transaction draws *all* its keys from one
+    group, chosen by a zipf distribution over group ranks.  Groups are
+    the co-access signal a partitioner can exploit: co-locating a
+    group makes its transactions single-partition.
+
+    At ``shift_at_us`` (on the bound cluster clock — simulated µs on
+    sim, wall-clock µs on aio/mp) the rank→group mapping rotates by
+    ``shift_offset``: a previously cold slice of the key space becomes
+    the hot set, and any layout trained on the pre-shift distribution
+    is suddenly stale.  This is the first workload in the repo that
+    *changes under the system* — the scenario the adaptive placement
+    subsystem (:mod:`repro.placement`) exists for.
+    """
+
+    def __init__(self, n_groups: int = 64, group_size: int = 8,
+                 reads_per_txn: int = 4, writes_per_txn: int = 2,
+                 zipf_exponent: float = 1.05,
+                 shift_at_us: float | None = None,
+                 shift_offset: int | None = None):
+        if reads_per_txn + writes_per_txn > group_size:
+            raise ValueError("a transaction's keys must fit in one group")
+        super().__init__(n_keys=n_groups * group_size,
+                         reads_per_txn=reads_per_txn,
+                         writes_per_txn=writes_per_txn,
+                         zipf_exponent=0.0)
+        self.n_groups = n_groups
+        self.group_size = group_size
+        self.shift_at_us = shift_at_us
+        self.shift_offset = (shift_offset if shift_offset is not None
+                             else n_groups // 2)
+        import itertools
+        weights = power_law_weights(n_groups, tail_exponent=zipf_exponent)
+        self._group_cum = list(itertools.accumulate(weights))
+        self._now = None
+
+    def bind_clock(self, now_fn) -> None:
+        """Attach the run's clock (done by the benchmark builder once
+        the cluster exists); without a clock the workload never
+        shifts."""
+        self._now = now_fn
+
+    @property
+    def shifted(self) -> bool:
+        return (self._now is not None and self.shift_at_us is not None
+                and self._now() >= self.shift_at_us)
+
+    def next_request(self, home: int, rng: random.Random) -> TxnRequest:
+        return self._request(home, rng, self.shifted)
+
+    def _request(self, home: int, rng: random.Random,
+                 shifted: bool) -> TxnRequest:
+        rank = rng.choices(range(self.n_groups),
+                           cum_weights=self._group_cum, k=1)[0]
+        group = ((rank + self.shift_offset) % self.n_groups if shifted
+                 else rank)
+        base = group * self.group_size
+        keys = rng.sample(range(base, base + self.group_size),
+                          self.reads_per_txn + self.writes_per_txn)
+        return TxnRequest("ycsb", {
+            "read_keys": keys[:self.reads_per_txn],
+            "write_keys": keys[self.reads_per_txn:],
+        }, home=home)
+
+    def trace(self, n: int, n_partitions: int, phase: str = "pre",
+              seed: int = 1) -> list[TxnRequest]:
+        """An offline request trace from one phase's distribution —
+        what the drift benchmark trains its initial layout on."""
+        if phase not in ("pre", "post"):
+            raise ValueError(f"unknown phase {phase!r}")
+        from .._util import make_rng
+        rng = make_rng(seed, "drift-trace", phase)
+        return [self._request(i % n_partitions, rng, phase == "post")
+                for i in range(n)]
+
+
 def expected_counter_total(db, n_keys: int) -> int:
     """Sum of all counters (equals total committed write ops)."""
     total = 0

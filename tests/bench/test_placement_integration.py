@@ -1,0 +1,109 @@
+"""Placement wiring through the harness: static bit-identity and the
+adaptive observe->plan->migrate loop end to end on the simulator."""
+
+import dataclasses
+
+from repro.bench import RunConfig, build_database, run_benchmark
+from repro.partitioning import HashScheme
+from repro.placement import PlacementSpec
+from repro.storage import Catalog
+from repro.txn import TwoPLExecutor
+from repro.workloads.ycsb import DriftingYcsbWorkload, YcsbWorkload
+
+import pytest
+
+
+def small_config(**overrides) -> RunConfig:
+    defaults = dict(n_partitions=2, concurrent_per_engine=2,
+                    horizon_us=2_500.0, warmup_us=250.0, seed=5,
+                    n_replicas=1, route_by_data=True)
+    defaults.update(overrides)
+    return RunConfig(**defaults)
+
+
+def run_ycsb(config: RunConfig):
+    workload = YcsbWorkload(n_keys=400, reads_per_txn=3, writes_per_txn=2,
+                            zipf_exponent=0.8)
+    db, _cluster = build_database(
+        workload, Catalog(config.n_partitions,
+                          HashScheme(config.n_partitions)), config)
+    return run_benchmark(workload, TwoPLExecutor(db), config)
+
+
+def outcome_trace(result):
+    # txn ids come from a process-global counter, so consecutive runs
+    # shift them uniformly; everything behavioral must match exactly
+    return [(o.proc, o.committed, o.reason, o.start, o.end, o.partitions)
+            for o in result.metrics.outcomes]
+
+
+def test_placement_static_is_bit_identical_to_unset():
+    baseline = run_ycsb(small_config(placement=None))
+    explicit = run_ycsb(small_config(placement="static"))
+    assert outcome_trace(explicit) == outcome_trace(baseline)
+    assert (explicit.metrics.events_processed
+            == baseline.metrics.events_processed)
+    assert explicit.metrics.placement_stats is None
+    assert baseline.metrics.outcomes[0].read_set == ()  # footprints off
+
+
+def test_adaptive_run_consolidates_drifting_hot_groups():
+    """End-to-end on sim: telemetry observes the load, the controller
+    plans, migrations apply, and routing epochs advance."""
+    config = small_config(
+        horizon_us=6_000.0,
+        placement=PlacementSpec(kind="adaptive", epoch_us=800.0,
+                                max_moves_per_epoch=16, min_gain=4.0,
+                                min_window_commits=8))
+    workload = DriftingYcsbWorkload(n_groups=24, group_size=6,
+                                    reads_per_txn=3, writes_per_txn=2,
+                                    zipf_exponent=1.3)
+    db, cluster = build_database(
+        workload, Catalog(config.n_partitions,
+                          HashScheme(config.n_partitions)), config)
+    workload.bind_clock(lambda: cluster.sim.now)
+    result = run_benchmark(workload, TwoPLExecutor(db), config)
+
+    stats = result.metrics.placement_stats
+    assert stats is not None and stats.placement == "adaptive"
+    assert stats.epochs >= 3
+    assert stats.moves_applied > 0, \
+        "hash-scattered hot groups must trigger consolidation"
+    assert db.placement_epoch() >= 1
+    assert stats.commits_observed > 0
+    # footprints were recorded for telemetry
+    committed = [o for o in result.metrics.outcomes if o.committed]
+    assert committed and committed[0].write_set
+
+    summary = result.perf_summary()
+    assert summary["placement"]["moves_applied"] == stats.moves_applied
+    assert "bytes_by_phase" in summary["traffic"]
+    assert "migrate" in summary["traffic"]["bytes_by_phase"]
+
+
+def test_perf_summary_reports_traffic_phases_on_static_runs():
+    result = run_ycsb(small_config())
+    summary = result.perf_summary()
+    phases = summary["traffic"]["bytes_by_phase"]
+    assert phases.get("lock", 0) > 0 and phases.get("commit", 0) > 0
+    per_server = summary["traffic"]["bytes_by_server_phase"]
+    assert len(per_server) == 2  # both engines issued wire traffic
+    assert "placement" not in summary  # static runs stay quiet
+
+
+def test_unknown_placement_kind_is_rejected():
+    with pytest.raises(ValueError, match="unknown placement"):
+        run_ycsb(small_config(placement="sideways"))
+
+
+def test_adaptive_without_its_controller_home_is_rejected():
+    """Excluding the controller's engine from the load homes would
+    silently collect telemetry and never adapt — refuse instead."""
+    with pytest.raises(ValueError, match="controller engine"):
+        run_ycsb(small_config(placement="adaptive", homes=(1,)))
+
+
+def test_placement_spec_rides_through_config_replace():
+    spec = PlacementSpec(kind="adaptive", epoch_us=123.0)
+    config = dataclasses.replace(small_config(), placement=spec)
+    assert config.placement.epoch_us == 123.0

@@ -58,3 +58,56 @@ def test_empty_table():
     assert len(table) == 0
     assert not table.is_hot("x", 1)
     assert table.entries() == {}
+
+
+# -- epoch-versioned migration support ----------------------------------------
+
+
+def test_apply_move_flips_and_versions_the_entry():
+    table = HotRecordTable({("stock", 1): 0})
+    assert table.current_epoch == 0
+    table.apply_move("stock", 1, 3, epoch=1)
+    assert table.partition("stock", 1) == 3
+    assert table.current_epoch == 1
+    # history answers for old epochs (in-flight transactions' view)
+    assert table.partition_as_of("stock", 1, 0) == 0
+    assert table.partition_as_of("stock", 1, 1) == 3
+    assert table.moved_since("stock", 1, 0)
+    assert not table.moved_since("stock", 1, 1)
+
+
+def test_apply_move_is_idempotent_per_epoch():
+    table = HotRecordTable.empty()
+    for _ in range(3):  # broadcast re-delivery on shared catalogs
+        table.apply_move("stock", 7, 2, epoch=1)
+    assert table.current_epoch == 1
+    assert table.partition_as_of("stock", 7, 0) is None
+    assert table.partition_as_of("stock", 7, 1) == 2
+
+
+def test_apply_move_rejects_epoch_zero():
+    with pytest.raises(ValueError):
+        HotRecordTable.empty().apply_move("stock", 1, 0, epoch=0)
+
+
+def test_live_scheme_reads_through_migrations():
+    fallback = HashScheme(4)
+    table = HotRecordTable.empty()
+    scheme = table.live_scheme(fallback)
+    key = ("stock", 9)
+    assert scheme.partition_of(*key) == fallback.partition_of(*key)
+    dst = (fallback.partition_of(*key) + 1) % 4
+    scheme.apply_move("stock", 9, dst, epoch=1)
+    assert scheme.partition_of(*key) == dst
+    assert scheme.current_epoch == 1
+    assert scheme.moved_since("stock", 9, 0)
+    assert key in scheme.entries
+    assert scheme.lookup_table_size() == 1
+
+
+def test_snapshot_scheme_ignores_later_moves():
+    table = HotRecordTable({("stock", 1): 0})
+    snapshot = table.scheme(HashScheme(4))
+    table.apply_move("stock", 1, 3, epoch=1)
+    assert snapshot.partition_of("stock", 1) == 0  # frozen view
+    assert table.live_scheme(HashScheme(4)).partition_of("stock", 1) == 3

@@ -1,0 +1,105 @@
+"""PlacementController: scattered co-access moves, co-located stays."""
+
+from repro.core.stats import TxnSample
+from repro.placement import (PlacementController, PlacementSpec,
+                             as_placement_spec)
+from repro.placement.telemetry import TelemetryWindow
+
+import pytest
+
+
+def window_from(samples, n_repeat=8, duration_us=1_000.0):
+    """Repeat a footprint pattern into a telemetry window."""
+    reads: dict = {}
+    writes: dict = {}
+    out = []
+    for _ in range(n_repeat):
+        for sample in samples:
+            out.append(sample)
+            for rid in sample.reads:
+                reads[rid] = reads.get(rid, 0) + 1
+            for rid in sample.writes:
+                writes[rid] = writes.get(rid, 0) + 1
+    return TelemetryWindow(0.0, duration_us, tuple(out), reads, writes,
+                           len(out))
+
+
+def keyed(*keys):
+    return tuple(("t", k) for k in keys)
+
+
+def spec(**overrides):
+    base = dict(kind="adaptive", min_gain=2.0, min_window_commits=4,
+                max_moves_per_epoch=8)
+    base.update(overrides)
+    return PlacementSpec(**base)
+
+
+def test_scattered_co_access_group_is_consolidated():
+    """Records always accessed together but spread across partitions
+    must be planned onto one partition."""
+    group_a = window_from([
+        TxnSample("p", reads=keyed(0, 1), writes=keyed(2, 3)),
+        TxnSample("p", reads=keyed(10, 11), writes=keyed(12, 13)),
+    ])
+    placement = {("t", k): k % 2 for k in range(20)}  # maximally split
+    controller = PlacementController(spec())
+    plan = controller.plan(group_a, 2,
+                           lambda table, key: placement[(table, key)],
+                           epoch=1)
+    assert plan.moves, "split co-access groups must trigger moves"
+    # after applying the plan, each sampled transaction is local
+    for move in plan.moves:
+        placement[(move.table, move.key)] = move.dst
+    for sample in group_a.samples:
+        parts = {placement[rid] for rid in sample.records()}
+        assert len(parts) == 1, f"{sample} still split across {parts}"
+
+
+def test_co_located_traffic_is_never_churned():
+    """The anti-churn rule: traffic that is already single-partition
+    produces zero moves, whatever the fresh cut would prefer."""
+    window = window_from([
+        TxnSample("p", reads=keyed(0, 1), writes=keyed(2)),
+        TxnSample("p", reads=keyed(10, 11), writes=keyed(12)),
+    ])
+    placement = {("t", k): 0 if k < 10 else 1 for k in range(20)}
+    controller = PlacementController(spec())
+    plan = controller.plan(window, 2,
+                           lambda table, key: placement[(table, key)],
+                           epoch=1)
+    assert not plan.moves
+
+
+def test_move_budget_is_bounded():
+    samples = [TxnSample("p", reads=keyed(i, i + 100), writes=())
+               for i in range(20)]
+    placement = {}
+    for i in range(20):
+        placement[("t", i)] = 0
+        placement[("t", i + 100)] = 1  # every sample is split
+    controller = PlacementController(spec(max_moves_per_epoch=5))
+    plan = controller.plan(window_from(samples), 2,
+                           lambda table, key: placement[(table, key)],
+                           epoch=1)
+    assert 0 < len(plan.moves) <= 5
+    gains = [move.gain for move in plan.moves]
+    assert gains == sorted(gains, reverse=True)
+
+
+def test_thin_windows_are_ignored():
+    window = window_from([TxnSample("p", reads=keyed(0, 1), writes=())],
+                         n_repeat=1)
+    controller = PlacementController(spec(min_window_commits=16))
+    plan = controller.plan(window, 2, lambda table, key: 0, epoch=1)
+    assert not plan.moves
+
+
+def test_as_placement_spec_normalizes():
+    assert as_placement_spec(None).kind == "static"
+    assert not as_placement_spec("static").adaptive
+    assert as_placement_spec("adaptive").adaptive
+    full = PlacementSpec(kind="adaptive", epoch_us=99.0)
+    assert as_placement_spec(full) is full
+    with pytest.raises(ValueError):
+        as_placement_spec("dynamic")

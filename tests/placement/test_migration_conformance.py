@@ -1,0 +1,32 @@
+"""Migration conformance: one program, one decision sequence, everywhere.
+
+The fixed program interleaves transactions with live record moves
+(including a move *back* and a move of a missing record); every
+backend — including real worker processes, where the flip RPC and the
+shipped record value cross actual sockets — must produce the identical
+decision trace and the identical final counter.
+"""
+
+import pytest
+
+from repro.bench.conformance import run_migration_conformance
+
+
+@pytest.mark.parametrize("executor", ["2pl", "occ"])
+def test_migration_decisions_identical_across_backends(executor):
+    sim = run_migration_conformance("sim", executor)
+    assert any(kind == "migrate" and ok for kind, ok, _x in sim), \
+        "the program must actually migrate"
+    assert run_migration_conformance("aio", executor) == sim
+    assert run_migration_conformance("mp", executor) == sim
+
+
+def test_migration_program_commits_every_write_exactly_once():
+    decisions = run_migration_conformance("sim", "2pl")
+    committed_writes = 3  # hot-key writes the fixed program commits
+    kind, counter, moves = decisions[-1]
+    assert kind == "counter"
+    assert counter == committed_writes
+    assert moves == 2  # there and back again
+    # the missing-record move skipped cleanly
+    assert ("migrate_missing", False, None) in decisions

@@ -129,11 +129,38 @@ def test_replica_apply_round_trip(twin_dbs):
         assert fields["balance"] == 7.0
 
 
+def test_migrate_ops_round_trip(twin_dbs):
+    """Live migration's install/remove verbs behave identically wired."""
+    db_a, db_b = twin_dbs
+    src = db_a.partition_of("accounts", KEY)
+    dst = (src + 1) % db_a.n_partitions
+    fields, _version = db_a.store(src).read("accounts", KEY)
+
+    install = OpDescriptor("migrate_install", dst, "accounts", KEY,
+                           (fields,)).bind(db_a.dispatch_context)
+    assert run_twin(install, db_a, db_b) == "ok"
+    for db in (db_a, db_b):
+        copied, _v = db.store(dst).read("accounts", KEY)
+        assert copied == fields
+    # idempotent re-install (a key migrating back) overwrites in place
+    assert run_twin(OpDescriptor(
+        "migrate_install", dst, "accounts", KEY,
+        ({"balance": 5.0},)).bind(db_a.dispatch_context), db_a, db_b) == "ok"
+    assert db_b.store(dst).read("accounts", KEY)[0]["balance"] == 5.0
+
+    remove = OpDescriptor("migrate_remove", src, "accounts", KEY,
+                          (TXN,)).bind(db_a.dispatch_context)
+    assert run_twin(remove, db_a, db_b) == "ok"
+    for db in (db_a, db_b):
+        assert db.store(src).read("accounts", KEY) is None
+
+
 def test_every_registered_kind_is_exercised():
     """A new verb kind must come with a round-trip test above."""
     assert set(OP_HANDLERS) == {
         "lock_read", "plain_read", "lock_insert", "commit", "release",
-        "validate_write", "validate_read", "replica_apply"}
+        "validate_write", "validate_read", "replica_apply",
+        "migrate_install", "migrate_remove"}
 
 
 # -- failure modes -----------------------------------------------------------

@@ -359,3 +359,58 @@ def test_bandwidth_none_is_bit_identical_to_seed_model():
                       nbytes=4096)
         sim.run()
         assert done == [pytest.approx(NetworkConfig().one_sided_rtt())]
+
+
+# -- per-executor traffic breakdown (Fig.-style bytes-by-phase) ---------------
+
+
+def test_per_server_books_track_issuing_executor():
+    sim, net = make_net()
+    net.one_sided(0, 1, lambda: 1, lambda v: None, kind="lock_read",
+                  nbytes=32)
+    net.one_sided(2, 1, lambda: 1, lambda v: None, kind="commit",
+                  nbytes=48)
+    net.one_sided(0, 0, lambda: 1, lambda v: None, kind="lock_read",
+                  nbytes=32)  # local: never in the wire books
+    sim.run()
+    assert net.stats.bytes_by_server_kind[0] == {"lock_read": 32}
+    assert net.stats.bytes_by_server_kind[2] == {"commit": 48}
+    # per-server books always sum to the cluster-wide wire book
+    total = {}
+    for per in net.stats.bytes_by_server_kind.values():
+        for kind, nbytes in per.items():
+            total[kind] = total.get(kind, 0) + nbytes
+    assert total == net.stats.bytes_by_kind
+
+
+def test_bytes_by_phase_folds_kinds_into_txn_phases():
+    sim, net = make_net()
+    net.one_sided(0, 1, lambda: 1, lambda v: None, kind="lock_read",
+                  nbytes=32)
+    net.one_sided(0, 1, lambda: 1, lambda v: None, kind="validate_write",
+                  nbytes=16)
+    net.one_sided(0, 1, lambda: 1, lambda v: None, kind="replicate",
+                  nbytes=100)
+    net.one_sided(0, 1, lambda: 1, lambda v: None, kind="commit",
+                  nbytes=24)
+    net.one_sided(0, 1, lambda: 1, lambda v: None, kind="release",
+                  nbytes=8)
+    net.one_sided(0, 1, lambda: 1, lambda v: None, kind="mystery",
+                  nbytes=5)
+    sim.run()
+    assert net.stats.bytes_by_phase() == {
+        "lock": 32, "validate": 16, "replicate": 100,
+        "commit": 24 + 8, "other": 5}
+    assert net.stats.bytes_by_server_phase()[0]["commit"] == 32
+
+
+def test_merge_from_folds_per_server_books():
+    from repro.sim import NetworkStats
+    a = NetworkStats()
+    b = NetworkStats()
+    a.record_one_sided("lock_read", 32, remote=True, server=1)
+    b.record_one_sided("lock_read", 10, remote=True, server=1)
+    b.record_one_sided("commit", 7, remote=True, server=2)
+    a.merge_from(b)
+    assert a.bytes_by_server_kind == {1: {"lock_read": 42},
+                                      2: {"commit": 7}}
