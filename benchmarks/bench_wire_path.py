@@ -1,0 +1,218 @@
+"""Wire-path benchmark: mp transport x codec, plus the codec kernel.
+
+Two levels, matching the two halves of the fast wire path:
+
+* **Codec microbench** — encode+decode round trips of a representative
+  hot-verb chain and its reply through ``FrameCodec``, packed vs
+  pickle.  Single-process and deterministic, so its rate is the
+  regression-tracked figure for the codec kernel itself; it also
+  reasserts the size claim (the packed chain undercuts half the
+  pickle).
+
+* **End-to-end mp cells** — the same multi-key YCSB workload as
+  ``bench_effect_runtime.py`` on real worker processes, one cell per
+  (transport, codec).  Events/sec here is wall-clock and
+  hardware-sensitive: the shm transport trades kernel wakeups for
+  polling, which wins exactly when workers have cores to poll on.  On
+  a box with fewer cores than worker processes the poller's yield
+  keeps shm competitive, but epoll's free doorbell means tcp roughly
+  ties — so the cell asserts a conservative floor (shm+packed at least
+  half of tcp+pickle events/sec) and *records* the measured ratio;
+  set ``REPRO_WIRE_TARGET=2.0`` on dedicated multi-core hardware to
+  enforce the fast-path speedup target as a hard assertion.
+
+CLI (full transport x codec grid; CI smoke runs ``--quick``)::
+
+    PYTHONPATH=src python benchmarks/bench_wire_path.py
+    PYTHONPATH=src python benchmarks/bench_wire_path.py --quick
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from repro.bench import RunConfig
+from repro.bench.setups import make_ycsb_run
+from repro.sim.codec import (FRAME_PICKLE, FRAME_VERBS, FrameCodec,
+                             WireVerbReply, WireVerbs)
+from repro.storage import LockMode
+from repro.workloads.ycsb import YcsbWorkload
+
+TABLES = ("usertable",)
+
+HOT_CHAIN = WireVerbs(1234, (
+    ("lock_read", 1, "usertable", 7, (LockMode.EXCLUSIVE, 900001)),
+    ("lock_read", 1, "usertable", 19, (LockMode.EXCLUSIVE, 900001)),
+    ("plain_read", 1, "usertable", 55, ()),
+    ("release", 1, None, None, (900001,)),
+), True)
+"""The doorbell-batched shape the YCSB hot path actually ships."""
+
+HOT_REPLY = WireVerbReply(1234, (("ok", {"counter": 3}, 2),
+                                 ("ok", {"counter": 9}, 4)), True)
+
+CODEC_ROUNDS = 2_000
+
+
+def codec_rates(packed: bool, rounds: int = CODEC_ROUNDS) -> dict:
+    """Encode+decode round-trip rate and frame sizes for one codec."""
+    codec = FrameCodec(TABLES, packed=packed)
+    encode, decode = codec.encode, codec.decode
+    start = time.perf_counter()
+    for _ in range(rounds):
+        chain_body = encode(0, 1, HOT_CHAIN, "chain")
+        decode(chain_body)
+        reply_body = encode(1, 0, HOT_REPLY, "reply")
+        decode(reply_body)
+    elapsed = time.perf_counter() - start
+    return {
+        "roundtrips_per_second": 2 * rounds / elapsed,
+        "chain_bytes": len(chain_body),
+        "reply_bytes": len(reply_body),
+    }
+
+
+def wire_cell_config(transport: str, codec: str,
+                     quick: bool = False) -> RunConfig:
+    return RunConfig(n_partitions=2, concurrent_per_engine=4,
+                     horizon_us=150_000.0 if quick else 400_000.0,
+                     warmup_us=0.0, seed=11, n_replicas=1, backend="mp",
+                     mp_transport=transport, mp_codec=codec,
+                     mp_run_timeout_s=180.0)
+
+
+def run_wire_cell(transport: str, codec: str, quick: bool = False):
+    workload = YcsbWorkload(n_keys=2_000, reads_per_txn=8,
+                            writes_per_txn=2)
+    config = wire_cell_config(transport, codec, quick)
+    return make_ycsb_run("2pl", config, workload=workload).run()
+
+
+def grid_rows(quick: bool = False) -> list[dict]:
+    rows = []
+    for transport in ("tcp", "shm"):
+        for codec in ("pickle", "packed"):
+            result = run_wire_cell(transport, codec, quick)
+            stats = result.database.cluster.network.stats
+            rows.append({
+                "transport": transport,
+                "codec": codec,
+                "commits": result.metrics.commits,
+                "events_per_second":
+                    result.metrics.events_per_wall_second(),
+                "wire_bytes": stats.wire_bytes_sent,
+            })
+    return rows
+
+
+def print_rows(rows: list[dict]) -> None:
+    print("\n== mp wire path: transport x codec (wall-clock) ==")
+    print(f"{'transport':>9} {'codec':>7} {'commits':>8} "
+          f"{'events/s':>10} {'wire MB':>8}")
+    for row in rows:
+        print(f"{row['transport']:>9} {row['codec']:>7} "
+              f"{row['commits']:>8} {row['events_per_second']:>10,.0f} "
+              f"{row['wire_bytes'] / 1e6:>8.2f}")
+    base = next(r for r in rows
+                if (r["transport"], r["codec"]) == ("tcp", "pickle"))
+    fast = next(r for r in rows
+                if (r["transport"], r["codec"]) == ("shm", "packed"))
+    print(f"shm+packed vs tcp+pickle events/sec: "
+          f"{fast['events_per_second'] / base['events_per_second']:.2f}x "
+          f"on {os.cpu_count()} cpu(s); wire bytes "
+          f"{fast['wire_bytes'] / base['wire_bytes']:.2f}x")
+
+
+def main(argv=None) -> None:
+    args = list(sys.argv[1:] if argv is None else argv)
+    quick = "--quick" in args
+    for name, rates in (("pickle", codec_rates(False)),
+                        ("packed", codec_rates(True))):
+        print(f"codec {name:>7}: {rates['roundtrips_per_second']:>9,.0f} "
+              f"roundtrips/s  chain {rates['chain_bytes']}B "
+              f"reply {rates['reply_bytes']}B")
+    print_rows(grid_rows(quick=quick))
+
+
+# -- pytest-benchmark cells (perf-tracked in BENCH_BASELINE.json) -------------
+
+def test_packed_codec_shrinks_frames(benchmark):
+    """The codec kernel: packed frames must stay under half the pickle
+    size for the hot chain, and the round-trip rate is perf-tracked."""
+    pickle_rates = codec_rates(False)
+    packed_rates = benchmark.pedantic(codec_rates, args=(True,),
+                                      rounds=1, iterations=1)
+
+    codec = FrameCodec(TABLES, packed=True)
+    body = codec.encode(0, 1, HOT_CHAIN, "chain")
+    assert body[0] == FRAME_VERBS
+    assert codec.decode(body) == (0, 1, HOT_CHAIN)
+    assert FrameCodec(TABLES, packed=False).encode(
+        0, 1, HOT_CHAIN, "chain")[0] == FRAME_PICKLE
+
+    assert packed_rates["chain_bytes"] < pickle_rates["chain_bytes"] / 2, \
+        (packed_rates["chain_bytes"], pickle_rates["chain_bytes"])
+    assert packed_rates["reply_bytes"] < pickle_rates["reply_bytes"]
+
+    benchmark.extra_info.update({
+        "packed_roundtrips_per_second":
+            round(packed_rates["roundtrips_per_second"]),
+        "pickle_roundtrips_per_second":
+            round(pickle_rates["roundtrips_per_second"]),
+        "packed_chain_bytes": packed_rates["chain_bytes"],
+        "pickle_chain_bytes": pickle_rates["chain_bytes"],
+        "packed_reply_bytes": packed_rates["reply_bytes"],
+        "pickle_reply_bytes": pickle_rates["reply_bytes"],
+    })
+
+
+def test_shm_packed_wire_cell(benchmark):
+    """The fast-path cell: shm rings + packed frames end to end, with
+    the pre-fast-path configuration (tcp + pickle) as its in-test
+    baseline.  Records the speed ratio; enforces it as a hard target
+    only when ``REPRO_WIRE_TARGET`` says the hardware can take it."""
+    baseline = run_wire_cell("tcp", "pickle", quick=True)
+    fast = benchmark.pedantic(run_wire_cell, args=("shm", "packed"),
+                              kwargs={"quick": True},
+                              rounds=1, iterations=1)
+
+    assert fast.metrics.commits > 0
+    base_stats = baseline.database.cluster.network.stats
+    fast_stats = fast.database.cluster.network.stats
+    assert fast_stats.wire_bytes_sent > 0, \
+        "the 2-partition YCSB cell must cross the worker boundary"
+    # same workload shape: packed frames must ship fewer bytes per
+    # commit than pickled ones, whatever the commit counts were
+    packed_bpc = fast_stats.wire_bytes_sent / fast.metrics.commits
+    pickle_bpc = base_stats.wire_bytes_sent / baseline.metrics.commits
+    assert packed_bpc < pickle_bpc, (packed_bpc, pickle_bpc)
+
+    base_rate = baseline.metrics.events_per_wall_second()
+    fast_rate = fast.metrics.events_per_wall_second()
+    ratio = fast_rate / base_rate
+    assert ratio >= 0.5, (
+        f"shm+packed collapsed to {ratio:.2f}x of tcp+pickle "
+        f"({fast_rate:,.0f} vs {base_rate:,.0f} events/s)")
+    target = float(os.environ.get("REPRO_WIRE_TARGET", "0") or 0.0)
+    if target:
+        assert ratio >= target, (
+            f"fast wire path reached {ratio:.2f}x of tcp+pickle, "
+            f"target {target:.1f}x ({fast_rate:,.0f} vs "
+            f"{base_rate:,.0f} events/s on {os.cpu_count()} cpus)")
+
+    benchmark.extra_info.update({
+        "tcp_pickle_events_per_second": round(base_rate),
+        "shm_packed_vs_tcp_pickle": round(ratio, 3),
+        "packed_wire_bytes_per_commit": round(packed_bpc, 1),
+        "pickle_wire_bytes_per_commit": round(pickle_bpc, 1),
+        "cpus": os.cpu_count(),
+        **{k: round(v, 3) if isinstance(v, float) else v
+           for k, v in fast.perf_summary().items()
+           if not isinstance(v, dict)},
+    })
+
+
+if __name__ == "__main__":
+    main()

@@ -26,14 +26,15 @@ import sys
 
 
 def extract_event_rates(results: dict) -> dict[str, float]:
-    """events_per_wall_second per benchmark that recorded one."""
+    """Rate figures per benchmark: any ``*_per_second`` /
+    ``*_per_wall_second`` entry in ``extra_info`` is a tracked rate
+    (events, codec round trips, ...)."""
     rates: dict[str, float] = {}
     for bench in results.get("benchmarks", []):
-        extra = bench.get("extra_info", {})
-        for key in ("events_per_wall_second",
-                    "batched_events_per_wall_second"):
-            if key in extra and extra[key] > 0:
-                rates[f"{bench['name']}:{key}"] = float(extra[key])
+        for key, value in bench.get("extra_info", {}).items():
+            if (key.endswith("_per_wall_second")
+                    or key.endswith("_per_second")) and value > 0:
+                rates[f"{bench['name']}:{key}"] = float(value)
     return rates
 
 

@@ -50,13 +50,17 @@ the mp backend); remote accounts force cross-server — and on mp,
 cross-process — verbs."""
 
 
-def conformance_config(backend: str, n_partitions: int = 2) -> RunConfig:
+def conformance_config(backend: str, n_partitions: int = 2,
+                       mp_transport: str = "tcp",
+                       mp_codec: str = "packed") -> RunConfig:
     """The shared run shape.  ``horizon_us`` is irrelevant (the driver
     executes a fixed request list, not horizon-bounded load) but bounds
-    the mp hang guard."""
+    the mp hang guard.  ``mp_transport`` / ``mp_codec`` select the mp
+    wire path — decisions must not depend on how frames travel."""
     return RunConfig(n_partitions=n_partitions, backend=backend,
                      n_replicas=1, horizon_us=30_000.0,
-                     mp_run_timeout_s=120.0, seed=13)
+                     mp_run_timeout_s=120.0, seed=13,
+                     mp_transport=mp_transport, mp_codec=mp_codec)
 
 
 @dataclass
@@ -149,9 +153,12 @@ def conformance_driver(run: ConformanceRun, cluster, worker_id: int):
     return finalize
 
 
-def run_conformance(backend: str, executor: str = "2pl") -> list[tuple]:
+def run_conformance(backend: str, executor: str = "2pl",
+                    mp_transport: str = "tcp",
+                    mp_codec: str = "packed") -> list[tuple]:
     """Execute the shared program on ``backend``; return its decisions."""
-    config = conformance_config(backend)
+    config = conformance_config(backend, mp_transport=mp_transport,
+                                mp_codec=mp_codec)
     if backend == "mp":
         from ..sim import MpRunSpec, run_mp_workers
         spec = MpRunSpec(builder=build_conformance_run,

@@ -12,7 +12,16 @@ Run from the command line::
     python -m repro.bench.experiments fig9a --quick --backend aio
     python -m repro.bench.experiments fig9a --quick --backend mp
     python -m repro.bench.experiments fig9a --quick --backend mp --workers 2
+    python -m repro.bench.experiments fig9a --quick --backend mp \\
+        --mp-transport shm --mp-codec packed
     python -m repro.bench.experiments fig9a --scheduler conflict
+    python -m repro.bench.experiments fig9a --quick --profile /tmp/prof
+
+``--mp-transport tcp|shm`` moves mp worker frames over localhost TCP or
+shared-memory rings; ``--mp-codec packed|pickle`` selects struct-packed
+hot-verb frames or whole-frame pickles (see ARCHITECTURE.md, "The wire
+path").  ``--profile DIR`` dumps cProfile stats: ``parent.prof`` always,
+plus ``worker-N.prof`` per mp worker process.
 
 ``--scheduler fifo|conflict`` selects the cross-transaction scheduling
 policy (:mod:`repro.sched`); unset and ``fifo`` reproduce the
@@ -39,6 +48,7 @@ from ..workloads.instacart import InstacartWorkload
 from ..workloads.tpcc import TpccScale, TpccWorkload
 from ..placement import PLACEMENTS
 from ..sched import SCHEDULERS
+from ..sim.mp_runtime import MP_CODECS, MP_TRANSPORTS
 from .harness import BACKENDS, RunConfig
 from .setups import (build_instacart_layout, build_instacart_setup,
                      make_instacart_run, make_tpcc_run)
@@ -55,7 +65,10 @@ def instacart_config(n_partitions: int, quick: bool = False,
                      backend: str = "sim",
                      mp_workers: int | None = None,
                      scheduler: str | None = None,
-                     placement: str | None = None) -> RunConfig:
+                     placement: str | None = None,
+                     mp_transport: str = "tcp",
+                     mp_codec: str = "packed",
+                     profile_dir: str | None = None) -> RunConfig:
     return RunConfig(n_partitions=n_partitions,
                      concurrent_per_engine=4,
                      horizon_us=4_000.0 if quick else 12_000.0,
@@ -63,7 +76,9 @@ def instacart_config(n_partitions: int, quick: bool = False,
                      seed=seed, n_replicas=1, route_by_data=True,
                      doorbell_batching=doorbell_batching,
                      backend=backend, mp_workers=mp_workers,
-                     scheduler=scheduler, placement=placement)
+                     scheduler=scheduler, placement=placement,
+                     mp_transport=mp_transport, mp_codec=mp_codec,
+                     mp_profile_dir=profile_dir)
 
 
 def instacart_sweep(partitions: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
@@ -75,7 +90,10 @@ def instacart_sweep(partitions: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
                     backend: str = "sim",
                     mp_workers: int | None = None,
                     scheduler: str | None = None,
-                    placement: str | None = None) -> list[dict]:
+                    placement: str | None = None,
+                    mp_transport: str = "tcp",
+                    mp_codec: str = "packed",
+                    profile_dir: str | None = None) -> list[dict]:
     """One row per partition count with every layout's metrics.
 
     Feeds Fig. 7 (throughput), Fig. 8 (distributed ratio), the lookup
@@ -96,7 +114,8 @@ def instacart_sweep(partitions: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
                 setup, layout,
                 instacart_config(k, quick, seed, doorbell_batching,
                                  backend, mp_workers, scheduler,
-                                 placement))
+                                 placement, mp_transport, mp_codec,
+                                 profile_dir))
             result = run.run()
             metrics = result.metrics
             row[f"{name}_throughput"] = result.throughput
@@ -156,7 +175,10 @@ def tpcc_config(n_partitions: int, concurrent: int, quick: bool = False,
                 backend: str = "sim",
                 mp_workers: int | None = None,
                 scheduler: str | None = None,
-                placement: str | None = None) -> RunConfig:
+                placement: str | None = None,
+                mp_transport: str = "tcp",
+                mp_codec: str = "packed",
+                profile_dir: str | None = None) -> RunConfig:
     return RunConfig(n_partitions=n_partitions,
                      concurrent_per_engine=concurrent,
                      horizon_us=5_000.0 if quick else 15_000.0,
@@ -164,7 +186,9 @@ def tpcc_config(n_partitions: int, concurrent: int, quick: bool = False,
                      seed=seed, n_replicas=1,
                      doorbell_batching=doorbell_batching,
                      backend=backend, mp_workers=mp_workers,
-                     scheduler=scheduler, placement=placement)
+                     scheduler=scheduler, placement=placement,
+                     mp_transport=mp_transport, mp_codec=mp_codec,
+                     mp_profile_dir=profile_dir)
 
 
 def fig9_rows(concurrency: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
@@ -173,7 +197,10 @@ def fig9_rows(concurrency: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
               backend: str = "sim",
               mp_workers: int | None = None,
               scheduler: str | None = None,
-              placement: str | None = None) -> list[dict]:
+              placement: str | None = None,
+              mp_transport: str = "tcp",
+              mp_codec: str = "packed",
+              profile_dir: str | None = None) -> list[dict]:
     """Throughput + abort rates per executor per concurrency level."""
     rows = []
     for concurrent in concurrency:
@@ -182,7 +209,8 @@ def fig9_rows(concurrency: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
             run = make_tpcc_run(
                 name, tpcc_config(n_partitions, concurrent, quick, seed,
                                   doorbell_batching, backend, mp_workers,
-                                  scheduler, placement))
+                                  scheduler, placement, mp_transport,
+                                  mp_codec, profile_dir))
             result = run.run()
             metrics = result.metrics
             row[f"{name}_throughput"] = result.throughput
@@ -235,7 +263,10 @@ def fig10_rows(percents: Sequence[int] = (0, 20, 40, 60, 80, 100),
                backend: str = "sim",
                mp_workers: int | None = None,
                scheduler: str | None = None,
-               placement: str | None = None) -> list[dict]:
+               placement: str | None = None,
+               mp_transport: str = "tcp",
+               mp_codec: str = "packed",
+               profile_dir: str | None = None) -> list[dict]:
     """Throughput vs fraction of distributed transactions."""
     rows = []
     for percent in percents:
@@ -249,7 +280,8 @@ def fig10_rows(percents: Sequence[int] = (0, 20, 40, 60, 80, 100),
             run = make_tpcc_run(
                 name, tpcc_config(n_partitions, concurrent, quick, seed,
                                   doorbell_batching, backend, mp_workers,
-                                  scheduler, placement),
+                                  scheduler, placement, mp_transport,
+                                  mp_codec, profile_dir),
                 workload=workload)
             result = run.run()
             row[f"{name}_{concurrent}_throughput"] = result.throughput
@@ -415,6 +447,11 @@ def main(argv: Iterable[str] | None = None) -> None:
     workers, args = _parse_workers(args)
     scheduler, args = _parse_option(args, "scheduler", SCHEDULERS)
     placement, args = _parse_option(args, "placement", PLACEMENTS)
+    mp_transport, args = _parse_option(args, "mp-transport", MP_TRANSPORTS)
+    mp_transport = mp_transport or "tcp"
+    mp_codec, args = _parse_option(args, "mp-codec", MP_CODECS)
+    mp_codec = mp_codec or "packed"
+    profile_dir, args = _parse_option(args, "profile")
     quick = "--quick" in args
     doorbell = "--doorbell" in args
     args = [a for a in args if not a.startswith("--")]
@@ -441,50 +478,83 @@ def main(argv: Iterable[str] | None = None) -> None:
     if placement:
         print(f"(placement: {placement} — access telemetry drives "
               f"periodic re-partitioning with live record migration)")
+    if backend == "mp" and (mp_transport != "tcp" or mp_codec != "packed"):
+        print(f"(mp wire path: transport={mp_transport} codec={mp_codec})")
 
-    if wanted & {"fig7", "fig8", "lookup", "cost"}:
-        partitions = (2, 4, 8) if quick else (2, 3, 4, 5, 6, 7, 8)
-        rows = instacart_sweep(partitions, quick=quick,
-                               doorbell_batching=doorbell,
-                               backend=backend, mp_workers=workers,
-                               scheduler=scheduler, placement=placement)
-        if "fig7" in wanted:
-            print_fig7(rows)
-        if "fig8" in wanted:
-            print_fig8(rows)
-        if "lookup" in wanted:
-            print_lookup(rows)
-        if "cost" in wanted:
-            print_cost(rows)
-    if wanted & {"fig9a", "fig9b", "fig9c"}:
-        concurrency = (1, 2, 4, 8) if quick else (1, 2, 3, 4, 5, 6, 7, 8)
-        rows = fig9_rows(concurrency, quick=quick,
-                         doorbell_batching=doorbell, backend=backend,
-                         mp_workers=workers, scheduler=scheduler,
-                         placement=placement)
-        if "fig9a" in wanted:
-            print_fig9a(rows)
-        if "fig9b" in wanted:
-            print_fig9b(rows)
-        if "fig9c" in wanted:
-            print_fig9c(rows)
-    if "fig10" in wanted:
-        percents = (0, 50, 100) if quick else (0, 20, 40, 60, 80, 100)
-        print_fig10(fig10_rows(percents, quick=quick,
-                               doorbell_batching=doorbell,
-                               backend=backend, mp_workers=workers,
-                               scheduler=scheduler,
-                               placement=placement))
-    if "reorder" in wanted:
-        print_reorder(reorder_ablation_rows(quick=quick,
-                                            doorbell_batching=doorbell,
-                                            backend=backend,
-                                            mp_workers=workers,
-                                            scheduler=scheduler))
-    if "minweight" in wanted:
-        print_min_weight(min_weight_ablation_rows(
-            quick=quick, doorbell_batching=doorbell, backend=backend,
-            mp_workers=workers, scheduler=scheduler))
+    def run_wanted() -> None:
+        if wanted & {"fig7", "fig8", "lookup", "cost"}:
+            partitions = (2, 4, 8) if quick else (2, 3, 4, 5, 6, 7, 8)
+            rows = instacart_sweep(partitions, quick=quick,
+                                   doorbell_batching=doorbell,
+                                   backend=backend, mp_workers=workers,
+                                   scheduler=scheduler, placement=placement,
+                                   mp_transport=mp_transport,
+                                   mp_codec=mp_codec,
+                                   profile_dir=profile_dir)
+            if "fig7" in wanted:
+                print_fig7(rows)
+            if "fig8" in wanted:
+                print_fig8(rows)
+            if "lookup" in wanted:
+                print_lookup(rows)
+            if "cost" in wanted:
+                print_cost(rows)
+        if wanted & {"fig9a", "fig9b", "fig9c"}:
+            concurrency = ((1, 2, 4, 8) if quick
+                           else (1, 2, 3, 4, 5, 6, 7, 8))
+            rows = fig9_rows(concurrency, quick=quick,
+                             doorbell_batching=doorbell, backend=backend,
+                             mp_workers=workers, scheduler=scheduler,
+                             placement=placement,
+                             mp_transport=mp_transport, mp_codec=mp_codec,
+                             profile_dir=profile_dir)
+            if "fig9a" in wanted:
+                print_fig9a(rows)
+            if "fig9b" in wanted:
+                print_fig9b(rows)
+            if "fig9c" in wanted:
+                print_fig9c(rows)
+        if "fig10" in wanted:
+            percents = (0, 50, 100) if quick else (0, 20, 40, 60, 80, 100)
+            print_fig10(fig10_rows(percents, quick=quick,
+                                   doorbell_batching=doorbell,
+                                   backend=backend, mp_workers=workers,
+                                   scheduler=scheduler,
+                                   placement=placement,
+                                   mp_transport=mp_transport,
+                                   mp_codec=mp_codec,
+                                   profile_dir=profile_dir))
+        if "reorder" in wanted:
+            print_reorder(reorder_ablation_rows(quick=quick,
+                                                doorbell_batching=doorbell,
+                                                backend=backend,
+                                                mp_workers=workers,
+                                                scheduler=scheduler))
+        if "minweight" in wanted:
+            print_min_weight(min_weight_ablation_rows(
+                quick=quick, doorbell_batching=doorbell, backend=backend,
+                mp_workers=workers, scheduler=scheduler))
+
+    if profile_dir is None:
+        run_wanted()
+        return
+    # --profile DIR: cProfile the parent (the whole sweep; on the sim
+    # backend that IS the run) and have each mp worker dump its own
+    # worker-N.prof into the same directory (see RunConfig.mp_profile_dir)
+    import cProfile
+    import os
+    os.makedirs(profile_dir, exist_ok=True)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        run_wanted()
+    finally:
+        profiler.disable()
+        path = os.path.join(profile_dir, "parent.prof")
+        profiler.dump_stats(path)
+        print(f"(cProfile dumps in {profile_dir}: parent.prof"
+              + (", worker-N.prof per mp worker" if backend == "mp"
+                 else "") + ")")
 
 
 if __name__ == "__main__":

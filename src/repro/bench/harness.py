@@ -109,6 +109,31 @@ class RunConfig:
     a bound from the wall-clock horizon plus a minute of build/drain
     headroom."""
 
+    mp_transport: str = "tcp"
+    """Carrier for cross-worker frames on the mp backend: ``"tcp"``
+    (localhost sockets, one connection per ordered worker pair) or
+    ``"shm"`` (lock-free shared-memory rings polled without kernel
+    involvement — the fast wire path; see
+    :mod:`repro.sim.shm_transport`).  Ignored on other backends."""
+
+    mp_codec: str = "packed"
+    """Frame encoding for the mp backend: ``"packed"`` (fixed-format
+    struct frames for the hot verbs, pickle for everything else) or
+    ``"pickle"`` (every frame pickled — the pre-fast-path behavior,
+    kept as an escape hatch and as the byte-accounting baseline).
+    Commit/abort decisions are codec-independent (asserted by the
+    conformance suite)."""
+
+    mp_shm_ring_bytes: int | None = None
+    """Data capacity of each shm ring (``mp_transport="shm"`` only).
+    None uses the default (1 MiB per ordered worker pair); raise it if
+    a run legitimately ships frames larger than the ring."""
+
+    mp_profile_dir: str | None = None
+    """When set, every mp worker cProfiles its serve loop and dumps
+    ``worker-<id>.prof`` into this directory (the bench CLI's
+    ``--profile`` sets it, plus ``parent.prof`` for the parent)."""
+
     scheduler: SchedulerSpec | str | None = None
     """Cross-transaction scheduling policy: ``None``/``"fifo"`` (admit
     everything immediately — bit-identical to the historical raw retry

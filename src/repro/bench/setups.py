@@ -30,6 +30,7 @@ from ..txn import (Database, HistoryRecorder, OccExecutor, TwoPLExecutor)
 from ..workloads.instacart import InstacartWorkload
 from ..workloads.tpcc import (REPLICATED_TABLES, TpccScale, TpccWorkload,
                               tpcc_routing)
+from ..workloads.ycsb import YcsbWorkload
 from ..sim import MpRunSpec, current_worker_cluster
 from .harness import (RunConfig, RunResult, make_cluster,
                       mp_benchmark_driver, run_benchmark, run_mp_benchmark)
@@ -127,6 +128,45 @@ def make_tpcc_run(executor_name: ExecutorName,
         run.mp_spec = MpRunSpec(
             builder=make_tpcc_run, args=(executor_name, config),
             kwargs={"workload": workload, "hot_from_stats": hot_from_stats},
+            driver=mp_benchmark_driver)
+    return run
+
+
+def make_ycsb_run(executor_name: ExecutorName,
+                  config: RunConfig,
+                  workload: YcsbWorkload | None = None) -> TpccRun:
+    """Build a YCSB key-value cell over modulo partitioning.
+
+    The wire-path microbenchmarks use this: YCSB's flat read/write mix
+    with ``route_by_data`` off makes nearly every transaction touch
+    foreign partitions, so throughput tracks the transport + codec cost
+    more directly than TPC-C's mostly-local mix.  Module-level and
+    picklable-by-reference so mp workers rebuild it by name.
+    """
+    workload = workload or YcsbWorkload()
+    cluster = make_cluster(config)
+    registry = ProcedureRegistry()
+    for proc in workload.procedures():
+        registry.register(proc)
+    scheme = ModuloScheme(config.n_partitions)
+    catalog = Catalog(config.n_partitions, scheme)
+    db = Database(cluster, catalog, workload.tables(), registry,
+                  n_replicas=config.n_replicas,
+                  track_spans=config.track_spans)
+    workload.populate(db.loader())
+    history = HistoryRecorder() if config.record_history else None
+    if executor_name == "2pl":
+        executor = TwoPLExecutor(db, config.exec_config, history)
+    elif executor_name == "occ":
+        executor = OccExecutor(db, config.exec_config, history)
+    else:
+        raise ValueError(f"unknown YCSB executor {executor_name!r} "
+                         "(expected 2pl | occ)")
+    run = TpccRun(workload, db, executor, config, None)
+    if config.backend == "mp" and current_worker_cluster() is None:
+        run.mp_spec = MpRunSpec(
+            builder=make_ycsb_run, args=(executor_name, config),
+            kwargs={"workload": workload},
             driver=mp_benchmark_driver)
     return run
 

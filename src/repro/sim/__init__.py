@@ -14,8 +14,8 @@ from .aio_runtime import (AioCluster, AioEngine, AioNetwork, AioTransport,
                           AsyncioEffectRuntime, LoopbackTransport,
                           TcpTransport)
 from .cluster import Cluster, Server
-from .codec import (CodecError, DispatchContext, OpDescriptor, decode_op,
-                    encode_op, op_handler)
+from .codec import (CodecError, DispatchContext, FrameCodec, OpDescriptor,
+                    decode_op, encode_op, op_handler, register_wire_atom)
 from .coroutines import Engine
 from .cpu import Core
 from .effects import (All, Await, BatchedOneSided, Compute, Coroutine,
@@ -27,6 +27,7 @@ from .mp_runtime import (MpRunError, MpRunSpec, MpTemplateCluster,
 from .network import (Network, NetworkConfig, NetworkStats,
                       approx_payload_bytes, phase_of_kind)
 from .runtime import EffectRuntime, EffectRuntimeBase
+from .shm_transport import RingFrameError, ShmWorkerTransport, SpscRing
 
 __all__ = [
     "AioCluster",
@@ -48,6 +49,7 @@ __all__ = [
     "EffectRuntimeBase",
     "Engine",
     "EventHandle",
+    "FrameCodec",
     "LoopbackTransport",
     "MpRunError",
     "MpRunSpec",
@@ -59,11 +61,14 @@ __all__ = [
     "OneSided",
     "OneWay",
     "OpDescriptor",
+    "RingFrameError",
     "Rpc",
     "Server",
+    "ShmWorkerTransport",
     "Signal",
     "Simulator",
     "Sleep",
+    "SpscRing",
     "TcpTransport",
     "approx_payload_bytes",
     "current_worker_cluster",
@@ -72,5 +77,6 @@ __all__ = [
     "encode_op",
     "op_handler",
     "phase_of_kind",
+    "register_wire_atom",
     "run_mp_workers",
 ]

@@ -291,16 +291,30 @@ class TcpTransport(AioTransport):
         try:
             reader, writer = await asyncio.open_connection(
                 self._host, self._ports[dst])
-            while True:
-                item = await queue.get()
-                if item is _CloseChannel:
-                    break
-                body = pickle.dumps(item, protocol=WIRE_PICKLE_PROTOCOL)
-                frame = len(body).to_bytes(_LENGTH_BYTES, "big") + body
-                writer.write(frame)
-                self.frames_sent += 1
-                self.wire_bytes_sent += len(frame)
-                await writer.drain()
+            closing = False
+            while not closing:
+                items = [await queue.get()]
+                # coalesce whatever queued while we awaited/drained into
+                # one write: one syscall batch instead of one per frame
+                while True:
+                    try:
+                        items.append(queue.get_nowait())
+                    except asyncio.QueueEmpty:
+                        break
+                pieces = []
+                for item in items:
+                    if item is _CloseChannel:
+                        closing = True
+                        break
+                    body = pickle.dumps(item, protocol=WIRE_PICKLE_PROTOCOL)
+                    pieces.append(len(body).to_bytes(_LENGTH_BYTES, "big"))
+                    pieces.append(body)
+                if pieces:
+                    batch = b"".join(pieces)
+                    writer.write(batch)
+                    self.frames_sent += len(pieces) // 2
+                    self.wire_bytes_sent += len(batch)
+                    await writer.drain()
         except asyncio.CancelledError:
             raise
         except Exception as exc:
@@ -453,6 +467,8 @@ class AsyncioEffectRuntime(EffectRuntimeBase):
     :class:`~repro.sim.runtime.EffectRuntimeBase`, so both backends
     cannot disagree on what an effect means.
     """
+
+    __slots__ = ("_cluster", "network", "cpu_us", "_pending", "_next_token")
 
     def __init__(self, cluster: "AioCluster", server_id: int):
         super().__init__(server_id)

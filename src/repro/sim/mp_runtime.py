@@ -40,7 +40,6 @@ from __future__ import annotations
 
 import asyncio
 import multiprocessing
-import pickle
 import socket
 import time
 import traceback
@@ -49,15 +48,21 @@ from typing import Any, Callable
 
 from .aio_runtime import AioClock, AioNetwork
 from .cluster import Server
-from .codec import (CodecError, WireOneWay, WireRpc, WireRpcReply,
-                    WireVerbReply, WireVerbs, decode_op, dumps, encode_op)
+from .codec import (CodecError, FrameCodec, WireOneWay, WireRpc,
+                    WireRpcReply, WireVerbReply, WireVerbs, decode_op,
+                    encode_op)
 from .effects import Coroutine, OneWay
 from .network import (MESSAGE_NOMINAL_BYTES, NetworkConfig,
                       approx_payload_bytes)
 from .runtime import EffectRuntimeBase, _payload_kind, _RpcRequest
+from .shm_transport import (DEFAULT_RING_BYTES, ShmWorkerTransport,
+                            cleanup_rings_by_name, create_inbound_rings)
 
-_LENGTH_BYTES = 8
+_LENGTH_BYTES = 4
 _HOST = "127.0.0.1"
+
+MP_TRANSPORTS = ("tcp", "shm")
+MP_CODECS = ("packed", "pickle")
 
 _STOP_GRACE_S = 5.0
 """How long a stopping worker keeps serving stragglers after ``stop``."""
@@ -113,6 +118,9 @@ class MpServerRuntime(EffectRuntimeBase):
     to the owning worker process.
     """
 
+    __slots__ = ("_cluster", "network", "cpu_us", "_verb_pending",
+                 "_rpc_pending", "_next_token")
+
     def __init__(self, cluster: "MpWorkerCluster", server_id: int):
         super().__init__(server_id)
         self._cluster = cluster
@@ -157,34 +165,49 @@ class MpServerRuntime(EffectRuntimeBase):
     def _one_sided(self, target: int, op: Callable[[], Any],
                    cont: Callable[[Any], None],
                    kind: str, nbytes: int | None) -> None:
-        self.network.stats.record_one_sided(kind, nbytes,
-                                            remote=target != self.server_id,
-                                            server=self.server_id)
+        # Cross-worker verbs are accounted at their *actual* encoded
+        # frame size (the codec knows better than any estimate); verbs
+        # staying inside this worker keep the model's nominal sizes, as
+        # no frame ever exists for them.
         if self._cluster.owns(target):
+            self.network.stats.record_one_sided(
+                kind, nbytes, remote=target != self.server_id,
+                server=self.server_id)
             self._cluster.loop.call_soon(lambda: cont(op()))
             return
-        self._send_verbs(target, (op,), cont, batched=False,
-                         effect=f"OneSided(kind={kind!r}) to server {target}")
+        sent = self._send_verbs(
+            target, (op,), cont, batched=False,
+            effect=f"OneSided(kind={kind!r}) to server {target}")
+        self.network.stats.record_one_sided(kind, sent, remote=True,
+                                            server=self.server_id)
 
     def _one_sided_batch(self, target, ops, cont, kinds) -> None:
-        self.network.stats.record_batch(kinds, server=self.server_id)
         if self._cluster.owns(target):
+            self.network.stats.record_batch(kinds, server=self.server_id)
             self._cluster.loop.call_soon(
                 lambda: cont([op() for op in ops]))
             return
         kind = kinds[0][0] if kinds else "one_sided"
-        self._send_verbs(
+        sent = self._send_verbs(
             target, tuple(ops), cont, batched=True,
             effect=(f"BatchedOneSided(kind={kind!r}, {len(ops)} verbs) "
                     f"to server {target}"))
+        # one frame carried the whole chain: split its real size across
+        # the verbs so per-kind byte books still sum to wire bytes
+        per = sent // len(ops)
+        first = sent - per * (len(ops) - 1)
+        self.network.stats.record_batch(
+            [(k, first if i == 0 else per)
+             for i, (k, _nb) in enumerate(kinds)],
+            server=self.server_id)
 
     def _send_verbs(self, target: int, ops: tuple, cont: Callable,
-                    batched: bool, effect: str) -> None:
+                    batched: bool, effect: str) -> int:
         specs = tuple(encode_op(op, effect) for op in ops)
         token = self._next_token
         self._next_token += 1
         self._verb_pending[token] = (cont, batched)
-        self._cluster.transport.send(
+        return self._cluster.transport.send(
             self.server_id, target, WireVerbs(token, specs, batched),
             what=effect)
 
@@ -198,10 +221,10 @@ class MpServerRuntime(EffectRuntimeBase):
     def send_rpc(self, effect, cont: Callable[[Any], None]) -> None:
         target = effect.target
         kind = _payload_kind(effect.payload, "rpc")
-        self.network.stats.record_message(
-            kind, self._payload_nbytes(effect.payload),
-            remote=target != self.server_id, server=self.server_id)
         if self._cluster.owns(target):
+            self.network.stats.record_message(
+                kind, self._payload_nbytes(effect.payload),
+                remote=target != self.server_id, server=self.server_id)
             self._cluster.deliver_local(
                 target, self.server_id,
                 _RpcRequest(self.server_id, effect.payload, cont))
@@ -209,22 +232,26 @@ class MpServerRuntime(EffectRuntimeBase):
         token = self._next_token
         self._next_token += 1
         self._rpc_pending[token] = cont
-        self._cluster.transport.send(
+        sent = self._cluster.transport.send(
             self.server_id, target, WireRpc(token, effect.payload),
             what=effect.describe())
+        self.network.stats.record_message(kind, sent, remote=True,
+                                          server=self.server_id)
 
     def post(self, target: int, payload: Any) -> None:
         kind = _payload_kind(payload, "one_way")
-        self.network.stats.record_message(
-            kind, self._payload_nbytes(payload),
-            remote=target != self.server_id, server=self.server_id)
         if self._cluster.owns(target):
+            self.network.stats.record_message(
+                kind, self._payload_nbytes(payload),
+                remote=target != self.server_id, server=self.server_id)
             self._cluster.deliver_local(target, self.server_id,
                                         OneWay(payload))
             return
-        self._cluster.transport.send(
+        sent = self._cluster.transport.send(
             self.server_id, target, WireOneWay(payload),
             what=f"one-way message (kind={kind!r}) to server {target}")
+        self.network.stats.record_message(kind, sent, remote=True,
+                                          server=self.server_id)
 
     def send_payload(self, target: int, payload: Any,
                      kind: str, size_of: Any) -> None:
@@ -265,12 +292,11 @@ class MpServerRuntime(EffectRuntimeBase):
 
             def reply(value: Any, token: int = wire.token,
                       requester: int = src) -> None:
-                self.network.stats.record_message(
-                    "rpc_reply", self._payload_nbytes(value), remote=True,
-                    server=self.server_id)
-                self._cluster.transport.send(
+                sent = self._cluster.transport.send(
                     self.server_id, requester, WireRpcReply(token, value),
                     what="an RPC reply")
+                self.network.stats.record_message(
+                    "rpc_reply", sent, remote=True, server=self.server_id)
 
             self.spawn(self.rpc_handler(src, wire.payload), on_done=reply)
         elif isinstance(wire, WireRpcReply):
@@ -336,6 +362,7 @@ class MpWorkerCluster:
         self._idle: asyncio.Event | None = None
         self._error: BaseException | None = None
         self._claimed = False
+        self.wire_tables: tuple = ()
         self.servers = [Server(i, MpEngine(self, i))
                         for i in range(n_servers)]
 
@@ -356,6 +383,16 @@ class MpWorkerCluster:
 
     def owned_servers(self) -> list[int]:
         return [s.id for s in self.servers if self.owns(s.id)]
+
+    def register_wire_tables(self, names) -> None:
+        """The packed codec's table registry (called by the database
+        layer during the build, i.e. before the transport exists).
+
+        Every worker rebuilds the database deterministically from the
+        same spec, so every worker derives the *same* ordered name
+        list — that shared derivation is the codec "negotiation"; no
+        bytes are exchanged."""
+        self.wire_tables = tuple(names)
 
     def run(self, max_events: int | None = None) -> None:
         raise RuntimeError("mp worker clusters are driven by the worker "
@@ -463,21 +500,31 @@ class MpWorkerTransport:
     """Real sockets between worker processes.
 
     One lazily-opened TCP connection per ordered (src_worker,
-    dst_worker) pair; frames are length-prefixed pickles of
-    ``(src_server, dst_server, wire_envelope)``.  Per-(src, dst) server
-    channel FIFO follows from one connection + one writer task per
-    worker pair and TCP byte ordering.
+    dst_worker) pair; frames are length-prefixed codec bodies of
+    ``(src_server, dst_server, wire_envelope)`` (struct-packed for hot
+    verbs, pickled otherwise — see ``FrameCodec``).  Per-(src, dst)
+    server channel FIFO follows from one connection + one writer task
+    per worker pair and TCP byte ordering.  Writers coalesce: whatever
+    frames accumulated in a channel queue go out as one ``write`` and
+    one ``drain``, so a burst pays one syscall, not one per frame.
     """
 
     def __init__(self, cluster: MpWorkerCluster, listener: socket.socket,
-                 ports: dict[int, int]):
+                 ports: dict[int, int], codec: FrameCodec | None = None):
         self._cluster = cluster
         self._listener = listener
         self._ports = ports
+        self._codec = codec or FrameCodec()
         self._loop: asyncio.AbstractEventLoop | None = None
         self._server: asyncio.AbstractServer | None = None
         self._queues: dict[int, asyncio.Queue] = {}
         self._writers: dict[int, asyncio.Task] = {}
+        self._in_flight = 0
+        """Frames accepted by :meth:`send` whose bytes have not yet been
+        written to their socket.  ``idle()`` must count these: a frame
+        a writer task has *popped* but not yet written would otherwise
+        make the channel queues look empty while the frame is still in
+        this process."""
         self.frames_sent = 0
         self.wire_bytes_sent = 0
 
@@ -505,15 +552,17 @@ class MpWorkerTransport:
                 self._write_channel(dst_worker, queue))
         return queue
 
-    def send(self, src: int, dst: int, wire: Any, what: str) -> None:
+    def send(self, src: int, dst: int, wire: Any, what: str) -> int:
         if self._loop is None:
             raise RuntimeError("mp transport not started")
-        body = dumps((src, dst, wire), what)
+        body = self._codec.encode(src, dst, wire, what)
         dst_worker = self._cluster.owner_of(dst)
         if dst_worker == self._cluster.worker_id:
             raise RuntimeError(f"frame for owned server {dst} reached the "
                                f"transport (routing bug)")
+        self._in_flight += 1
         self._ensure_channel(dst_worker).put_nowait(body)
+        return _LENGTH_BYTES + len(body)
 
     async def _write_channel(self, dst_worker: int,
                              queue: asyncio.Queue) -> None:
@@ -521,14 +570,30 @@ class MpWorkerTransport:
         try:
             _reader, writer = await asyncio.open_connection(
                 _HOST, self._ports[dst_worker])
-            while True:
+            closing = False
+            while not closing:
                 body = await queue.get()
                 if body is _CloseChannel:
                     break
-                frame = len(body).to_bytes(_LENGTH_BYTES, "big") + body
+                # coalesce whatever else already queued behind it into
+                # one write + one drain
+                bodies = [body]
+                while True:
+                    try:
+                        extra = queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                    if extra is _CloseChannel:
+                        closing = True
+                        break
+                    bodies.append(extra)
+                frame = b"".join(
+                    piece for b in bodies
+                    for piece in (len(b).to_bytes(_LENGTH_BYTES, "big"), b))
                 writer.write(frame)
-                self.frames_sent += 1
+                self.frames_sent += len(bodies)
                 self.wire_bytes_sent += len(frame)
+                self._in_flight -= len(bodies)
                 await writer.drain()
         except asyncio.CancelledError:
             raise
@@ -544,12 +609,13 @@ class MpWorkerTransport:
 
     async def _serve(self, reader: asyncio.StreamReader,
                      writer: asyncio.StreamWriter) -> None:
+        decode = self._codec.decode
         try:
             while True:
                 header = await reader.readexactly(_LENGTH_BYTES)
                 length = int.from_bytes(header, "big")
                 body = await reader.readexactly(length)
-                src, dst, wire = pickle.loads(body)
+                src, dst, wire = decode(body)
                 self._cluster._deliver_wire(dst, src, wire)
         except (asyncio.IncompleteReadError, ConnectionError):
             pass  # peer worker closed the channel (normal at shutdown)
@@ -561,7 +627,8 @@ class MpWorkerTransport:
             writer.close()
 
     def idle(self) -> bool:
-        return all(q.empty() for q in self._queues.values())
+        return self._in_flight == 0 and \
+            all(q.empty() for q in self._queues.values())
 
     async def stop(self) -> None:
         for queue in self._queues.values():
@@ -674,15 +741,36 @@ def _worker_entry(conn, spec: MpRunSpec, config: Any, worker_id: int,
 def _worker_body(conn, spec: MpRunSpec, config: Any, worker_id: int,
                  n_workers: int) -> None:
     global _ACTIVE_CLUSTER
-    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-    listener.bind((_HOST, 0))
-    listener.listen(64)
-    conn.send(("port", worker_id, listener.getsockname()[1]))
-    msg = conn.recv()
-    if not msg or msg[0] != "ports":
-        listener.close()
-        return  # parent aborted before the run started
-    ports: dict[int, int] = msg[1]
+    transport_kind = getattr(config, "mp_transport", "tcp") or "tcp"
+    if transport_kind not in MP_TRANSPORTS:
+        raise ValueError(f"unknown mp_transport {transport_kind!r} "
+                         f"(expected one of {MP_TRANSPORTS})")
+    listener = None
+    rings_in = {}
+    if transport_kind == "shm":
+        # inbound rings must exist before any peer learns our advert
+        ring_bytes = getattr(config, "mp_shm_ring_bytes",
+                             None) or DEFAULT_RING_BYTES
+        rings_in = create_inbound_rings(worker_id, n_workers, ring_bytes)
+        advert: Any = {src: ring.name for src, ring in rings_in.items()}
+    else:
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind((_HOST, 0))
+        listener.listen(64)
+        advert = listener.getsockname()[1]
+    try:
+        conn.send(("port", worker_id, advert))
+        msg = conn.recv()
+        if not msg or msg[0] != "ports":
+            return  # parent aborted before the run started
+    except BaseException:
+        for ring in rings_in.values():
+            ring.close()
+            ring.unlink()
+        if listener is not None:
+            listener.close()
+        raise
+    ports: dict[int, Any] = msg[1]
 
     cluster = MpWorkerCluster(config.n_partitions, worker_id, n_workers,
                               config.network_config())
@@ -696,12 +784,36 @@ def _worker_body(conn, spec: MpRunSpec, config: Any, worker_id: int,
             f"spec builder {spec.builder!r} never built a cluster via "
             f"make_cluster (is its config backend set to 'mp'?)")
     finalize = spec.driver(run_obj, cluster, worker_id)
-    asyncio.run(_serve_worker(cluster, conn, listener, ports, finalize,
-                              worker_id))
+
+    # the codec's table registry comes from this worker's own build —
+    # identical on every worker, so no negotiation bytes are needed
+    codec = FrameCodec(cluster.wire_tables,
+                       packed=getattr(config, "mp_codec",
+                                      "packed") != "pickle")
+    if transport_kind == "shm":
+        transport: Any = ShmWorkerTransport(cluster, rings_in, ports, codec)
+    else:
+        transport = MpWorkerTransport(cluster, listener, ports, codec)
+
+    profile_dir = getattr(config, "mp_profile_dir", None)
+    profiler = None
+    if profile_dir:
+        import cProfile
+        profiler = cProfile.Profile()
+        profiler.enable()
+    try:
+        asyncio.run(_serve_worker(cluster, conn, transport, finalize,
+                                  worker_id))
+    finally:
+        if profiler is not None:
+            import os
+            profiler.disable()
+            profiler.dump_stats(os.path.join(profile_dir,
+                                             f"worker-{worker_id}.prof"))
 
 
 async def _serve_worker(cluster: MpWorkerCluster, conn,
-                        listener: socket.socket, ports: dict[int, int],
+                        transport: Any,
                         finalize: Callable[[], Any],
                         worker_id: int) -> None:
     loop = asyncio.get_running_loop()
@@ -710,7 +822,6 @@ async def _serve_worker(cluster: MpWorkerCluster, conn,
     cluster._error = None
     cluster._active = 0
     loop.set_exception_handler(cluster._loop_exception)
-    transport = MpWorkerTransport(cluster, listener, ports)
     cluster.transport = transport
     stop = asyncio.Event()
 
@@ -735,6 +846,10 @@ async def _serve_worker(cluster: MpWorkerCluster, conn,
         await cluster._drain()
         if cluster._error is not None:
             raise cluster._error
+        # fold the transport's ground-truth frame bytes into the stats
+        # snapshot the finalize payload ships to the parent
+        cluster.network.stats.wire_bytes_sent += getattr(
+            transport, "wire_bytes_sent", 0)
         conn.send(("done", worker_id, finalize()))
         # keep serving foreign requests until every worker reported done
         # and the parent broadcast the stop
@@ -770,6 +885,7 @@ def run_mp_workers(spec: MpRunSpec, config: Any) -> list[Any]:
         timeout = getattr(config, "horizon_us", 0.0) / 1e6 + 60.0
     ctx = multiprocessing.get_context("spawn")
     workers: list[tuple] = []
+    adverts: dict[int, Any] = {}
     try:
         for worker_id in range(n_workers):
             parent_conn, child_conn = ctx.Pipe()
@@ -784,6 +900,7 @@ def run_mp_workers(spec: MpRunSpec, config: Any) -> list[Any]:
             child.close()
         deadline = time.monotonic() + timeout
         ports = _collect(workers, "port", deadline)
+        adverts.update(ports)
         for _proc, parent, _child in workers:
             parent.send(("ports", ports))
         results = _collect(workers, "done", deadline)
@@ -798,6 +915,12 @@ def run_mp_workers(spec: MpRunSpec, config: Any) -> list[Any]:
         return [results[w] for w in range(n_workers)]
     finally:
         _teardown(workers)
+        # shm adverts are ring names; a worker that died before its
+        # transport.stop() leaked them, so reclaim here (workers that
+        # exited cleanly already unlinked — then this is a no-op)
+        cleanup_rings_by_name(name for advert in adverts.values()
+                              if isinstance(advert, dict)
+                              for name in advert.values())
 
 
 def _collect(workers: list[tuple], tag: str,

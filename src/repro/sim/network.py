@@ -233,6 +233,15 @@ class NetworkStats:
     traffic whose recorder knows its issuer (all three backends pass
     it); kinds here always sum to ``bytes_by_kind``."""
 
+    wire_bytes_sent: int = 0
+    """Actual encoded frame bytes a real transport pushed onto its
+    carrier (length prefixes included).  Zero on the sim backend — the
+    simulator models sizes rather than encoding frames; on mp runs each
+    worker folds its transport's counter in at quiescence, making this
+    the ground-truth companion to the modeled ``bytes_by_kind`` (which
+    on mp also uses actual frame sizes for cross-worker traffic but
+    keeps nominal estimates for same-process deliveries)."""
+
     def add_bytes(self, kind: str, nbytes: int,
                   remote: bool = True, server: int | None = None) -> None:
         book = self.bytes_by_kind if remote else self.local_bytes_by_kind
@@ -286,6 +295,7 @@ class NetworkStats:
         self.messages_local += other.messages_local
         self.one_sided_batches += other.one_sided_batches
         self.one_sided_batched_verbs += other.one_sided_batched_verbs
+        self.wire_bytes_sent += other.wire_bytes_sent
         for kind, nbytes in other.bytes_by_kind.items():
             self.add_bytes(kind, nbytes, remote=True)
         for kind, nbytes in other.local_bytes_by_kind.items():

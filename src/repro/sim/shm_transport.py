@@ -1,0 +1,352 @@
+"""Shared-memory transport for the multiprocess backend.
+
+The TCP transport pays a kernel round trip (syscall, loopback stack,
+wakeup) per frame batch.  On one machine that is pure overhead — the
+same Chiller observation that motivates the fast wire path: once the
+network itself is fast, CPU-side cost per message dominates.  This
+module moves worker-to-worker frames through ``multiprocessing``
+shared memory instead:
+
+* :class:`SpscRing` — a single-producer/single-consumer byte ring with
+  length-prefixed frames.  The producer owns the ``tail`` cursor, the
+  consumer owns ``head``; both are monotonically increasing 64-bit
+  counters, so full/empty is ``tail - head`` with no ambiguity and no
+  lock.  Cursors are published with aligned 8-byte writes *after* the
+  frame bytes they cover (x86-TSO store ordering; CPython's buffer
+  copies never reorder across the separate publish write).
+* :class:`ShmWorkerTransport` — one ring per ordered (src_worker,
+  dst_worker) pair.  Each worker *creates* its inbound rings before
+  reporting to the parent, and advertises ``{src_worker: ring_name}``
+  through the existing port-exchange handshake (the parent treats the
+  advert as opaque).  Delivery is futex-free polling: a consumer task
+  sweeps all inbound rings, spinning through the event loop while
+  traffic flows and decaying to millisecond sleeps when quiet.
+
+Frames are the same codec bodies the TCP transport ships (see
+``FrameCodec``); only the carrier differs, so the two transports are
+interchangeable per run via ``RunConfig(mp_transport=...)``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from collections import deque
+from multiprocessing import shared_memory
+from struct import Struct
+from typing import Any
+
+from .codec import FrameCodec
+
+_S_CURSOR = Struct("<Q")
+_S_LEN = Struct("<I")
+_HEADER_BYTES = 16  # head @ 0, tail @ 8 (both 8-byte aligned)
+_LEN_BYTES = _S_LEN.size
+
+DEFAULT_RING_BYTES = 1 << 20
+"""Data capacity of each ring (``RunConfig.mp_shm_ring_bytes``)."""
+
+_SPIN_PASSES = 100
+"""Empty poll sweeps before the consumer stops spinning through the
+event loop and starts sleeping between sweeps.  Each empty sweep also
+``sched_yield``\\ s: with spare cores that is a near-free syscall, but
+when worker processes outnumber cores the producer only runs if the
+spinning consumer gives up its timeslice — without the yield, polling
+starves the very peer it is waiting on."""
+
+_BACKOFF_MIN_S = 50e-6
+_BACKOFF_MAX_S = 1e-3
+_POP_BURST = 64
+"""Frames popped per ring per sweep before yielding to the loop, so a
+flood on one ring cannot starve tasks or the other rings."""
+
+
+class RingFrameError(RuntimeError):
+    """A frame can never fit the ring (raise ``mp_shm_ring_bytes``)."""
+
+
+class SpscRing:
+    """Lock-free byte ring over one shared-memory segment.
+
+    Exactly one producer process and one consumer process.  Frames are
+    ``<I`` length prefix + body, wrapping byte-wise at the capacity
+    boundary (a frame may straddle the end; both halves are plain
+    slice copies).
+    """
+
+    __slots__ = ("shm", "_buf", "capacity", "_created")
+
+    def __init__(self, shm: shared_memory.SharedMemory, created: bool):
+        self.shm = shm
+        self._buf = shm.buf
+        self.capacity = shm.size - _HEADER_BYTES
+        self._created = created
+
+    @classmethod
+    def create(cls, capacity: int = DEFAULT_RING_BYTES) -> "SpscRing":
+        if capacity < 4 * _LEN_BYTES:
+            raise ValueError(f"ring capacity {capacity} is too small")
+        shm = shared_memory.SharedMemory(create=True,
+                                         size=_HEADER_BYTES + capacity)
+        shm.buf[:_HEADER_BYTES] = bytes(_HEADER_BYTES)
+        return cls(shm, created=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "SpscRing":
+        return cls(shared_memory.SharedMemory(name=name), created=False)
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    # -- cursors -----------------------------------------------------------
+
+    def _head(self) -> int:
+        return _S_CURSOR.unpack_from(self._buf, 0)[0]
+
+    def _tail(self) -> int:
+        return _S_CURSOR.unpack_from(self._buf, 8)[0]
+
+    # -- data region (byte-wise wrap) --------------------------------------
+
+    def _write(self, pos: int, data: bytes) -> None:
+        cap = self.capacity
+        off = _HEADER_BYTES + pos % cap
+        end = off + len(data)
+        top = _HEADER_BYTES + cap
+        if end <= top:
+            self._buf[off:end] = data
+        else:
+            first = top - off
+            self._buf[off:top] = data[:first]
+            self._buf[_HEADER_BYTES:_HEADER_BYTES + len(data) - first] = \
+                data[first:]
+
+    def _read(self, pos: int, n: int) -> bytes:
+        cap = self.capacity
+        off = _HEADER_BYTES + pos % cap
+        end = off + n
+        top = _HEADER_BYTES + cap
+        if end <= top:
+            return bytes(self._buf[off:end])
+        first = top - off
+        return bytes(self._buf[off:top]) + \
+            bytes(self._buf[_HEADER_BYTES:_HEADER_BYTES + n - first])
+
+    # -- producer ----------------------------------------------------------
+
+    def try_push(self, body: bytes) -> bool:
+        """Append one frame; False if the ring is currently full."""
+        need = _LEN_BYTES + len(body)
+        if need > self.capacity:
+            raise RingFrameError(
+                f"frame of {len(body)} bytes can never fit a "
+                f"{self.capacity}-byte ring; raise "
+                f"RunConfig.mp_shm_ring_bytes")
+        tail = self._tail()
+        if self.capacity - (tail - self._head()) < need:
+            return False
+        self._write(tail, _S_LEN.pack(len(body)))
+        self._write(tail + _LEN_BYTES, body)
+        _S_CURSOR.pack_into(self._buf, 8, tail + need)  # publish
+        return True
+
+    # -- consumer ----------------------------------------------------------
+
+    def try_pop(self) -> bytes | None:
+        """Remove and return the oldest frame, or None if empty."""
+        head = self._head()
+        if self._tail() == head:
+            return None
+        n = _S_LEN.unpack_from(self._read(head, _LEN_BYTES), 0)[0]
+        body = self._read(head + _LEN_BYTES, n)
+        _S_CURSOR.pack_into(self._buf, 0, head + _LEN_BYTES + n)  # publish
+        return body
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        self._buf = None  # drop the memoryview before shm can release
+        self.shm.close()
+
+    def unlink(self) -> None:
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:
+            pass  # already reclaimed (parent cleanup raced us)
+
+
+def create_inbound_rings(worker_id: int, n_workers: int,
+                         ring_bytes: int) -> dict[int, SpscRing]:
+    """This worker's receive rings, one per peer, keyed by sender."""
+    return {src: SpscRing.create(ring_bytes)
+            for src in range(n_workers) if src != worker_id}
+
+
+def cleanup_rings_by_name(names) -> None:
+    """Parent-side best effort: unlink rings a killed worker leaked."""
+    for name in names:
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        except (FileNotFoundError, OSError):
+            continue
+        shm.close()
+        try:
+            shm.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+
+
+class ShmWorkerTransport:
+    """Worker-pair frames over :class:`SpscRing` shared memory.
+
+    Same surface as the TCP ``MpWorkerTransport`` — ``send`` returns
+    the frame's wire size, ``idle()`` reflects frames accepted but not
+    yet on the wire — so the serve loop and runtime are transport-
+    agnostic.  A frame is "on the wire" once pushed into the peer's
+    ring; frames that found the ring full wait in a per-peer overflow
+    queue drained by a backoff task (``idle()`` stays False until the
+    overflow is flushed).
+    """
+
+    def __init__(self, cluster: Any, rings_in: dict[int, SpscRing],
+                 adverts: dict[int, Any], codec: FrameCodec):
+        self._cluster = cluster
+        self._codec = codec
+        self._rings_in = rings_in
+        # each peer advertised {src_worker: its-inbound-ring-name}; our
+        # outbound ring toward dst is dst's inbound ring keyed by us
+        me = cluster.worker_id
+        self._out_names = {dst: advert[me] for dst, advert in adverts.items()
+                           if dst != me}
+        self._rings_out: dict[int, SpscRing] = {}
+        self._overflow: dict[int, deque] = {dst: deque()
+                                            for dst in self._out_names}
+        self._drainers: dict[int, asyncio.Task] = {}
+        self._poller: asyncio.Task | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._pending = 0
+        self.frames_sent = 0
+        self.wire_bytes_sent = 0
+
+    async def start(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._loop = loop
+        # every peer created its inbound rings before the parent shared
+        # the advert map, so attaching here can never race creation
+        for dst, name in self._out_names.items():
+            self._rings_out[dst] = SpscRing.attach(name)
+        self._poller = loop.create_task(self._poll())
+
+    # -- producer side -----------------------------------------------------
+
+    def send(self, src: int, dst: int, wire: Any, what: str) -> int:
+        if self._loop is None:
+            raise RuntimeError("shm transport not started")
+        body = self._codec.encode(src, dst, wire, what)
+        dst_worker = self._cluster.owner_of(dst)
+        if dst_worker == self._cluster.worker_id:
+            raise RuntimeError(f"frame for owned server {dst} reached the "
+                               f"transport (routing bug)")
+        overflow = self._overflow[dst_worker]
+        if overflow or not self._rings_out[dst_worker].try_push(body):
+            # FIFO: once anything queued, everything queues behind it
+            overflow.append(body)
+            self._pending += 1
+            self._ensure_drainer(dst_worker)
+        else:
+            self.frames_sent += 1
+            self.wire_bytes_sent += _LEN_BYTES + len(body)
+        return _LEN_BYTES + len(body)
+
+    def _ensure_drainer(self, dst_worker: int) -> None:
+        task = self._drainers.get(dst_worker)
+        if task is None or task.done():
+            self._drainers[dst_worker] = self._loop.create_task(
+                self._drain_overflow(dst_worker))
+
+    async def _drain_overflow(self, dst_worker: int) -> None:
+        overflow = self._overflow[dst_worker]
+        ring = self._rings_out[dst_worker]
+        backoff = _BACKOFF_MIN_S
+        try:
+            while overflow:
+                if ring.try_push(overflow[0]):
+                    body = overflow.popleft()
+                    self._pending -= 1
+                    self.frames_sent += 1
+                    self.wire_bytes_sent += _LEN_BYTES + len(body)
+                    backoff = _BACKOFF_MIN_S
+                else:  # consumer is behind: wait for it to make room
+                    await asyncio.sleep(backoff)
+                    backoff = min(backoff * 2, _BACKOFF_MAX_S)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self._cluster._fatal(exc)
+
+    # -- consumer side -----------------------------------------------------
+
+    async def _poll(self) -> None:
+        rings = list(self._rings_in.items())
+        decode = self._codec.decode
+        deliver = self._cluster._deliver_wire
+        idle_sweeps = 0
+        backoff = _BACKOFF_MIN_S
+        try:
+            while True:
+                got = False
+                for src_worker, ring in rings:
+                    for _ in range(_POP_BURST):
+                        body = ring.try_pop()
+                        if body is None:
+                            break
+                        got = True
+                        if not body:
+                            # FrameCodec.encode always emits at least a tag
+                            # byte, so an empty frame can only mean the ring
+                            # cursors desynced; fail with the ring state
+                            # rather than a bare decode error.
+                            raise RuntimeError(
+                                "shm ring %r popped an empty frame "
+                                "(head=%d tail=%d): ring corruption" % (
+                                    ring.name, ring._head(), ring._tail()))
+                        src, dst, wire = decode(body)
+                        deliver(dst, src, wire)
+                if got:
+                    idle_sweeps = 0
+                    backoff = _BACKOFF_MIN_S
+                    await asyncio.sleep(0)  # let delivered work run
+                elif idle_sweeps < _SPIN_PASSES:
+                    idle_sweeps += 1
+                    os.sched_yield()
+                    await asyncio.sleep(0)
+                else:
+                    await asyncio.sleep(backoff)
+                    backoff = min(backoff * 2, _BACKOFF_MAX_S)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self._cluster._fatal(exc)
+
+    # -- quiescence & lifecycle --------------------------------------------
+
+    def idle(self) -> bool:
+        return self._pending == 0
+
+    async def stop(self) -> None:
+        tasks = [t for t in (self._poller, *self._drainers.values())
+                 if t is not None]
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        self._drainers.clear()
+        self._poller = None
+        for ring in self._rings_out.values():
+            ring.close()
+        self._rings_out.clear()
+        for ring in self._rings_in.values():
+            ring.close()
+            ring.unlink()  # we created our inbound rings
+        self._rings_in.clear()
+        self._loop = None

@@ -54,6 +54,11 @@ class Database:
         self.dispatch_context = DispatchContext(self.store, self.replicas)
         """What this process's servers expose to decoded op descriptors
         (see :mod:`repro.sim.codec`): the local stores and replicas."""
+        register_tables = getattr(cluster, "register_wire_tables", None)
+        if register_tables is not None:
+            # the packed wire codec interns table names; every worker
+            # derives the same sorted list from its own identical build
+            register_tables(sorted(spec.name for spec in self.tables))
         self._rpc_kinds: dict[str, RpcFactory] = {}
         for server in cluster.servers:
             server.engine.set_rpc_handler(self._dispatcher(server.id))

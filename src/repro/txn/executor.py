@@ -22,7 +22,8 @@ from ..analysis import OpInstance, OpKind
 from ..replication import ReplicaWrite
 from ..sim import (All, BatchedOneSided, Compute, OneSided,
                    approx_payload_bytes)
-from ..sim.codec import DispatchContext, OpDescriptor, op_handler
+from ..sim.codec import (DispatchContext, OpDescriptor, op_handler,
+                         register_wire_atom)
 from ..storage import LockMode
 from .common import (AbortReason, BufferedWrite, CommitLog, Outcome,
                      TxnRequest, WriteKind, next_txn_id)
@@ -495,6 +496,12 @@ class BaseExecutor:
 # for the in-process backends; the ``@op_handler`` functions are the
 # server-side dispatch table executing the verb against the target
 # partition's (local copy of the) store.
+
+# lock modes travel on every lock_read; interned as wire atoms they
+# pack to one index byte instead of a pickled enum reference
+register_wire_atom(LockMode.SHARED)
+register_wire_atom(LockMode.EXCLUSIVE)
+
 
 def _lock_read_op(db: Database, pid: int, table: str, key: Any,
                   mode: LockMode, txn_id: int) -> OpDescriptor:

@@ -225,3 +225,74 @@ def test_network_one_sided_batch_rejects_degenerate_chains():
         net.one_sided_batch(0, 0, [lambda: 1, lambda: 2], lambda r: None)
     with pytest.raises(ValueError):
         net.one_sided_batch(0, 1, [lambda: 1], lambda r: None)
+
+
+# -- dispatch table ----------------------------------------------------------
+#
+# perform() routes effects through a per-class dispatch table instead of
+# an isinstance ladder.  The table must stay semantically equivalent:
+# effect *subclasses* dispatch like their base (resolved via the MRO and
+# cached), unknown objects fail loudly, and subclass overrides of the
+# underlying do_* / send_rpc hooks still take effect (the table binds
+# class-level functions, never instance methods).
+
+
+def test_effect_subclass_dispatches_like_its_base():
+    class TracedCompute(Compute):
+        pass
+
+    cluster = Cluster(1, PLAIN_CFG)
+    out = []
+
+    def txn():
+        yield TracedCompute(1.0)
+        out.append("ran")
+
+    cluster.engine(0).spawn(txn())
+    cluster.run()
+    assert out == ["ran"]
+
+    from repro.sim.runtime import _EFFECT_DISPATCH
+    assert TracedCompute in _EFFECT_DISPATCH  # MRO walk cached the type
+
+
+def test_unknown_effect_fails_loudly():
+    cluster = Cluster(1, PLAIN_CFG)
+
+    def txn():
+        yield object()
+
+    with pytest.raises(TypeError, match="unknown effect"):
+        cluster.engine(0).spawn(txn())
+        cluster.run()
+
+
+def test_dispatch_table_respects_send_rpc_overrides():
+    """Rpc must dispatch through self.send_rpc so subclass overrides
+    (the mp runtime's token-routing send_rpc) keep working."""
+    from repro.sim import Engine, Network, Simulator
+
+    seen = []
+
+    class RoutedRuntime(EffectRuntime):
+        def send_rpc(self, effect, cont):
+            seen.append(effect.target)
+            super().send_rpc(effect, cont)
+
+    sim = Simulator()
+    net = Network(sim, PLAIN_CFG)
+    runtime = RoutedRuntime(sim, net, 0)
+    engine = Engine(sim, net, 0, runtime=runtime)
+
+    def rpc_handler(src, body):
+        return "pong"
+        yield  # pragma: no cover - makes this a generator function
+
+    engine.set_rpc_handler(rpc_handler)
+
+    def txn():
+        yield Rpc(0, ("ping", None))
+
+    engine.spawn(txn())
+    sim.run()
+    assert seen == [0]

@@ -1,0 +1,124 @@
+"""SpscRing unit tests (sim/shm_transport.py).
+
+Single-process coverage of the ring invariants the shared-memory
+transport rests on: frames come out exactly as they went in and in
+order, wraparound at the capacity boundary is invisible, a full ring
+refuses (rather than corrupts), and a frame that can *never* fit fails
+loudly with the config knob in the message.  Cross-process behaviour
+rides the mp conformance tests (``--mp-transport shm``).
+"""
+
+import random
+
+import pytest
+
+from repro.sim import RingFrameError, SpscRing
+from repro.sim.shm_transport import _HEADER_BYTES, _LEN_BYTES
+
+
+@pytest.fixture
+def ring():
+    r = SpscRing.create(capacity=256)
+    yield r
+    r.close()
+    r.unlink()
+
+
+def test_fifo_round_trip(ring):
+    frames = [bytes([i]) * (i + 1) for i in range(10)]
+    for frame in frames:
+        assert ring.try_push(frame)
+    for frame in frames:
+        assert ring.try_pop() == frame
+    assert ring.try_pop() is None
+
+
+def test_empty_ring_pops_none(ring):
+    assert ring.try_pop() is None
+
+
+def test_wraparound_preserves_frames(ring):
+    """Interleaved push/pop drives the cursors far past the capacity,
+    so frames straddle the wrap boundary many times over."""
+    rng = random.Random(7)
+    sent = []
+    received = []
+    seq = 0
+    for _ in range(500):
+        if rng.random() < 0.6:
+            frame = bytes([seq % 256]) * rng.randrange(1, 40)
+            if ring.try_push(frame):
+                sent.append(frame)
+                seq += 1
+        else:
+            frame = ring.try_pop()
+            if frame is not None:
+                received.append(frame)
+    while (frame := ring.try_pop()) is not None:
+        received.append(frame)
+    assert received == sent
+    assert seq > 20, "the interleave must actually exercise the ring"
+
+
+def test_full_ring_refuses_then_recovers(ring):
+    frame = b"x" * 40
+    pushed = 0
+    while ring.try_push(frame):
+        pushed += 1
+    assert pushed == 256 // (_LEN_BYTES + 40)
+    assert not ring.try_push(frame)          # refused, not corrupted
+    assert ring.try_pop() == frame           # drain one slot...
+    assert ring.try_push(frame)              # ...and the producer resumes
+    for _ in range(pushed):
+        assert ring.try_pop() == frame
+    assert ring.try_pop() is None
+
+
+def test_oversize_frame_names_the_config_knob(ring):
+    with pytest.raises(RingFrameError, match="mp_shm_ring_bytes"):
+        ring.try_push(b"y" * 512)
+    # the refusal must leave the ring intact
+    assert ring.try_push(b"ok")
+    assert ring.try_pop() == b"ok"
+
+
+def test_exactly_full_frame_fits(ring):
+    body = b"z" * (ring.capacity - _LEN_BYTES)
+    assert ring.try_push(body)
+    assert not ring.try_push(b"")
+    assert ring.try_pop() == body
+
+
+def test_attach_sees_creator_frames():
+    """Same-process stand-in for the worker handshake: the consumer
+    attaches by name to a ring the producer created."""
+    producer = SpscRing.create(capacity=128)
+    try:
+        assert producer.try_push(b"hello")
+        consumer = SpscRing.attach(producer.name)
+        try:
+            assert consumer.capacity == producer.capacity
+            assert consumer.try_pop() == b"hello"
+            assert consumer.try_pop() is None
+        finally:
+            consumer.close()
+    finally:
+        producer.close()
+        producer.unlink()
+
+
+def test_segment_layout():
+    ring = SpscRing.create(capacity=64)
+    try:
+        assert ring.shm.size == _HEADER_BYTES + 64
+        assert ring.capacity == 64
+    finally:
+        ring.close()
+        ring.unlink()
+
+
+def test_unlink_is_idempotent():
+    ring = SpscRing.create(capacity=64)
+    ring.close()
+    ring.unlink()
+    ring.unlink()  # second unlink must not raise

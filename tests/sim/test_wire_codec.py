@@ -1,0 +1,269 @@
+"""Packed hot-verb frame codec tests (sim/codec.py FrameCodec).
+
+The struct-packed wire format must be *invisible*: for every hot-verb
+chain and every reply, decoding the packed frame yields exactly the
+wire object the pickle frame would have carried — same specs, same
+values, same token/batched flags.  Anything the packed encoder cannot
+express must fall back to a whole-frame pickle (never a corrupt or
+partial packed frame), and the packed form must actually be smaller
+than the pickle it replaces, or the fast path is pointless.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.codec import (FRAME_PICKLE, FRAME_VERB_REPLY, FRAME_VERBS,
+                             HOT_VERBS, WIRE_PICKLE_PROTOCOL, CodecError,
+                             FrameCodec, WireRpc, WireVerbReply, WireVerbs,
+                             register_wire_atom)
+from repro.storage import LockMode
+
+TABLES = ("accounts", "district", "usertable", "warehouse")
+
+
+def make_codec(packed: bool = True) -> FrameCodec:
+    return FrameCodec(TABLES, packed=packed)
+
+
+def roundtrip(codec: FrameCodec, wire, src: int = 1, dst: int = 2):
+    body = codec.encode(src, dst, wire, "a test frame")
+    got_src, got_dst, got_wire = codec.decode(body)
+    assert (got_src, got_dst) == (src, dst)
+    return body, got_wire
+
+
+# -- value strategies ---------------------------------------------------------
+
+# keys the storage layer actually uses, plus adversarial scalars: int64
+# boundaries, ints that overflow into blobs, NaN-free floats, unicode
+# far outside ASCII, raw bytes, and nested tuples of all of those
+scalar_keys = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1),
+    st.integers(min_value=2 ** 63, max_value=2 ** 80),      # blob path
+    st.integers(min_value=-(2 ** 80), max_value=-(2 ** 63) - 1),
+    st.floats(allow_nan=False),
+    st.text(max_size=24),
+    st.binary(max_size=24),
+)
+keys = st.one_of(scalar_keys,
+                 st.tuples(scalar_keys, scalar_keys),
+                 st.tuples(scalar_keys, st.tuples(scalar_keys)))
+
+specs = st.tuples(
+    st.sampled_from(HOT_VERBS),
+    st.integers(min_value=0, max_value=0xFFFF),              # partition
+    st.one_of(st.none(), st.sampled_from(TABLES)),           # table
+    keys,
+    st.tuples(keys, st.sampled_from([LockMode.SHARED,
+                                     LockMode.EXCLUSIVE])),  # args w/ atom
+)
+
+verbs_frames = st.builds(
+    WireVerbs,
+    token=st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1),
+    specs=st.tuples(specs) | st.tuples(specs, specs, specs),
+    batched=st.booleans(),
+)
+
+reply_values = st.one_of(
+    keys,
+    st.lists(st.integers(), max_size=4),                     # blob path
+    st.dictionaries(st.text(max_size=8), st.integers(), max_size=4),
+)
+
+reply_frames = st.builds(
+    WireVerbReply,
+    token=st.integers(min_value=0, max_value=2 ** 62),
+    values=st.tuples(reply_values) | st.tuples(reply_values, reply_values),
+    batched=st.booleans(),
+)
+
+
+# -- the property: packed path == pickle path ---------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(wire=verbs_frames)
+def test_packed_verbs_equal_pickle_path(wire):
+    packed_codec = make_codec(packed=True)
+    pickle_codec = make_codec(packed=False)
+    _, from_packed = roundtrip(packed_codec, wire)
+    _, from_pickle = roundtrip(pickle_codec, wire)
+    assert from_packed == wire
+    assert from_packed == from_pickle
+
+
+@settings(max_examples=200, deadline=None)
+@given(wire=reply_frames)
+def test_packed_reply_equals_pickle_path(wire):
+    packed_codec = make_codec(packed=True)
+    pickle_codec = make_codec(packed=False)
+    _, from_packed = roundtrip(packed_codec, wire)
+    _, from_pickle = roundtrip(pickle_codec, wire)
+    assert from_packed == wire
+    assert from_packed == from_pickle
+
+
+@settings(max_examples=100, deadline=None)
+@given(wire=verbs_frames)
+def test_cross_codec_decode(wire):
+    """A packed peer's frames decode on an unpacked peer and vice versa
+    (``packed=False`` only changes what gets *encoded*)."""
+    packed_codec = make_codec(packed=True)
+    pickle_codec = make_codec(packed=False)
+    body = packed_codec.encode(3, 4, wire, "a test frame")
+    assert pickle_codec.decode(body) == (3, 4, wire)
+    body = pickle_codec.encode(3, 4, wire, "a test frame")
+    assert packed_codec.decode(body) == (3, 4, wire)
+
+
+# -- per-verb fixed cases (readable failures for each hot verb) ---------------
+
+
+@pytest.mark.parametrize("kind", HOT_VERBS)
+def test_every_hot_verb_packs(kind):
+    codec = make_codec()
+    wire = WireVerbs(9, ((kind, 3, "accounts", (0, "k"), (17,)),), False)
+    body, got = roundtrip(codec, wire)
+    assert body[0] == FRAME_VERBS
+    assert got == wire
+
+
+def test_all_hot_chain_ships_one_packed_frame():
+    """A fused doorbell chain of hot verbs stays packed end to end."""
+    codec = make_codec()
+    wire = WireVerbs(42, (
+        ("lock_read", 0, "accounts", 11, (LockMode.EXCLUSIVE, 7001)),
+        ("plain_read", 1, "usertable", (2, 3), ()),
+        ("commit", 0, None, None, ((("accounts", 11, {"balance": 1.0}),),
+                                   7001)),
+        ("release", 1, None, None, (7001,)),
+    ), True)
+    body, got = roundtrip(codec, wire)
+    assert body[0] == FRAME_VERBS
+    assert got == wire
+
+
+def test_reply_round_trip_fixed():
+    codec = make_codec()
+    wire = WireVerbReply(7, (("ok", {"balance": 5.0}, 2), ("conflict",),
+                             [1, 2, 3], None), True)
+    body, got = roundtrip(codec, wire)
+    assert body[0] == FRAME_VERB_REPLY
+    assert got == wire
+
+
+def test_atoms_pack_to_one_index_byte():
+    """Lock modes were registered as wire atoms by the executor layer;
+    they must ride as a 1-byte index, not a pickled class reference."""
+    codec = make_codec()
+    wire = WireVerbs(1, (("lock_read", 0, "accounts", 1,
+                          (LockMode.SHARED, 1)),), False)
+    body, got = roundtrip(codec, wire)
+    assert got == wire
+    assert body[0] == FRAME_VERBS
+    assert pickle.dumps(LockMode.SHARED,
+                        protocol=WIRE_PICKLE_PROTOCOL) not in body
+
+
+def test_fresh_atom_registration_is_idempotent():
+    before = roundtrip(make_codec(),
+                       WireVerbs(1, (("release", 0, None, None,
+                                      (LockMode.SHARED,)),), False))[0]
+    register_wire_atom(LockMode.SHARED)  # second registration: no-op
+    after = roundtrip(make_codec(),
+                      WireVerbs(1, (("release", 0, None, None,
+                                     (LockMode.SHARED,)),), False))[0]
+    assert before == after
+
+
+# -- fallback paths -----------------------------------------------------------
+
+
+def test_non_registered_table_falls_back_to_pickle_frame():
+    codec = make_codec()
+    wire = WireVerbs(1, (("lock_read", 0, "not_a_table", 1, ()),), False)
+    body, got = roundtrip(codec, wire)
+    assert body[0] == FRAME_PICKLE
+    assert got == wire
+
+
+def test_non_hot_verb_falls_back_to_pickle_frame():
+    codec = make_codec()
+    wire = WireVerbs(1, (("migrate_install", 0, "accounts", 1,
+                          ({"balance": 1.0},)),), False)
+    body, got = roundtrip(codec, wire)
+    assert body[0] == FRAME_PICKLE
+    assert got == wire
+
+
+def test_mixed_chain_falls_back_whole_frame():
+    """One cold verb in a chain demotes the *whole* frame (frames are
+    atomic: a target never sees half a chain packed)."""
+    codec = make_codec()
+    wire = WireVerbs(1, (
+        ("lock_read", 0, "accounts", 1, (LockMode.SHARED, 1)),
+        ("migrate_remove", 0, "accounts", 1, (1,)),
+    ), True)
+    body, got = roundtrip(codec, wire)
+    assert body[0] == FRAME_PICKLE
+    assert got == wire
+
+
+def test_non_verb_wire_objects_always_pickle():
+    codec = make_codec()
+    wire = WireRpc(5, ("kind", {"body": 1}))
+    body, got = roundtrip(codec, wire)
+    assert body[0] == FRAME_PICKLE
+    assert got == wire
+
+
+def test_unpicklable_payload_still_raises_codec_error():
+    """The pickle-fallback contract: CodecError semantics unchanged."""
+    codec = make_codec()
+    with pytest.raises(CodecError, match="RPC to server 2"):
+        codec.encode(0, 2, WireRpc(1, lambda: 1), "RPC to server 2")
+
+
+def test_unpicklable_arg_inside_hot_verb_raises_codec_error():
+    codec = make_codec()
+    wire = WireVerbs(1, (("commit", 0, None, None,
+                          (lambda: 1, 7001)),), False)
+    with pytest.raises(CodecError, match="commit chain"):
+        codec.encode(0, 1, wire, "commit chain")
+
+
+def test_table_registry_overflow_is_loud():
+    with pytest.raises(ValueError, match="table registry"):
+        FrameCodec(tuple(f"t{i}" for i in range(0xFF)))
+
+
+# -- the point of all this: packed is smaller ---------------------------------
+
+
+def test_packed_hot_chain_is_smaller_than_pickled():
+    """The wire-byte claim the NetworkStats accounting relies on: a
+    typical hot-verb chain's packed frame undercuts its pickle."""
+    wire = WireVerbs(1234, (
+        ("lock_read", 2, "warehouse", 7, (LockMode.EXCLUSIVE, 900001)),
+        ("lock_read", 2, "district", (7, 3), (LockMode.EXCLUSIVE, 900001)),
+        ("plain_read", 2, "usertable", 55, ()),
+        ("release", 2, None, None, (900001,)),
+    ), True)
+    packed = make_codec(packed=True).encode(0, 2, wire, "chain")
+    pickled = make_codec(packed=False).encode(0, 2, wire, "chain")
+    assert packed[0] == FRAME_VERBS and pickled[0] == FRAME_PICKLE
+    assert len(packed) < len(pickled) / 2, (len(packed), len(pickled))
+
+
+def test_packed_reply_is_smaller_than_pickled():
+    wire = WireVerbReply(1234, (("ok", {"balance": 10.0}, 3),
+                                ("ok", {"balance": 4.5}, 1)), True)
+    packed = make_codec(packed=True).encode(2, 0, wire, "reply")
+    pickled = make_codec(packed=False).encode(2, 0, wire, "reply")
+    assert len(packed) < len(pickled), (len(packed), len(pickled))
