@@ -71,7 +71,14 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     with open(args.baseline) as fh:
-        tracked = json.load(fh)["tracked"]
+        baseline_doc = json.load(fh)
+    tracked = baseline_doc.get("tracked")
+    if not isinstance(tracked, dict) or not tracked:
+        print(f"error: baseline {args.baseline} has no 'tracked' table "
+              f"of rates (found top-level keys "
+              f"{sorted(baseline_doc) if isinstance(baseline_doc, dict) else type(baseline_doc).__name__}); "
+              f"regenerate it with --write-baseline")
+        return 2
 
     failed = False
     for name, base in sorted(tracked.items()):
@@ -88,6 +95,11 @@ def main(argv: list[str] | None = None) -> int:
               f"{base:,.0f} ({change:+.1%}, floor {floor:,.0f})")
         if current < floor:
             failed = True
+    for name in sorted(set(rates) - set(tracked)):
+        print(f"UNTRACKED {name}: {rates[name]:,.0f} ev/s measured but "
+              f"no baseline cell exists — register it by re-baselining "
+              f"(--write-baseline) so future regressions are caught")
+        failed = True
     if failed:
         print(f"\nperf check failed: >{args.max_regression:.0%} below "
               f"baseline. If intentional (or CI hardware changed), "

@@ -16,6 +16,16 @@ Run from the command line::
         --mp-transport shm --mp-codec packed
     python -m repro.bench.experiments fig9a --scheduler conflict
     python -m repro.bench.experiments fig9a --quick --profile /tmp/prof
+    python -m repro.bench.experiments fig9a --quick --backend mp --wal group
+    python -m repro.bench.experiments fig9a --quick --backend mp \\
+        --wal group --mp-recovery --chaos-kill 1 --chaos-after 0.5
+
+``--wal off|fsync|group`` selects the per-server write-ahead-log mode
+(commit decisions become durable; see ARCHITECTURE.md, "Durability &
+recovery").  ``--mp-recovery`` respawns SIGKILL'd mp workers and
+replays their WAL instead of failing the run; ``--chaos-kill W``
+SIGKILLs worker W ``--chaos-after S`` seconds into the run (implies
+``--mp-recovery``), and ``--max-restarts N`` bounds respawns.
 
 ``--mp-transport tcp|shm`` moves mp worker frames over localhost TCP or
 shared-memory rings; ``--mp-codec packed|pickle`` selects struct-packed
@@ -49,6 +59,7 @@ from ..workloads.tpcc import TpccScale, TpccWorkload
 from ..placement import PLACEMENTS
 from ..sched import SCHEDULERS
 from ..sim.mp_runtime import MP_CODECS, MP_TRANSPORTS
+from ..storage.wal import WAL_MODES
 from .harness import BACKENDS, RunConfig
 from .setups import (build_instacart_layout, build_instacart_setup,
                      make_instacart_run, make_tpcc_run)
@@ -68,7 +79,8 @@ def instacart_config(n_partitions: int, quick: bool = False,
                      placement: str | None = None,
                      mp_transport: str = "tcp",
                      mp_codec: str = "packed",
-                     profile_dir: str | None = None) -> RunConfig:
+                     profile_dir: str | None = None,
+                     durability: dict | None = None) -> RunConfig:
     return RunConfig(n_partitions=n_partitions,
                      concurrent_per_engine=4,
                      horizon_us=4_000.0 if quick else 12_000.0,
@@ -78,7 +90,8 @@ def instacart_config(n_partitions: int, quick: bool = False,
                      backend=backend, mp_workers=mp_workers,
                      scheduler=scheduler, placement=placement,
                      mp_transport=mp_transport, mp_codec=mp_codec,
-                     mp_profile_dir=profile_dir)
+                     mp_profile_dir=profile_dir,
+                     **(durability or {}))
 
 
 def instacart_sweep(partitions: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
@@ -93,7 +106,8 @@ def instacart_sweep(partitions: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
                     placement: str | None = None,
                     mp_transport: str = "tcp",
                     mp_codec: str = "packed",
-                    profile_dir: str | None = None) -> list[dict]:
+                    profile_dir: str | None = None,
+                    durability: dict | None = None) -> list[dict]:
     """One row per partition count with every layout's metrics.
 
     Feeds Fig. 7 (throughput), Fig. 8 (distributed ratio), the lookup
@@ -115,7 +129,7 @@ def instacart_sweep(partitions: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
                 instacart_config(k, quick, seed, doorbell_batching,
                                  backend, mp_workers, scheduler,
                                  placement, mp_transport, mp_codec,
-                                 profile_dir))
+                                 profile_dir, durability))
             result = run.run()
             metrics = result.metrics
             row[f"{name}_throughput"] = result.throughput
@@ -178,7 +192,8 @@ def tpcc_config(n_partitions: int, concurrent: int, quick: bool = False,
                 placement: str | None = None,
                 mp_transport: str = "tcp",
                 mp_codec: str = "packed",
-                profile_dir: str | None = None) -> RunConfig:
+                profile_dir: str | None = None,
+                durability: dict | None = None) -> RunConfig:
     return RunConfig(n_partitions=n_partitions,
                      concurrent_per_engine=concurrent,
                      horizon_us=5_000.0 if quick else 15_000.0,
@@ -188,7 +203,8 @@ def tpcc_config(n_partitions: int, concurrent: int, quick: bool = False,
                      backend=backend, mp_workers=mp_workers,
                      scheduler=scheduler, placement=placement,
                      mp_transport=mp_transport, mp_codec=mp_codec,
-                     mp_profile_dir=profile_dir)
+                     mp_profile_dir=profile_dir,
+                     **(durability or {}))
 
 
 def fig9_rows(concurrency: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
@@ -200,7 +216,8 @@ def fig9_rows(concurrency: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
               placement: str | None = None,
               mp_transport: str = "tcp",
               mp_codec: str = "packed",
-              profile_dir: str | None = None) -> list[dict]:
+              profile_dir: str | None = None,
+              durability: dict | None = None) -> list[dict]:
     """Throughput + abort rates per executor per concurrency level."""
     rows = []
     for concurrent in concurrency:
@@ -210,7 +227,7 @@ def fig9_rows(concurrency: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
                 name, tpcc_config(n_partitions, concurrent, quick, seed,
                                   doorbell_batching, backend, mp_workers,
                                   scheduler, placement, mp_transport,
-                                  mp_codec, profile_dir))
+                                  mp_codec, profile_dir, durability))
             result = run.run()
             metrics = result.metrics
             row[f"{name}_throughput"] = result.throughput
@@ -266,7 +283,8 @@ def fig10_rows(percents: Sequence[int] = (0, 20, 40, 60, 80, 100),
                placement: str | None = None,
                mp_transport: str = "tcp",
                mp_codec: str = "packed",
-               profile_dir: str | None = None) -> list[dict]:
+               profile_dir: str | None = None,
+               durability: dict | None = None) -> list[dict]:
     """Throughput vs fraction of distributed transactions."""
     rows = []
     for percent in percents:
@@ -281,7 +299,7 @@ def fig10_rows(percents: Sequence[int] = (0, 20, 40, 60, 80, 100),
                 name, tpcc_config(n_partitions, concurrent, quick, seed,
                                   doorbell_batching, backend, mp_workers,
                                   scheduler, placement, mp_transport,
-                                  mp_codec, profile_dir),
+                                  mp_codec, profile_dir, durability),
                 workload=workload)
             result = run.run()
             row[f"{name}_{concurrent}_throughput"] = result.throughput
@@ -452,9 +470,28 @@ def main(argv: Iterable[str] | None = None) -> None:
     mp_codec, args = _parse_option(args, "mp-codec", MP_CODECS)
     mp_codec = mp_codec or "packed"
     profile_dir, args = _parse_option(args, "profile")
+    wal, args = _parse_option(args, "wal", WAL_MODES)
+    chaos_kill, args = _parse_option(args, "chaos-kill")
+    chaos_after, args = _parse_option(args, "chaos-after")
+    max_restarts, args = _parse_option(args, "max-restarts")
     quick = "--quick" in args
     doorbell = "--doorbell" in args
+    mp_recovery = "--mp-recovery" in args
     args = [a for a in args if not a.startswith("--")]
+    durability: dict = {}
+    if wal:
+        durability["wal"] = wal
+    if mp_recovery or chaos_kill is not None:
+        durability["mp_recovery"] = True
+    try:
+        if chaos_kill is not None:
+            durability["mp_chaos_kill_worker"] = int(chaos_kill)
+        if chaos_after is not None:
+            durability["mp_chaos_kill_after_s"] = float(chaos_after)
+        if max_restarts is not None:
+            durability["mp_max_restarts"] = int(max_restarts)
+    except ValueError as exc:
+        raise SystemExit(f"bad durability knob: {exc}")
     wanted = set(args) or {"fig7"}
     if "all" in wanted:
         wanted = {"fig7", "fig8", "fig9a", "fig9b", "fig9c", "fig10",
@@ -480,6 +517,11 @@ def main(argv: Iterable[str] | None = None) -> None:
               f"periodic re-partitioning with live record migration)")
     if backend == "mp" and (mp_transport != "tcp" or mp_codec != "packed"):
         print(f"(mp wire path: transport={mp_transport} codec={mp_codec})")
+    if durability:
+        knobs = " ".join(f"{k}={v}" for k, v in sorted(durability.items()))
+        print(f"(durability: {knobs} — commit decisions go through the "
+              f"per-server WAL; dead mp workers are respawned and "
+              f"replayed when mp_recovery is on)")
 
     def run_wanted() -> None:
         if wanted & {"fig7", "fig8", "lookup", "cost"}:
@@ -490,7 +532,8 @@ def main(argv: Iterable[str] | None = None) -> None:
                                    scheduler=scheduler, placement=placement,
                                    mp_transport=mp_transport,
                                    mp_codec=mp_codec,
-                                   profile_dir=profile_dir)
+                                   profile_dir=profile_dir,
+                                   durability=durability or None)
             if "fig7" in wanted:
                 print_fig7(rows)
             if "fig8" in wanted:
@@ -507,7 +550,8 @@ def main(argv: Iterable[str] | None = None) -> None:
                              mp_workers=workers, scheduler=scheduler,
                              placement=placement,
                              mp_transport=mp_transport, mp_codec=mp_codec,
-                             profile_dir=profile_dir)
+                             profile_dir=profile_dir,
+                             durability=durability or None)
             if "fig9a" in wanted:
                 print_fig9a(rows)
             if "fig9b" in wanted:
@@ -523,7 +567,8 @@ def main(argv: Iterable[str] | None = None) -> None:
                                    placement=placement,
                                    mp_transport=mp_transport,
                                    mp_codec=mp_codec,
-                                   profile_dir=profile_dir))
+                                   profile_dir=profile_dir,
+                                   durability=durability or None))
         if "reorder" in wanted:
             print_reorder(reorder_ablation_rows(quick=quick,
                                                 doorbell_batching=doorbell,

@@ -16,7 +16,9 @@ from __future__ import annotations
 
 import dataclasses
 import random
+import tempfile
 import time
+import uuid
 from collections import deque
 from dataclasses import dataclass, replace
 from typing import Iterable
@@ -26,13 +28,14 @@ from ..analysis import ProcedureRegistry
 from ..placement import (AccessTelemetry, MigrationExecutor,
                          PlacementController, PlacementSpec, PlacementStats,
                          as_placement_spec, controller_loop,
-                         install_flip_handler)
+                         install_flip_handler, lease_controller_loop)
 from ..sched import SchedAction, Scheduler, SchedulerSpec, as_spec
 from ..sim import (AioCluster, Cluster, MpRunSpec, NetworkConfig, Sleep,
                    effective_mp_workers, run_mp_workers)
 from ..sim import mp_runtime
-from ..storage import Catalog
-from ..txn import BaseExecutor, Database, ExecConfig, HistoryRecorder
+from ..storage import Catalog, WalSpec, as_wal_spec
+from ..txn import (BaseExecutor, Database, ExecConfig, HistoryRecorder,
+                   recover_database, recovery_program)
 from ..txn.common import seed_txn_ids
 from .metrics import APP_ABORTS, Metrics
 
@@ -134,6 +137,43 @@ class RunConfig:
     ``worker-<id>.prof`` into this directory (the bench CLI's
     ``--profile`` sets it, plus ``parent.prof`` for the parent)."""
 
+    wal: WalSpec | str | None = "off"
+    """Commit-path durability: ``"off"`` (bit-identical to the
+    historical behavior — the FSM logs nothing), ``"fsync"`` (sync
+    every append), ``"group"`` (group commit: batched fsyncs, but the
+    coordinator's decision record always syncs), or a full
+    :class:`~repro.storage.WalSpec`."""
+
+    wal_dir: str | None = None
+    """Directory for the per-server ``server-<id>.wal`` files.  None
+    lets the harness assign a fresh temp directory per run (recorded
+    back into this field so mp workers and restarts share it)."""
+
+    wal_group_size: int = 8
+    """Appends per fsync under ``wal="group"``."""
+
+    mp_recovery: bool = False
+    """Restart dead mp workers instead of failing the run: the parent
+    respawns the worker, which replays its servers' WALs, resolves
+    in-doubt transactions by coordinator query / presumed abort, and
+    rejoins the fleet.  Requires a durable ``wal`` mode."""
+
+    mp_max_restarts: int = 1
+    """Total worker restarts the parent will perform per run before
+    treating a death as fatal (``mp_recovery`` only)."""
+
+    mp_run_id: str | None = None
+    """Stable id naming this run's shared-memory rings
+    (``repro-<run_id>-...``).  None lets the parent assign one per run;
+    deterministic names let a respawned worker reclaim and recreate its
+    predecessor's rings, and let tests assert nothing leaked."""
+
+    mp_chaos_kill_worker: int | None = None
+    """Chaos knob: SIGKILL this worker id mid-run (recovery tests)."""
+
+    mp_chaos_kill_after_s: float = 0.5
+    """Wall-clock delay before the chaos kill fires."""
+
     scheduler: SchedulerSpec | str | None = None
     """Cross-transaction scheduling policy: ``None``/``"fifo"`` (admit
     everything immediately — bit-identical to the historical raw retry
@@ -151,6 +191,22 @@ class RunConfig:
     :class:`~repro.placement.PlacementSpec`.  Picklable, so the knob
     works unchanged on sim/aio/mp (on mp the controller runs in the
     worker owning its home engine and flips routing cluster-wide)."""
+
+    def wal_spec(self) -> WalSpec:
+        """The effective durability policy for this run.
+
+        A string/None :attr:`wal` picks up :attr:`wal_dir` and
+        :attr:`wal_group_size`; a full :class:`WalSpec` is respected
+        as-is except that a missing directory is filled from
+        :attr:`wal_dir`.
+        """
+        spec = as_wal_spec(self.wal)
+        if isinstance(self.wal, str) or self.wal is None:
+            spec = dataclasses.replace(spec, dir=self.wal_dir,
+                                       group_size=self.wal_group_size)
+        elif spec.dir is None and self.wal_dir is not None:
+            spec = dataclasses.replace(spec, dir=self.wal_dir)
+        return spec
 
     def network_config(self) -> NetworkConfig:
         """The effective network model for this run.
@@ -235,6 +291,9 @@ class RunResult:
             summary["scheduler"] = sched.summary()
         if self.metrics.placement_stats is not None:
             summary["placement"] = self.metrics.placement_stats.summary()
+        recovery = self.metrics.recovery_stats
+        if recovery is not None and recovery.any_activity:
+            summary["recovery"] = recovery.summary()
         traffic = self.traffic_summary()
         if traffic is not None:
             summary["traffic"] = traffic
@@ -278,15 +337,29 @@ def make_cluster(config: RunConfig):
                      f"(expected one of {BACKENDS})")
 
 
+def assign_wal_dir(config: RunConfig) -> None:
+    """Give a durability-enabled run a WAL directory if it lacks one.
+
+    Recorded back into ``config.wal_dir`` on purpose: the same config
+    object rides inside ``MpRunSpec.args``, so every worker process —
+    and every *restarted* worker — opens its logs in the directory the
+    first build chose.
+    """
+    if config.wal_dir is None and as_wal_spec(config.wal).enabled:
+        config.wal_dir = tempfile.mkdtemp(prefix="repro-wal-")
+
+
 def build_database(workload, catalog: Catalog, config: RunConfig):
     """Create the cluster, register procedures, and load the data."""
+    assign_wal_dir(config)
     cluster = make_cluster(config)
     registry = ProcedureRegistry()
     for proc in workload.procedures():
         registry.register(proc)
     db = Database(cluster, catalog, workload.tables(), registry,
                   n_replicas=config.n_replicas,
-                  track_spans=config.track_spans)
+                  track_spans=config.track_spans,
+                  wal=config.wal_spec())
     workload.populate(db.loader())
     return db, cluster
 
@@ -324,6 +397,7 @@ def run_benchmark(workload, executor: BaseExecutor,
     metrics.scheduler_stats = {home: sched.stats
                                for home, sched in wiring.schedulers.items()}
     metrics.placement_stats = wiring.placement_stats
+    metrics.recovery_stats = db.recovery
     return RunResult(metrics=metrics, database=db,
                      history=executor.history, config=config,
                      end_time=cluster.sim.now)
@@ -460,13 +534,31 @@ def _spawn_load(workload, executor: BaseExecutor, config: RunConfig,
     for home in homes:
         for slot in range(config.concurrent_per_engine):
             cluster.engine(home).spawn(worker(home, slot))
-    if placement.adaptive and placement.controller_home in homes:
-        migrator = MigrationExecutor(db, placement.controller_home,
-                                     placement, placement_stats)
-        cluster.engine(placement.controller_home).spawn(
-            controller_loop(db, telemetry, placement,
-                            PlacementController(placement), migrator,
-                            placement_stats, config.horizon_us))
+    if placement.adaptive:
+        if getattr(cluster, "owns", None) is None:
+            # single process: pin the loop to the controller engine —
+            # keeps the sim backend's event stream (and every figure)
+            # bit-identical to the pre-election behavior
+            if placement.controller_home in homes:
+                migrator = MigrationExecutor(db, placement.controller_home,
+                                             placement, placement_stats)
+                cluster.engine(placement.controller_home).spawn(
+                    controller_loop(db, telemetry, placement,
+                                    PlacementController(placement),
+                                    migrator, placement_stats,
+                                    config.horizon_us))
+        elif homes:
+            # mp: every worker runs a lease-election candidate instead
+            # of pinning the controller to whichever worker owns
+            # controller_home — the role survives that worker's death
+            candidate_home = min(homes)
+            migrator = MigrationExecutor(db, candidate_home, placement,
+                                         placement_stats)
+            cluster.engine(candidate_home).spawn(
+                lease_controller_loop(db, telemetry, placement,
+                                      PlacementController(placement),
+                                      migrator, placement_stats,
+                                      config.horizon_us, cluster))
     return _LoadWiring(schedulers, placement_stats, telemetry)
 
 
@@ -475,12 +567,24 @@ def _spawn_load(workload, executor: BaseExecutor, config: RunConfig,
 def mp_benchmark_driver(run_obj, cluster, worker_id: int):
     """Per-worker half of :func:`run_mp_benchmark`.
 
-    Runs inside each worker process: namespaces transaction ids, spawns
-    the benchmark load for the servers this worker owns, and returns
-    the ``finalize`` hook evaluated at local quiescence.
+    Runs inside each worker process: namespaces transaction ids (by
+    worker *and* restart generation, so a respawn never reuses its
+    predecessor's ids), replays this worker's WALs when it is a
+    restart, spawns the benchmark load for the servers this worker
+    owns, and returns the ``finalize`` hook evaluated at local
+    quiescence.
     """
-    seed_txn_ids(worker_id)
+    namespace = getattr(cluster, "txn_namespace", None)
+    seed_txn_ids(namespace() if namespace is not None else worker_id)
     config: RunConfig = run_obj.config
+    if getattr(cluster, "generation", 0) > 0:
+        db = run_obj.executor.db
+        in_doubt = recover_database(db)
+        if in_doubt:
+            # chase coordinators for the prepared-but-undecided txns;
+            # unreachable coordinators resolve by presumed abort
+            home = cluster.owned_servers()[0]
+            cluster.engine(home).spawn(recovery_program(db, in_doubt))
     metrics = Metrics()
     homes = [h for h in (config.homes if config.homes is not None
                          else range(config.n_partitions))
@@ -495,6 +599,7 @@ def mp_benchmark_driver(run_obj, cluster, worker_id: int):
             home: sched.stats
             for home, sched in wiring.schedulers.items()}
         metrics.placement_stats = wiring.placement_stats
+        metrics.recovery_stats = run_obj.executor.db.recovery
         return {"metrics": metrics, "end_time": cluster.sim.now,
                 "stats": cluster.network.stats}
 
@@ -511,6 +616,11 @@ def run_mp_benchmark(spec: MpRunSpec, config: RunConfig,
     """
     if spec.driver is None:
         spec = dataclasses.replace(spec, driver=mp_benchmark_driver)
+    assign_wal_dir(config)
+    if config.mp_run_id is None:
+        # recorded into the shared config (it rides in spec.args too)
+        # so workers and the parent derive the same shm ring names
+        config.mp_run_id = uuid.uuid4().hex[:12]
     payloads = run_mp_workers(spec, config)
     metrics = Metrics.merged([p["metrics"] for p in payloads])
     if database is not None:

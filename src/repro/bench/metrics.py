@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from ..placement import PlacementStats
 from ..sched import SchedulerStats
+from ..storage import RecoveryStats
 from ..txn.common import AbortReason, Outcome
 
 APP_ABORTS = frozenset({AbortReason.LOGICAL, AbortReason.READ_MISS})
@@ -43,6 +44,11 @@ class Metrics:
     routing flips); filled by the harness when ``RunConfig.placement``
     is adaptive, None on static runs."""
 
+    recovery_stats: RecoveryStats | None = None
+    """Durability/recovery counters (WAL appends/fsyncs/bytes, replays,
+    in-doubt resolutions, controller failovers); filled by the harness
+    from the database's shared ``RecoveryStats``."""
+
     def add(self, outcome: Outcome) -> None:
         self.outcomes.append(outcome)
 
@@ -66,6 +72,10 @@ class Metrics:
                 if merged.placement_stats is None:
                     merged.placement_stats = PlacementStats()
                 merged.placement_stats.merge_from(part.placement_stats)
+            if part.recovery_stats is not None:
+                if merged.recovery_stats is None:
+                    merged.recovery_stats = RecoveryStats()
+                merged.recovery_stats.merge_from(part.recovery_stats)
         return merged
 
     def scheduler_summary(self) -> SchedulerStats | None:

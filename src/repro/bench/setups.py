@@ -32,7 +32,7 @@ from ..workloads.tpcc import (REPLICATED_TABLES, TpccScale, TpccWorkload,
                               tpcc_routing)
 from ..workloads.ycsb import YcsbWorkload
 from ..sim import MpRunSpec, current_worker_cluster
-from .harness import (RunConfig, RunResult, make_cluster,
+from .harness import (RunConfig, RunResult, assign_wal_dir, make_cluster,
                       mp_benchmark_driver, run_benchmark, run_mp_benchmark)
 
 ExecutorName = Literal["2pl", "occ", "chiller"]
@@ -95,6 +95,7 @@ def make_tpcc_run(executor_name: ExecutorName,
     workload = workload or TpccWorkload(
         TpccScale(n_warehouses=config.n_partitions),
         n_partitions=config.n_partitions)
+    assign_wal_dir(config)
     cluster = make_cluster(config)
     registry = ProcedureRegistry()
     for proc in workload.procedures():
@@ -104,7 +105,8 @@ def make_tpcc_run(executor_name: ExecutorName,
                       replicated_tables=REPLICATED_TABLES)
     db = Database(cluster, catalog, workload.tables(), registry,
                   n_replicas=config.n_replicas,
-                  track_spans=config.track_spans)
+                  track_spans=config.track_spans,
+                  wal=config.wal_spec())
     workload.populate(db.loader())
     history = HistoryRecorder() if config.record_history else None
     hot_table = None
@@ -144,6 +146,7 @@ def make_ycsb_run(executor_name: ExecutorName,
     picklable-by-reference so mp workers rebuild it by name.
     """
     workload = workload or YcsbWorkload()
+    assign_wal_dir(config)
     cluster = make_cluster(config)
     registry = ProcedureRegistry()
     for proc in workload.procedures():
@@ -152,7 +155,8 @@ def make_ycsb_run(executor_name: ExecutorName,
     catalog = Catalog(config.n_partitions, scheme)
     db = Database(cluster, catalog, workload.tables(), registry,
                   n_replicas=config.n_replicas,
-                  track_spans=config.track_spans)
+                  track_spans=config.track_spans,
+                  wal=config.wal_spec())
     workload.populate(db.loader())
     history = HistoryRecorder() if config.record_history else None
     if executor_name == "2pl":
@@ -280,6 +284,7 @@ def make_instacart_run(setup: InstacartSetup, layout: InstacartLayout,
     ``executor_override`` supports the ablations: e.g. two-region
     execution over a Schism or hash layout ("reorder-only").
     """
+    assign_wal_dir(config)
     cluster = make_cluster(config)
     registry = ProcedureRegistry()
     for proc in setup.workload.procedures():
@@ -287,7 +292,8 @@ def make_instacart_run(setup: InstacartSetup, layout: InstacartLayout,
     catalog = Catalog(config.n_partitions, layout.scheme)
     db = Database(cluster, catalog, setup.workload.tables(), registry,
                   n_replicas=config.n_replicas,
-                  track_spans=config.track_spans)
+                  track_spans=config.track_spans,
+                  wal=config.wal_spec())
     setup.workload.populate(db.loader())
     history = HistoryRecorder() if config.record_history else None
     executor_name = executor_override or layout.executor_name

@@ -30,7 +30,9 @@ from ..analysis import OpInstance, OpKind
 from ..replication import InnerReplicaAck, InnerReplicate, ReplicaWrite
 from ..sim import Await, Compute, OneSided, Rpc, Signal
 from ..storage import LockMode
+from ..storage.wal import R_DECISION, R_END, R_PREPARE, ROLE_INNER
 from ..txn import Database, ExecConfig, HistoryRecorder
+from ..txn.commit_fsm import CommitFsm, apply_wire_writes, crash_point
 from ..txn.common import AbortReason, TxnRequest
 from ..txn.executor import BaseExecutor, TxnState
 from .lookup import HotRecordTable
@@ -102,13 +104,17 @@ class ChillerExecutor(BaseExecutor):
 
     def _execute_normal(self, state: TxnState) -> Generator:
         """Cold transactions run exactly like the 2PL baseline."""
+        fsm = CommitFsm(self, state)
         ok = yield from self.lock_read_phase(state)
         if not ok:
-            yield from self.abort_release(state)
+            yield from fsm.abort()
             return self.finish(state)
         writes = self.evaluate_writes(state)
-        yield from self.replicate(state, writes)
-        yield from self.commit_phase(state, writes)
+        ok = yield from fsm.prepare(writes)
+        if not ok:
+            yield from fsm.abort()
+            return self.finish(state)
+        yield from fsm.commit()
         return self.finish(state)
 
     def _execute_two_region(self, state: TxnState,
@@ -118,10 +124,11 @@ class ChillerExecutor(BaseExecutor):
         assert plan.inner_host is not None
         state.pending_checks = [inst for inst in plan.outer
                                 if inst.spec.kind is OpKind.CHECK]
+        fsm = CommitFsm(self, state)
 
         ok = yield from self.lock_read_phase(state, ops=plan.outer)
         if not ok:
-            yield from self.abort_release(state)
+            yield from fsm.abort()
             return self.finish(state)
 
         expected_acks = self._expected_acks(plan.inner_host)
@@ -144,7 +151,7 @@ class ChillerExecutor(BaseExecutor):
         if status != "ok":
             self._pending_acks.pop(state.txn_id, None)
             state.abort_reason = _ABORT_BY_STATUS[status]
-            yield from self.abort_release(state)
+            yield from fsm.abort()
             return self.finish(state)
 
         state.ctx.update(ctx_delta)
@@ -157,8 +164,14 @@ class ChillerExecutor(BaseExecutor):
             del self._pending_acks[state.txn_id]
 
         writes = self.evaluate_writes(state, ops=plan.outer)
-        yield from self.replicate(state, writes)
-        yield from self.commit_phase(state, writes)
+        ok = yield from fsm.prepare(writes)
+        if not ok:
+            # nothing can abort past the inner commit in the fault-free
+            # protocol; a dead participant can.  The inner region stays
+            # committed (it was unilateral); the outer writes abort.
+            yield from fsm.abort()
+            return self.finish(state)
+        yield from fsm.commit()
         state.touched.add(plan.inner_host)
         return self.finish(state)
 
@@ -279,7 +292,17 @@ class ChillerExecutor(BaseExecutor):
                 table, key = locations[inst.target_instance()]
                 writes.append(("delete", table, key, None))
 
+        wal = self.db.wal_of(store.partition_id)
+        if wal is not None:
+            # the unilateral inner commit logs prepare+decision in one
+            # go — there is no voting phase to survive, only the redo
+            crash_point("inner:before_commit")
+            wal.append((R_PREPARE, req.txn_id, ROLE_INNER,
+                        req.coordinator, tuple(writes)))
+            wal.append((R_DECISION, req.txn_id, True), sync=True)
         versions = _inner_commit_op(store, writes, owner)()
+        if wal is not None:
+            wal.append((R_END, req.txn_id))
         ctx_delta = {name: ctx[name] for name in req.inner_names
                      if name in ctx}
         return ("ok", ctx_delta, reads, versions, writes)
@@ -325,19 +348,7 @@ class ChillerExecutor(BaseExecutor):
 def _inner_commit_op(store, writes: list[tuple], owner):
     """Apply the inner region's writes and release its locks atomically."""
     def op() -> list:
-        versions: list[tuple[tuple[str, Any], int]] = []
-        for kind, table, key, values in writes:
-            rid = (table, key)
-            if kind == "update":
-                store.write(table, key, values)
-                versions.append((rid, store.version_of(table, key)))
-            elif kind == "insert":
-                store.insert(table, key, values)
-                versions.append((rid, 0))
-            else:
-                old = store.version_of(table, key)
-                store.delete(table, key)
-                versions.append((rid, (old or 0) + 1))
+        versions = apply_wire_writes(store, writes)
         store.release_all(owner)
         return versions
     return op

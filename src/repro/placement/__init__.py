@@ -30,7 +30,8 @@ from .controller import (PLACEMENTS, MigrationPlan, PlacementController,
                          PlacementSpec, PlannedMove, PlacementStats,
                          as_placement_spec)
 from .migration import (MigrationExecutor, controller_loop,
-                        ensure_adaptive_scheme, install_flip_handler)
+                        ensure_adaptive_scheme, install_flip_handler,
+                        lease_controller_loop)
 from .telemetry import AccessTelemetry, TelemetryWindow
 
 __all__ = [
@@ -47,4 +48,5 @@ __all__ = [
     "controller_loop",
     "ensure_adaptive_scheme",
     "install_flip_handler",
+    "lease_controller_loop",
 ]

@@ -90,10 +90,18 @@ class PlacementSpec:
     sample_every: int = 1
     max_samples: int = 512
     controller_home: int = 0
-    """Engine that runs the controller loop.  Telemetry is engine-local
-    (like the schedulers); on the mp backend the controller observes
-    the engines of its own worker process and flips routing
-    cluster-wide."""
+    """Engine that runs the controller loop (single-process backends),
+    or that holds the *election lease cell* (mp backend).  Telemetry is
+    engine-local (like the schedulers); the controller observes the
+    engines of its own worker process and flips routing cluster-wide."""
+
+    lease_ttl_us: float = 5_000.0
+    """Controller-lease time-to-live on the mp backend.  Every worker
+    runs a candidate loop; whoever holds the lease (granted by the
+    ``lease_acquire`` verb against ``controller_home``'s server) plans
+    and migrates that epoch.  A holder that stops renewing — its worker
+    process died — loses the lease once the TTL lapses and a surviving
+    candidate takes over (a *controller failover*)."""
 
     plan_cpu_us: float = 25.0
     """Modeled CPU charged to the controller's engine per re-plan."""

@@ -199,7 +199,61 @@ class MigrationExecutor:
                        for server in others])
 
 
+# -- controller election (mp backend) -----------------------------------------
+
+@op_handler("lease_acquire")
+def _do_lease_acquire(ctx: DispatchContext, d: OpDescriptor) -> tuple:
+    """Grant/renew the controller lease kept on this server.
+
+    The cell is ``[holder, expires_at_us]``; a request is granted when
+    the cell is vacant, already held by the requester (renewal), or the
+    previous holder's lease has lapsed (its worker stopped renewing —
+    it is dead).  Replies ``(status, previous_holder)`` so candidates
+    can detect failovers without the cell having to survive the death
+    of the very server that stores it.
+    """
+    holder, now_us, ttl_us = d.args
+    cell = ctx.leases.get(d.partition)
+    if cell is None:
+        cell = ctx.leases[d.partition] = [None, float("-inf")]
+    previous = cell[0]
+    if previous is None or previous == holder or now_us >= cell[1]:
+        cell[0] = holder
+        cell[1] = now_us + ttl_us
+        return ("granted", previous)
+    return ("held", previous)
+
+
+def _lease_acquire_op(db, pid: int, holder: int, now_us: float,
+                      ttl_us: float) -> OpDescriptor:
+    return OpDescriptor("lease_acquire", pid,
+                        args=(holder, now_us,
+                              ttl_us)).bind(db.dispatch_context)
+
+
 # -- the controller loop ------------------------------------------------------
+
+def _epoch_plan(db, spec: PlacementSpec, controller: PlacementController,
+                migrator: MigrationExecutor, stats: PlacementStats,
+                window: TelemetryWindow, horizon_us: float,
+                now_fn) -> Generator:
+    """One epoch's plan -> migrate tail (shared by both loops)."""
+    yield Compute(spec.plan_cpu_us)
+    epoch = db.placement_epoch() + 1
+    replicated = db.catalog.replicated_tables
+    plan: MigrationPlan = controller.plan(
+        window, db.n_partitions,
+        lambda t, k: db.partition_of(t, k, reader=migrator.home),
+        epoch, movable=lambda table: table not in replicated)
+    stats.plans += 1
+    stats.moves_planned += len(plan)
+    stats.last_epoch = epoch
+    for move in plan.moves:
+        if now_fn() >= horizon_us:
+            return
+        yield from migrator.migrate(move.table, move.key, move.dst,
+                                    epoch)
+
 
 def controller_loop(db, telemetry: dict[int, AccessTelemetry],
                     spec: PlacementSpec, controller: PlacementController,
@@ -223,18 +277,58 @@ def controller_loop(db, telemetry: dict[int, AccessTelemetry],
             return
         if window.commits_observed < spec.min_window_commits:
             continue
-        yield Compute(spec.plan_cpu_us)
-        epoch = db.placement_epoch() + 1
-        replicated = db.catalog.replicated_tables
-        plan: MigrationPlan = controller.plan(
-            window, db.n_partitions,
-            lambda t, k: db.partition_of(t, k, reader=migrator.home),
-            epoch, movable=lambda table: table not in replicated)
-        stats.plans += 1
-        stats.moves_planned += len(plan)
-        stats.last_epoch = epoch
-        for move in plan.moves:
-            if now_fn() >= horizon_us:
-                return
-            yield from migrator.migrate(move.table, move.key, move.dst,
-                                        epoch)
+        yield from _epoch_plan(db, spec, controller, migrator, stats,
+                               window, horizon_us, now_fn)
+
+
+def lease_controller_loop(db, telemetry: dict[int, AccessTelemetry],
+                          spec: PlacementSpec,
+                          controller: PlacementController,
+                          migrator: MigrationExecutor,
+                          stats: PlacementStats,
+                          horizon_us: float, cluster) -> Generator:
+    """Leader-elected controller candidate (multiprocess backend).
+
+    Every worker runs one of these instead of pinning the controller
+    to whichever worker happens to own ``controller_home``: each epoch
+    the candidate bids for the lease cell on ``controller_home``'s
+    server, and only the holder plans and migrates.  When the holder's
+    worker dies, its renewals stop — the TTL lapses (or the cell itself
+    vanishes with the dead server and is recreated vacant by the
+    respawn) and a surviving candidate acquires, counted as a
+    controller failover in the recovery stats.  While the lease server
+    is unreachable the epoch is skipped and bidding retries.
+    """
+    from ..sim.codec import PEER_DOWN
+    lease_server = spec.controller_home
+    me = cluster.worker_id
+    last_known = None  # most recent holder any reply disclosed
+    now_fn = lambda: db.cluster.sim.now  # noqa: E731 - tiny closure
+    while now_fn() < horizon_us:
+        yield Sleep(spec.epoch_us)
+        now = now_fn()
+        stats.epochs += 1
+        window = TelemetryWindow.merged(
+            [t.drain(now) for t in telemetry.values()])
+        stats.commits_observed += window.commits_observed
+        if now >= horizon_us:
+            return
+        reply = yield OneSided(
+            lease_server,
+            _lease_acquire_op(db, lease_server, me, now,
+                              spec.lease_ttl_us),
+            kind="placement_lease")
+        if reply == PEER_DOWN or reply is None:
+            continue  # lease server's worker is down: retry next epoch
+        status, previous = reply
+        if previous is not None:
+            last_known = previous
+        if status != "granted":
+            continue
+        if last_known is not None and last_known != me:
+            db.recovery.controller_failovers += 1
+        last_known = me
+        if window.commits_observed < spec.min_window_commits:
+            continue
+        yield from _epoch_plan(db, spec, controller, migrator, stats,
+                               window, horizon_us, now_fn)

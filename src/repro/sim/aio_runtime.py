@@ -86,11 +86,13 @@ class AioClock:
         self._t0: float | None = None
         self.events_fired = 0
 
-    def start(self) -> None:
+    def start(self, offset_us: float = 0.0) -> None:
         """(Re)zero the clock.  Called at every run start, so a reused
         cluster admits a full horizon again instead of inheriting the
-        wall time that passed since the previous run."""
-        self._t0 = time.perf_counter()
+        wall time that passed since the previous run.  ``offset_us``
+        starts the clock mid-run: a restarted mp worker resumes at the
+        fleet's elapsed time instead of re-admitting a full horizon."""
+        self._t0 = time.perf_counter() - offset_us / 1e6
 
     @property
     def now(self) -> float:

@@ -59,14 +59,32 @@ class DispatchContext:
     :class:`~repro.replication.ReplicaManager` (or ``None``).  In-process
     backends share one context; each multiprocess worker builds its own
     from its deterministic copy of the database.
+
+    The commit-durability layer adds three optional bindings, all
+    opaque to this module: ``commits`` (the process's prepared-txn /
+    decision table), ``wal_of(server_id)`` (per-server write-ahead log,
+    or ``None`` when durability is off), and ``leases`` (the
+    controller-election lease cells).
     """
 
-    __slots__ = ("store_of", "replicas")
+    __slots__ = ("store_of", "replicas", "commits", "wal_of", "leases")
 
     def __init__(self, store_of: Callable[[int], Any],
-                 replicas: Any = None):
+                 replicas: Any = None, commits: Any = None,
+                 wal_of: Callable[[int], Any] | None = None,
+                 leases: Any = None):
         self.store_of = store_of
         self.replicas = replicas
+        self.commits = commits
+        self.wal_of = wal_of
+        self.leases = leases
+
+
+PEER_DOWN = ("peer_down",)
+"""Result sentinel a runtime substitutes for a verb/RPC reply when the
+destination worker is known dead.  Shaped like the status tuples verb
+handlers return (``result[0]`` is the status string), so executor reply
+loops can classify it without a type check."""
 
 
 OP_HANDLERS: dict[str, Callable[[DispatchContext, "OpDescriptor"], Any]] = {}
@@ -263,8 +281,11 @@ class WireOneWay:
 # and if even that fails the whole frame falls back to FRAME_PICKLE so
 # :class:`CodecError` semantics are exactly those of the pickle path.
 
-HOT_VERBS: tuple = ("lock_read", "plain_read", "commit", "release")
-"""Verb kinds with a fixed packed encoding (index = wire verb id)."""
+HOT_VERBS: tuple = ("lock_read", "plain_read", "commit", "release",
+                    "prepare", "decision", "recover_query")
+"""Verb kinds with a fixed packed encoding (index = wire verb id).
+Extend only by appending: the index *is* the wire id, so reordering
+breaks any mixed-version pairing."""
 
 FRAME_PICKLE = 0
 FRAME_VERBS = 1
@@ -482,3 +503,34 @@ class FrameCodec:
         if tag == _V_ATOM:
             return self._atoms[body[offset]], offset + 1
         raise CodecError(f"unknown wire value tag {tag!r}")
+
+
+# -- record (WAL) bodies -------------------------------------------------------
+#
+# The write-ahead log reuses the tagged-value encoder for its record
+# bodies: a record is a flat tuple of picklable values, packed exactly
+# like a verb's key/args.  No table interning is involved — WAL files
+# outlive any one run's table registry, so table names travel as plain
+# strings — which is why these helpers can share one module-level codec
+# regardless of which database wrote the record.
+
+_record_codec: "FrameCodec | None" = None
+
+
+def pack_record(record: tuple) -> bytes:
+    """The byte body of one WAL record (a flat tuple of wire values)."""
+    global _record_codec
+    if _record_codec is None:
+        _record_codec = FrameCodec()
+    out: list = []
+    _record_codec._pack_value(out, record)
+    return b"".join(out)
+
+
+def unpack_record(body: bytes) -> tuple:
+    """Rebuild a WAL record tuple from :func:`pack_record` bytes."""
+    global _record_codec
+    if _record_codec is None:
+        _record_codec = FrameCodec()
+    value, _offset = _record_codec._unpack_value(body, 0)
+    return value

@@ -41,6 +41,7 @@ from __future__ import annotations
 import asyncio
 import multiprocessing
 import socket
+import threading
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -48,7 +49,7 @@ from typing import Any, Callable
 
 from .aio_runtime import AioClock, AioNetwork
 from .cluster import Server
-from .codec import (CodecError, FrameCodec, WireOneWay, WireRpc,
+from .codec import (PEER_DOWN, CodecError, FrameCodec, WireOneWay, WireRpc,
                     WireRpcReply, WireVerbReply, WireVerbs, decode_op,
                     encode_op)
 from .effects import Coroutine, OneWay
@@ -56,7 +57,8 @@ from .network import (MESSAGE_NOMINAL_BYTES, NetworkConfig,
                       approx_payload_bytes)
 from .runtime import EffectRuntimeBase, _payload_kind, _RpcRequest
 from .shm_transport import (DEFAULT_RING_BYTES, ShmWorkerTransport,
-                            cleanup_rings_by_name, create_inbound_rings)
+                            cleanup_rings_by_name, create_inbound_rings,
+                            ring_name, ring_names)
 
 _LENGTH_BYTES = 4
 _HOST = "127.0.0.1"
@@ -203,10 +205,17 @@ class MpServerRuntime(EffectRuntimeBase):
 
     def _send_verbs(self, target: int, ops: tuple, cont: Callable,
                     batched: bool, effect: str) -> int:
+        dst_worker = self._cluster.owner_of(target)
+        if self._cluster.peer_is_down(dst_worker):
+            # fail fast instead of queueing for a dead process: the
+            # caller sees a peer_down status and aborts (retryably)
+            result = [PEER_DOWN] * len(ops) if batched else PEER_DOWN
+            self._cluster.loop.call_soon(cont, result)
+            return 0
         specs = tuple(encode_op(op, effect) for op in ops)
         token = self._next_token
         self._next_token += 1
-        self._verb_pending[token] = (cont, batched)
+        self._verb_pending[token] = (cont, batched, dst_worker, len(ops))
         return self._cluster.transport.send(
             self.server_id, target, WireVerbs(token, specs, batched),
             what=effect)
@@ -229,9 +238,13 @@ class MpServerRuntime(EffectRuntimeBase):
                 target, self.server_id,
                 _RpcRequest(self.server_id, effect.payload, cont))
             return
+        dst_worker = self._cluster.owner_of(target)
+        if self._cluster.peer_is_down(dst_worker):
+            self._cluster.loop.call_soon(cont, PEER_DOWN)
+            return
         token = self._next_token
         self._next_token += 1
-        self._rpc_pending[token] = cont
+        self._rpc_pending[token] = (cont, dst_worker)
         sent = self._cluster.transport.send(
             self.server_id, target, WireRpc(token, effect.payload),
             what=effect.describe())
@@ -247,6 +260,8 @@ class MpServerRuntime(EffectRuntimeBase):
             self._cluster.deliver_local(target, self.server_id,
                                         OneWay(payload))
             return
+        if self._cluster.peer_is_down(self._cluster.owner_of(target)):
+            return  # one-way to a dead worker: dropped, like the wire would
         sent = self._cluster.transport.send(
             self.server_id, target, WireOneWay(payload),
             what=f"one-way message (kind={kind!r}) to server {target}")
@@ -276,12 +291,17 @@ class MpServerRuntime(EffectRuntimeBase):
             for spec in wire.specs:
                 op = decode_op(spec).bind(self.dispatch_context)
                 values.append(op())
+            if self._cluster.peer_is_down(self._cluster.owner_of(src)):
+                return  # the requester died since asking
             self._cluster.transport.send(
                 self.server_id, src,
                 WireVerbReply(wire.token, tuple(values), wire.batched),
                 what="a verb reply")
         elif isinstance(wire, WireVerbReply):
-            cont, batched = self._verb_pending.pop(wire.token)
+            entry = self._verb_pending.pop(wire.token, None)
+            if entry is None:
+                return  # reply meant for this worker's dead predecessor
+            cont, batched = entry[0], entry[1]
             values = list(wire.values)
             cont(values if batched else values[0])
         elif isinstance(wire, WireRpc):
@@ -292,6 +312,9 @@ class MpServerRuntime(EffectRuntimeBase):
 
             def reply(value: Any, token: int = wire.token,
                       requester: int = src) -> None:
+                if self._cluster.peer_is_down(
+                        self._cluster.owner_of(requester)):
+                    return
                 sent = self._cluster.transport.send(
                     self.server_id, requester, WireRpcReply(token, value),
                     what="an RPC reply")
@@ -300,11 +323,28 @@ class MpServerRuntime(EffectRuntimeBase):
 
             self.spawn(self.rpc_handler(src, wire.payload), on_done=reply)
         elif isinstance(wire, WireRpcReply):
-            self._rpc_pending.pop(wire.token)(wire.value)
+            entry = self._rpc_pending.pop(wire.token, None)
+            if entry is not None:
+                entry[0](wire.value)
         elif isinstance(wire, WireOneWay):
             self.on_message(src, OneWay(wire.payload))
         else:
             raise TypeError(f"unexpected wire payload {wire!r}")
+
+    def resolve_peer_pendings(self, worker: int) -> None:
+        """Complete every in-flight request addressed to a dead worker
+        with PEER_DOWN, so no coordinator hangs on a reply that will
+        never come (the commit FSM turns the status into a retryable
+        abort)."""
+        for token in [t for t, e in self._verb_pending.items()
+                      if e[2] == worker]:
+            cont, batched, _w, n_ops = self._verb_pending.pop(token)
+            result = [PEER_DOWN] * n_ops if batched else PEER_DOWN
+            self._cluster.loop.call_soon(cont, result)
+        for token in [t for t, e in self._rpc_pending.items()
+                      if e[1] == worker]:
+            cont, _w = self._rpc_pending.pop(token)
+            self._cluster.loop.call_soon(cont, PEER_DOWN)
 
 
 class MpEngine:
@@ -346,12 +386,15 @@ class MpWorkerCluster:
     """
 
     def __init__(self, n_servers: int, worker_id: int, n_workers: int,
-                 config: NetworkConfig | None = None):
+                 config: NetworkConfig | None = None, generation: int = 0):
         if not 0 <= worker_id < n_workers <= n_servers:
             raise ValueError(f"bad worker topology: worker {worker_id} of "
                              f"{n_workers} over {n_servers} servers")
         self.n_workers = n_workers
         self.worker_id = worker_id
+        self.generation = generation
+        """Restart count of this worker slot: 0 for an original spawn,
+        incremented each time the parent respawns it after a death."""
         self.clock = AioClock()
         self.sim = self.clock
         self.network = AioNetwork(config)
@@ -363,6 +406,12 @@ class MpWorkerCluster:
         self._error: BaseException | None = None
         self._claimed = False
         self.wire_tables: tuple = ()
+        self.recovery_enabled = False
+        self.resume_at_us = 0.0
+        self.peer_down_hooks: list[Callable] = []
+        """Called as ``hook(worker, dead_generation)`` when a peer dies
+        (the database layer reaps the dead generation's locks here)."""
+        self._down_workers: set[int] = set()
         self.servers = [Server(i, MpEngine(self, i))
                         for i in range(n_servers)]
 
@@ -383,6 +432,48 @@ class MpWorkerCluster:
 
     def owned_servers(self) -> list[int]:
         return [s.id for s in self.servers if self.owns(s.id)]
+
+    def txn_namespace(self) -> int:
+        """Txn-id namespace for this worker *generation*.  The modulo
+        identity ``namespace % n_workers == worker_id`` survives
+        restarts (lock owners remain attributable to their worker slot)
+        while ``namespace // n_workers`` is the generation, so a
+        respawn never reuses its predecessor's transaction ids."""
+        return self.worker_id + self.generation * self.n_workers
+
+    def peer_is_down(self, worker: int) -> bool:
+        return worker in self._down_workers
+
+    def fail_peer(self, worker: int, dead_generation: int = 0) -> None:
+        """A peer worker died: stop routing to it, complete in-flight
+        requests with PEER_DOWN, and reap the dead generation's locks.
+        Idempotent — the parent's announcement and a transport-level
+        connection error may both report the same death."""
+        if worker == self.worker_id:
+            return
+        if worker not in self._down_workers:
+            self._down_workers.add(worker)
+            if self.transport is not None:
+                self.transport.fail_peer(worker)
+            for server in self.servers:
+                if self.owns(server.id):
+                    server.engine.runtime.resolve_peer_pendings(worker)
+        # hooks re-run on repeat reports: a transport-level detection
+        # fires with dead_generation=0, the parent's announcement later
+        # supplies the exact generation to reap
+        for hook in self.peer_down_hooks:
+            hook(worker, dead_generation)
+
+    def rewire_peer(self, worker: int, advert: Any,
+                    dead_generation: int = 0) -> None:
+        """The parent respawned a dead peer: reattach its channel and
+        re-reap the dead generation's locks (a straggler frame from the
+        dead generation may have re-taken one after the first reap)."""
+        self._down_workers.discard(worker)
+        if self.transport is not None:
+            self.transport.rewire(worker, advert)
+        for hook in self.peer_down_hooks:
+            hook(worker, dead_generation)
 
     def register_wire_tables(self, names) -> None:
         """The packed codec's table registry (called by the database
@@ -519,6 +610,8 @@ class MpWorkerTransport:
         self._server: asyncio.AbstractServer | None = None
         self._queues: dict[int, asyncio.Queue] = {}
         self._writers: dict[int, asyncio.Task] = {}
+        self._down: set[int] = set()
+        self._channel_in_flight: dict[int, int] = {}
         self._in_flight = 0
         """Frames accepted by :meth:`send` whose bytes have not yet been
         written to their socket.  ``idle()`` must count these: a frame
@@ -560,7 +653,11 @@ class MpWorkerTransport:
         if dst_worker == self._cluster.worker_id:
             raise RuntimeError(f"frame for owned server {dst} reached the "
                                f"transport (routing bug)")
+        if dst_worker in self._down:
+            return _LENGTH_BYTES + len(body)  # dropped: peer is dead
         self._in_flight += 1
+        self._channel_in_flight[dst_worker] = \
+            self._channel_in_flight.get(dst_worker, 0) + 1
         self._ensure_channel(dst_worker).put_nowait(body)
         return _LENGTH_BYTES + len(body)
 
@@ -594,11 +691,19 @@ class MpWorkerTransport:
                 self.frames_sent += len(bodies)
                 self.wire_bytes_sent += len(frame)
                 self._in_flight -= len(bodies)
+                self._channel_in_flight[dst_worker] = \
+                    self._channel_in_flight.get(dst_worker, 0) - len(bodies)
                 await writer.drain()
         except asyncio.CancelledError:
             raise
         except Exception as exc:
-            self._cluster._fatal(exc)
+            if (isinstance(exc, OSError)
+                    and self._cluster.recovery_enabled):
+                # the peer process died under us: a survivable event on
+                # recovery runs (the parent's announcement follows)
+                self._cluster.fail_peer(dst_worker)
+            else:
+                self._cluster._fatal(exc)
         finally:
             if writer is not None:
                 writer.close()
@@ -629,6 +734,26 @@ class MpWorkerTransport:
     def idle(self) -> bool:
         return self._in_flight == 0 and \
             all(q.empty() for q in self._queues.values())
+
+    def fail_peer(self, dst_worker: int) -> None:
+        """Tear down the channel to a dead worker; queued frames are
+        dropped (they were addressed to a process that no longer
+        exists) and stop counting toward ``idle()``."""
+        self._down.add(dst_worker)
+        task = self._writers.pop(dst_worker, None)
+        if task is not None:
+            task.cancel()
+        queue = self._queues.pop(dst_worker, None)
+        if queue is not None:
+            while not queue.empty():
+                queue.get_nowait()
+        self._in_flight -= self._channel_in_flight.pop(dst_worker, 0)
+
+    def rewire(self, dst_worker: int, advert: Any) -> None:
+        """A respawned worker advertised a fresh port; dial it lazily
+        on the next frame."""
+        self._ports[dst_worker] = advert
+        self._down.discard(dst_worker)
 
     async def stop(self) -> None:
         for queue in self._queues.values():
@@ -722,10 +847,12 @@ class MpTemplateCluster:
 
 
 def _worker_entry(conn, spec: MpRunSpec, config: Any, worker_id: int,
-                  n_workers: int) -> None:
+                  n_workers: int, generation: int = 0,
+                  resume_at_us: float = 0.0) -> None:
     """Spawned process main: build, serve, report, exit."""
     try:
-        _worker_body(conn, spec, config, worker_id, n_workers)
+        _worker_body(conn, spec, config, worker_id, n_workers,
+                     generation, resume_at_us)
     except BaseException:  # noqa: BLE001 - report, never hang the parent
         try:
             conn.send(("error", worker_id, traceback.format_exc()))
@@ -739,7 +866,8 @@ def _worker_entry(conn, spec: MpRunSpec, config: Any, worker_id: int,
 
 
 def _worker_body(conn, spec: MpRunSpec, config: Any, worker_id: int,
-                 n_workers: int) -> None:
+                 n_workers: int, generation: int = 0,
+                 resume_at_us: float = 0.0) -> None:
     global _ACTIVE_CLUSTER
     transport_kind = getattr(config, "mp_transport", "tcp") or "tcp"
     if transport_kind not in MP_TRANSPORTS:
@@ -748,10 +876,13 @@ def _worker_body(conn, spec: MpRunSpec, config: Any, worker_id: int,
     listener = None
     rings_in = {}
     if transport_kind == "shm":
-        # inbound rings must exist before any peer learns our advert
-        ring_bytes = getattr(config, "mp_shm_ring_bytes",
-                             None) or DEFAULT_RING_BYTES
-        rings_in = create_inbound_rings(worker_id, n_workers, ring_bytes)
+        # inbound rings must exist before any peer learns our advert;
+        # with a run id the names are deterministic, so a respawned
+        # generation recreates (and thereby reclaims) its predecessor's
+        rings_in = create_inbound_rings(
+            worker_id, n_workers,
+            getattr(config, "mp_shm_ring_bytes", None) or DEFAULT_RING_BYTES,
+            run_id=getattr(config, "mp_run_id", None))
         advert: Any = {src: ring.name for src, ring in rings_in.items()}
     else:
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -773,7 +904,10 @@ def _worker_body(conn, spec: MpRunSpec, config: Any, worker_id: int,
     ports: dict[int, Any] = msg[1]
 
     cluster = MpWorkerCluster(config.n_partitions, worker_id, n_workers,
-                              config.network_config())
+                              config.network_config(),
+                              generation=generation)
+    cluster.recovery_enabled = bool(getattr(config, "mp_recovery", False))
+    cluster.resume_at_us = resume_at_us
     _ACTIVE_CLUSTER = cluster
     try:
         run_obj = spec.builder(*spec.args, **spec.kwargs)
@@ -829,15 +963,25 @@ async def _serve_worker(cluster: MpWorkerCluster, conn,
         try:
             while conn.poll():
                 msg = conn.recv()
-                if msg and msg[0] == "stop":
+                if not msg:
+                    continue
+                if msg[0] == "stop":
                     stop.set()
+                elif msg[0] == "peer_down":
+                    # (peer_down, worker, dead_generation)
+                    cluster.fail_peer(msg[1], msg[2])
+                elif msg[0] == "rewire":
+                    # (rewire, worker, advert, dead_generation)
+                    cluster.rewire_peer(msg[1], msg[2], msg[3])
         except (EOFError, OSError):
             stop.set()  # parent died: shut down rather than linger
 
     loop.add_reader(conn.fileno(), on_parent_message)
     try:
         await transport.start(loop)
-        cluster.clock.start()
+        # a respawned generation rejoins the fleet's elapsed timeline
+        # instead of re-admitting a full horizon from zero
+        cluster.clock.start(cluster.resume_at_us)
         pending, cluster._pending_spawns = cluster._pending_spawns, []
         for runtime, gen, on_done in pending:
             runtime.spawn(gen, on_done)
@@ -867,6 +1011,20 @@ async def _serve_worker(cluster: MpWorkerCluster, conn,
 # -- parent-side controller ---------------------------------------------------
 
 
+def _spawn_worker(ctx, spec: MpRunSpec, config: Any, worker_id: int,
+                  n_workers: int, generation: int,
+                  resume_at_us: float) -> tuple:
+    parent_conn, child_conn = ctx.Pipe()
+    proc = ctx.Process(
+        target=_worker_entry,
+        args=(child_conn, spec, config, worker_id, n_workers,
+              generation, resume_at_us),
+        daemon=True, name=f"mp-worker-{worker_id}.g{generation}")
+    proc.start()
+    child_conn.close()
+    return proc, parent_conn
+
+
 def run_mp_workers(spec: MpRunSpec, config: Any) -> list[Any]:
     """Spawn the workers, run the spec, return per-worker payloads.
 
@@ -876,6 +1034,13 @@ def run_mp_workers(spec: MpRunSpec, config: Any) -> list[Any]:
     to every worker's builder.  Teardown is unconditional — whatever
     happens, every worker process is joined (terminated, then killed if
     necessary) before this returns or raises.
+
+    With ``mp_recovery`` on, a worker that dies mid-run (crash or
+    SIGKILL — ``mp_chaos_kill_worker`` injects one deliberately) is
+    restarted up to ``mp_max_restarts`` times: the controller joins the
+    corpse, reclaims its shm rings, announces ``peer_down`` to the
+    survivors, respawns generation+1 resuming at the fleet's elapsed
+    time, and rewires everyone once the replacement advertises.
     """
     if spec.driver is None:
         raise ValueError("MpRunSpec.driver is required")
@@ -883,51 +1048,155 @@ def run_mp_workers(spec: MpRunSpec, config: Any) -> list[Any]:
     timeout = getattr(config, "mp_run_timeout_s", None)
     if timeout is None:
         timeout = getattr(config, "horizon_us", 0.0) / 1e6 + 60.0
+    recovery = bool(getattr(config, "mp_recovery", False))
+    restarts_left = int(getattr(config, "mp_max_restarts", 1)) \
+        if recovery else 0
+    run_id = getattr(config, "mp_run_id", None)
     ctx = multiprocessing.get_context("spawn")
-    workers: list[tuple] = []
+    workers: dict[int, tuple] = {}       # worker_id -> live (proc, conn)
+    all_workers: list[tuple] = []        # every incarnation, for teardown
     adverts: dict[int, Any] = {}
+    generations = {w: 0 for w in range(n_workers)}
+    chaos_timer = None
     try:
         for worker_id in range(n_workers):
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(
-                target=_worker_entry,
-                args=(child_conn, spec, config, worker_id, n_workers),
-                daemon=True, name=f"mp-worker-{worker_id}")
-            workers.append((proc, parent_conn, child_conn))
-        for proc, _parent, _child in workers:
-            proc.start()
-        for _proc, _parent, child in workers:
-            child.close()
+            workers[worker_id] = _spawn_worker(ctx, spec, config,
+                                               worker_id, n_workers, 0, 0.0)
+        all_workers.extend(workers.values())
         deadline = time.monotonic() + timeout
-        ports = _collect(workers, "port", deadline)
-        adverts.update(ports)
-        for _proc, parent, _child in workers:
-            parent.send(("ports", ports))
-        results = _collect(workers, "done", deadline)
-        for _proc, parent, _child in workers:
+        # handshake: a death here is fatal even with recovery on — no
+        # run state exists yet worth saving
+        adverts.update(_collect(workers, set(workers), "port", deadline))
+        for _proc, parent in workers.values():
+            parent.send(("ports", dict(adverts)))
+        run_start = time.monotonic()
+
+        victim = getattr(config, "mp_chaos_kill_worker", None)
+        if victim is not None:
+            chaos_timer = threading.Timer(
+                getattr(config, "mp_chaos_kill_after_s", 0.5),
+                workers[victim][0].kill)
+            chaos_timer.daemon = True
+            chaos_timer.start()
+
+        results: dict[int, Any] = {}
+        pending = set(workers)
+        while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise MpRunError(
+                    f"timed out waiting for {len(pending)} worker(s) to "
+                    f"report 'done' (raise RunConfig.mp_run_timeout_s if "
+                    f"the run is legitimately long)")
+            by_conn = {workers[w][1]: w for w in pending}
+            ready = multiprocessing.connection.wait(list(by_conn),
+                                                    timeout=remaining)
+            for conn in ready:
+                w = by_conn[conn]
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    if restarts_left <= 0:
+                        proc = workers[w][0]
+                        raise MpRunError(
+                            f"worker {proc.name} died before reporting "
+                            f"'done' (exit code {proc.exitcode})") from None
+                    restarts_left -= 1
+                    all_workers.append(_restart_worker(
+                        ctx, spec, config, w, n_workers, workers,
+                        adverts, generations, run_id, run_start, deadline))
+                    continue
+                if msg[0] == "error":
+                    raise MpRunError(f"worker {msg[1]} failed:\n{msg[2]}")
+                if msg[0] != "done":
+                    raise MpRunError(f"protocol error: expected 'done', "
+                                     f"worker sent {msg[0]!r}")
+                results[w] = msg[2]
+                pending.discard(w)
+
+        for _proc, parent in workers.values():
             try:
                 parent.send(("stop",))
             except (BrokenPipeError, OSError):
                 pass
         join_deadline = time.monotonic() + _STOP_GRACE_S + 5.0
-        for proc, _parent, _child in workers:
+        for proc, _parent in workers.values():
             proc.join(timeout=max(0.1, join_deadline - time.monotonic()))
         return [results[w] for w in range(n_workers)]
     finally:
-        _teardown(workers)
-        # shm adverts are ring names; a worker that died before its
-        # transport.stop() leaked them, so reclaim here (workers that
+        if chaos_timer is not None:
+            chaos_timer.cancel()
+        _teardown(all_workers)
+        # a worker that died before its transport.stop() leaked its shm
+        # rings; with a run id every possible name is derivable, else
+        # fall back to the adverts actually exchanged (workers that
         # exited cleanly already unlinked — then this is a no-op)
-        cleanup_rings_by_name(name for advert in adverts.values()
-                              if isinstance(advert, dict)
-                              for name in advert.values())
+        if run_id is not None:
+            cleanup_rings_by_name(ring_names(run_id, n_workers))
+        else:
+            cleanup_rings_by_name(name for advert in adverts.values()
+                                  if isinstance(advert, dict)
+                                  for name in advert.values())
 
 
-def _collect(workers: list[tuple], tag: str,
+def _restart_worker(ctx, spec: MpRunSpec, config: Any, worker_id: int,
+                    n_workers: int, workers: dict[int, tuple],
+                    adverts: dict[int, Any], generations: dict[int, int],
+                    run_id: str | None, run_start: float,
+                    deadline: float) -> tuple:
+    """Replace a dead worker in a running fleet; returns the new
+    (proc, conn) pair (also installed into ``workers``)."""
+    dead_proc, dead_conn = workers[worker_id]
+    dead_gen = generations[worker_id]
+    dead_proc.join(timeout=5.0)
+    if dead_proc.is_alive():
+        dead_proc.kill()
+        dead_proc.join(timeout=5.0)
+    try:
+        dead_conn.close()
+    except Exception:
+        pass
+    # reclaim the corpse's inbound rings before the replacement
+    # recreates the same names
+    if run_id is not None:
+        cleanup_rings_by_name(ring_name(run_id, worker_id, src)
+                              for src in range(n_workers)
+                              if src != worker_id)
+    elif isinstance(adverts.get(worker_id), dict):
+        cleanup_rings_by_name(adverts[worker_id].values())
+    # survivors must stop waiting on the dead generation (and reap its
+    # locks) before the replacement starts issuing new-generation txns
+    for sw, (_proc, sconn) in workers.items():
+        if sw != worker_id:
+            try:
+                sconn.send(("peer_down", worker_id, dead_gen))
+            except (BrokenPipeError, OSError):
+                pass
+    generations[worker_id] = dead_gen + 1
+    resume_at_us = (time.monotonic() - run_start) * 1e6
+    replacement = _spawn_worker(ctx, spec, config, worker_id, n_workers,
+                                dead_gen + 1, resume_at_us)
+    workers[worker_id] = replacement
+    # private handshake: the newcomer rebuilds (workload population can
+    # take a while), advertises, and gets the current fleet map
+    advert = _collect(workers, {worker_id}, "port", deadline)[worker_id]
+    adverts[worker_id] = advert
+    replacement[1].send(("ports", dict(adverts)))
+    for sw, (_proc, sconn) in workers.items():
+        if sw != worker_id:
+            try:
+                sconn.send(("rewire", worker_id, advert, dead_gen))
+            except (BrokenPipeError, OSError):
+                pass
+    return replacement
+
+
+def _collect(workers: dict[int, tuple], worker_ids: set[int], tag: str,
              deadline: float) -> dict[int, Any]:
-    """Gather one ``(tag, worker_id, value)`` message per worker,
-    surfacing worker errors, deaths, and timeouts as MpRunError."""
-    by_conn = {parent: proc for proc, parent, _child in workers}
+    """Gather one ``(tag, worker_id, value)`` message from each of
+    ``worker_ids``, surfacing worker errors, deaths, and timeouts as
+    MpRunError."""
+    by_conn = {workers[w][1]: w for w in worker_ids}
     pending = set(by_conn)
     out: dict[int, Any] = {}
     while pending:
@@ -943,7 +1212,7 @@ def _collect(workers: list[tuple], tag: str,
             try:
                 msg = conn.recv()
             except (EOFError, OSError):
-                proc = by_conn[conn]
+                proc = workers[by_conn[conn]][0]
                 raise MpRunError(
                     f"worker {proc.name} died before reporting {tag!r} "
                     f"(exit code {proc.exitcode})") from None
@@ -959,18 +1228,18 @@ def _collect(workers: list[tuple], tag: str,
 
 
 def _teardown(workers: list[tuple]) -> None:
-    """Join every worker, escalating so none can leak."""
-    for proc, _parent, _child in workers:
+    """Join every worker incarnation, escalating so none can leak."""
+    for proc, _parent in workers:
         if proc.is_alive():
             proc.terminate()
-    for proc, _parent, _child in workers:
+    for proc, _parent in workers:
         if proc.is_alive():
             proc.join(timeout=5.0)
-    for proc, _parent, _child in workers:
+    for proc, _parent in workers:
         if proc.is_alive():
             proc.kill()
             proc.join(timeout=5.0)
-    for _proc, parent, _child in workers:
+    for _proc, parent in workers:
         try:
             parent.close()
         except Exception:

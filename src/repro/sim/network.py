@@ -66,10 +66,14 @@ PHASE_OF_KIND = {
     "commit": "commit",
     "release": "commit",
     "inner_commit": "commit",
+    "prepare": "commit",
+    "decision": "commit",
+    "recover_query": "commit",
     "migrate_lock": "migrate",
     "migrate_install": "migrate",
     "migrate_remove": "migrate",
     "placement_flip": "migrate",
+    "placement_lease": "migrate",
 }
 """Transaction-phase bucket of each traffic kind, for the Fig.-style
 bytes-by-phase breakdown (unlisted kinds land in ``other``)."""

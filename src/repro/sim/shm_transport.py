@@ -83,11 +83,25 @@ class SpscRing:
         self._created = created
 
     @classmethod
-    def create(cls, capacity: int = DEFAULT_RING_BYTES) -> "SpscRing":
+    def create(cls, capacity: int = DEFAULT_RING_BYTES,
+               name: str | None = None) -> "SpscRing":
+        """Create a fresh ring.  With ``name`` (the deterministic
+        per-run scheme, see :func:`ring_name`) a stale same-named
+        segment — leaked by a SIGKILL'd predecessor — is reclaimed
+        first, so a respawned worker can always recreate its rings."""
         if capacity < 4 * _LEN_BYTES:
             raise ValueError(f"ring capacity {capacity} is too small")
-        shm = shared_memory.SharedMemory(create=True,
-                                         size=_HEADER_BYTES + capacity)
+        size = _HEADER_BYTES + capacity
+        if name is None:
+            shm = shared_memory.SharedMemory(create=True, size=size)
+        else:
+            try:
+                shm = shared_memory.SharedMemory(name=name, create=True,
+                                                 size=size)
+            except FileExistsError:
+                cleanup_rings_by_name([name])
+                shm = shared_memory.SharedMemory(name=name, create=True,
+                                                 size=size)
         shm.buf[:_HEADER_BYTES] = bytes(_HEADER_BYTES)
         return cls(shm, created=True)
 
@@ -176,10 +190,28 @@ class SpscRing:
             pass  # already reclaimed (parent cleanup raced us)
 
 
-def create_inbound_rings(worker_id: int, n_workers: int,
-                         ring_bytes: int) -> dict[int, SpscRing]:
+def ring_name(run_id: str, dst_worker: int, src_worker: int) -> str:
+    """Deterministic segment name for ``dst``'s inbound ring from
+    ``src``.  Derivable by the parent and by any worker generation, so
+    a respawn recreates exactly its predecessor's names and tests can
+    assert no ``repro-<run_id>-*`` segment outlives a run."""
+    return f"repro-{run_id}-{dst_worker}-{src_worker}"
+
+
+def ring_names(run_id: str, n_workers: int) -> list[str]:
+    """Every ring name a run with this id can have created."""
+    return [ring_name(run_id, dst, src)
+            for dst in range(n_workers)
+            for src in range(n_workers) if src != dst]
+
+
+def create_inbound_rings(worker_id: int, n_workers: int, ring_bytes: int,
+                         run_id: str | None = None) -> dict[int, SpscRing]:
     """This worker's receive rings, one per peer, keyed by sender."""
-    return {src: SpscRing.create(ring_bytes)
+    return {src: SpscRing.create(
+                ring_bytes,
+                name=None if run_id is None
+                else ring_name(run_id, worker_id, src))
             for src in range(n_workers) if src != worker_id}
 
 
@@ -220,6 +252,7 @@ class ShmWorkerTransport:
         self._out_names = {dst: advert[me] for dst, advert in adverts.items()
                            if dst != me}
         self._rings_out: dict[int, SpscRing] = {}
+        self._down: set[int] = set()
         self._overflow: dict[int, deque] = {dst: deque()
                                             for dst in self._out_names}
         self._drainers: dict[int, asyncio.Task] = {}
@@ -232,9 +265,17 @@ class ShmWorkerTransport:
     async def start(self, loop: asyncio.AbstractEventLoop) -> None:
         self._loop = loop
         # every peer created its inbound rings before the parent shared
-        # the advert map, so attaching here can never race creation
+        # the advert map, so attaching here can never race creation —
+        # unless the peer has *already died* and the parent reclaimed
+        # its segments while we were still building
         for dst, name in self._out_names.items():
-            self._rings_out[dst] = SpscRing.attach(name)
+            try:
+                self._rings_out[dst] = SpscRing.attach(name)
+            except FileNotFoundError:
+                if not getattr(self._cluster, "recovery_enabled", False):
+                    raise
+                # the parent's queued peer_down/rewire will resolve this
+                self._down.add(dst)
         self._poller = loop.create_task(self._poll())
 
     # -- producer side -----------------------------------------------------
@@ -247,6 +288,8 @@ class ShmWorkerTransport:
         if dst_worker == self._cluster.worker_id:
             raise RuntimeError(f"frame for owned server {dst} reached the "
                                f"transport (routing bug)")
+        if dst_worker in self._down:
+            return _LEN_BYTES + len(body)  # dropped: peer is dead
         overflow = self._overflow[dst_worker]
         if overflow or not self._rings_out[dst_worker].try_push(body):
             # FIFO: once anything queued, everything queues behind it
@@ -332,6 +375,37 @@ class ShmWorkerTransport:
 
     def idle(self) -> bool:
         return self._pending == 0
+
+    def fail_peer(self, dst_worker: int) -> None:
+        """Detach from a dead worker: drop overflow frames bound for
+        it, release the outbound ring mapping (the parent unlinks the
+        segment), and discard whatever its last generation left in our
+        inbound ring — stale verbs must not execute after the dead
+        generation's locks are reaped."""
+        self._down.add(dst_worker)
+        task = self._drainers.pop(dst_worker, None)
+        if task is not None:
+            task.cancel()
+        overflow = self._overflow.get(dst_worker)
+        if overflow:
+            self._pending -= len(overflow)
+            overflow.clear()
+        ring = self._rings_out.pop(dst_worker, None)
+        if ring is not None:
+            ring.close()
+        ring_in = self._rings_in.get(dst_worker)
+        if ring_in is not None:
+            # the producer is dead, so one sweep empties it for good
+            while ring_in.try_pop() is not None:
+                pass
+
+    def rewire(self, dst_worker: int, advert: dict) -> None:
+        """Attach to a respawned worker's recreated inbound ring."""
+        me = self._cluster.worker_id
+        self._out_names[dst_worker] = advert[me]
+        self._overflow.setdefault(dst_worker, deque())
+        self._rings_out[dst_worker] = SpscRing.attach(advert[me])
+        self._down.discard(dst_worker)
 
     async def stop(self) -> None:
         tasks = [t for t in (self._poller, *self._drainers.values())

@@ -153,6 +153,23 @@ class PartitionStore:
                 self.spans.record(table, key, self._now() - acquired)
         return len(entries)
 
+    def release_where(self, predicate: Callable[[object], bool]) -> int:
+        """Release all locks of every owner ``predicate`` selects.
+
+        The recovery path uses this to reap locks stranded by a dead
+        worker: the owner ids (transaction ids) of a crashed process
+        never come back, so nothing else will ever release them.
+        Returns the number of lock entries released.
+        """
+        released = 0
+        for owner in [o for o in self._held if predicate(o)]:
+            released += self.release_all(owner)
+        return released
+
+    def owners_holding(self) -> list[object]:
+        """Owners currently holding at least one lock here."""
+        return list(self._held)
+
     def locks_held(self, owner: object) -> int:
         return len(self._held.get(owner, []))
 

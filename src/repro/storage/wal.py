@@ -1,0 +1,252 @@
+"""Per-server write-ahead log for the commit path.
+
+Each server a process owns gets one append-only log file recording the
+coordinator/participant state transitions of the commit FSM
+(:mod:`repro.txn.commit_fsm`).  The format deliberately reuses the wire
+codec's struct machinery: a record is a flat tuple packed by
+:func:`repro.sim.codec.pack_record`, framed by a 4-byte little-endian
+length prefix.  No table interning, no atoms that depend on import
+order — a WAL file is readable by any later process of the same build.
+
+Record shapes (first element is the record type):
+
+``(R_PREPARE, txn_id, role, peer, payload)``
+    The txn reached PREPARED here.  ``role`` says whose log this is for
+    the txn: the coordinator logs its full write-set (``payload`` is a
+    tuple of ``(partition, wire_writes)`` pairs, ``peer`` is the home
+    server); a participant logs only the writes stashed for it
+    (``payload`` is its wire_writes tuple, ``peer`` is the coordinator
+    server that will decide).
+
+``(R_DECISION, txn_id, committed)``
+    The commit/abort decision.  At the coordinator this record *is* the
+    commit point and is always synced before the decision is announced;
+    participants log it unsynced (the coordinator's copy is
+    authoritative — that is what presumed abort queries).
+
+``(R_END, txn_id)``
+    The txn is fully resolved here; recovery may skip it.
+
+**Durability model.**  ``mode="fsync"`` syncs every append;
+``mode="group"`` batches fsyncs (every ``group_size`` appends), but a
+*forced* append — the coordinator's decision record — always syncs:
+group commit trades latency of non-decision records, never the commit
+point.  Note that surviving a SIGKILL'd worker process only requires
+``flush()`` (the page cache outlives the process); fsync is what models
+the cost of surviving a machine crash, which is the durability level
+the paper's replicated in-memory design targets.
+
+Recovery is redo-only: writes are buffered at the coordinator until the
+decision, so an aborted txn has nothing to undo, and redo is idempotent
+because wire writes carry absolute evaluated values.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from struct import Struct
+
+from ..sim.codec import pack_record, unpack_record
+
+WAL_MODES = ("off", "fsync", "group")
+"""Durability modes a run can select (``RunConfig.wal``)."""
+
+R_PREPARE = 1
+R_DECISION = 2
+R_END = 3
+
+ROLE_COORDINATOR = 0
+ROLE_PARTICIPANT = 1
+ROLE_INNER = 2
+"""A Chiller inner region's unilateral local commit: prepare and
+decision land back-to-back in the host's log (there is no vote), and a
+prepare without a decision means the critical section never committed
+— nothing is in doubt."""
+
+_S_LEN = Struct("<I")
+
+
+@dataclass(frozen=True)
+class WalSpec:
+    """Picklable recipe for a run's durability policy."""
+
+    mode: str = "off"
+    dir: str | None = None
+    """Directory holding ``server-<id>.wal`` files.  On the mp backend
+    the parent assigns one shared directory before spawning, so a
+    respawned worker finds its predecessor's logs."""
+
+    group_size: int = 8
+    """Appends per fsync under group commit (forced syncs reset it)."""
+
+    append_us: float = 0.9
+    """Modeled coordinator CPU/device time per WAL append."""
+
+    fsync_us: float = 18.0
+    """Modeled device time per fsync (NVMe-class flush)."""
+
+    @property
+    def enabled(self) -> bool:
+        return self.mode != "off"
+
+
+def as_wal_spec(wal: "WalSpec | str | None") -> WalSpec:
+    """Normalize ``RunConfig.wal`` (None, a mode name, or a full spec)."""
+    if wal is None:
+        return WalSpec(mode="off")
+    if isinstance(wal, str):
+        if wal not in WAL_MODES:
+            raise ValueError(f"unknown wal mode {wal!r} "
+                             f"(expected one of {WAL_MODES})")
+        return WalSpec(mode=wal)
+    return wal
+
+
+@dataclass
+class RecoveryStats:
+    """Durability/recovery counters, surfaced through ``Metrics``.
+
+    Picklable and mergeable like ``PlacementStats``: multiprocess
+    workers ship theirs back to the parent, which folds them.
+    """
+
+    wal_mode: str = "off"
+    wal_appends: int = 0
+    wal_fsyncs: int = 0
+    wal_bytes: int = 0
+    recoveries: int = 0
+    """WAL replays performed (one per restarted process that found
+    logs to replay)."""
+
+    txns_redone: int = 0
+    """Committed txns whose writes were re-applied from the log."""
+
+    in_doubt_resolved: int = 0
+    """Prepared-but-undecided txns resolved at recovery (by a
+    coordinator query or presumed abort)."""
+
+    controller_failovers: int = 0
+    """Times the placement-controller lease moved to a new leader."""
+
+    def merge_from(self, other: "RecoveryStats") -> None:
+        if other.wal_mode != "off":
+            self.wal_mode = other.wal_mode
+        self.wal_appends += other.wal_appends
+        self.wal_fsyncs += other.wal_fsyncs
+        self.wal_bytes += other.wal_bytes
+        self.recoveries += other.recoveries
+        self.txns_redone += other.txns_redone
+        self.in_doubt_resolved += other.in_doubt_resolved
+        self.controller_failovers += other.controller_failovers
+
+    @classmethod
+    def merged(cls, parts: list["RecoveryStats"]) -> "RecoveryStats":
+        total = cls()
+        for part in parts:
+            total.merge_from(part)
+        return total
+
+    @property
+    def any_activity(self) -> bool:
+        return (self.wal_appends > 0 or self.recoveries > 0
+                or self.controller_failovers > 0)
+
+    def summary(self) -> dict:
+        """Flat report fields for ``RunResult.perf_summary()``."""
+        return {
+            "wal_mode": self.wal_mode,
+            "wal_appends": self.wal_appends,
+            "wal_fsyncs": self.wal_fsyncs,
+            "wal_bytes": self.wal_bytes,
+            "recoveries": self.recoveries,
+            "txns_redone": self.txns_redone,
+            "in_doubt_resolved": self.in_doubt_resolved,
+            "controller_failovers": self.controller_failovers,
+        }
+
+
+def wal_path(directory: str, server_id: int) -> str:
+    return os.path.join(directory, f"server-{server_id}.wal")
+
+
+class WriteAheadLog:
+    """One server's append-only log."""
+
+    __slots__ = ("path", "spec", "stats", "_fh", "_pending")
+
+    def __init__(self, path: str, spec: WalSpec,
+                 stats: RecoveryStats | None = None):
+        self.path = path
+        self.spec = spec
+        self.stats = stats if stats is not None else RecoveryStats()
+        self.stats.wal_mode = spec.mode
+        self._fh = open(path, "ab")
+        self._pending = 0
+
+    def append(self, record: tuple, sync: bool | None = None) -> None:
+        """Append one record; durability per the spec's mode.
+
+        ``sync=True`` forces an fsync regardless of mode (the
+        coordinator's decision record — the commit point).
+        """
+        body = pack_record(record)
+        self._fh.write(_S_LEN.pack(len(body)))
+        self._fh.write(body)
+        self.stats.wal_appends += 1
+        self.stats.wal_bytes += _S_LEN.size + len(body)
+        self._pending += 1
+        if sync or self.spec.mode == "fsync" or (
+                self.spec.mode == "group"
+                and self._pending >= self.spec.group_size):
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self.stats.wal_fsyncs += 1
+            self._pending = 0
+        else:
+            # a flush (no fsync) is all process-crash durability needs:
+            # the page cache outlives a SIGKILL'd writer
+            self._fh.flush()
+
+    def append_cost_us(self, sync: bool = False) -> float:
+        """Modeled time one append charges the coordinator."""
+        cost = self.spec.append_us
+        if sync or self.spec.mode == "fsync":
+            cost += self.spec.fsync_us
+        elif self.spec.mode == "group":
+            # amortized: each append carries 1/group_size of an fsync
+            cost += self.spec.fsync_us / max(1, self.spec.group_size)
+        return cost
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        except OSError:
+            pass
+
+
+def replay_wal(path: str) -> list[tuple]:
+    """All decodable records of one log, in append order.
+
+    Tolerates a torn tail — a crash mid-append leaves a short or
+    undecodable final record, which simply was not durable yet.
+    """
+    records: list[tuple] = []
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except FileNotFoundError:
+        return records
+    offset = 0
+    while offset + _S_LEN.size <= len(data):
+        (length,) = _S_LEN.unpack_from(data, offset)
+        start = offset + _S_LEN.size
+        if start + length > len(data):
+            break  # torn tail
+        try:
+            record = unpack_record(data[start:start + length])
+        except Exception:
+            break  # torn/corrupt tail: nothing after it is trustworthy
+        records.append(record)
+        offset = start + length
+    return records

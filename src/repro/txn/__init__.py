@@ -1,5 +1,9 @@
 """Transaction processing: database wiring, 2PL+2PC and OCC baselines."""
 
+from .commit_fsm import (CommitFsm, CommitTable, InvalidTransition,
+                         PreparedEntry, SimulatedCrash, TxnPhase,
+                         recover_database, recovery_program,
+                         resolve_in_doubt_local)
 from .common import (AbortReason, BufferedWrite, CommitLog, Outcome,
                      TxnRequest, WriteKind, next_txn_id)
 from .database import Database
@@ -12,15 +16,24 @@ __all__ = [
     "AbortReason",
     "BaseExecutor",
     "BufferedWrite",
+    "CommitFsm",
     "CommitLog",
+    "CommitTable",
     "Database",
     "ExecConfig",
     "HistoryRecorder",
+    "InvalidTransition",
     "OccExecutor",
     "Outcome",
+    "PreparedEntry",
+    "SimulatedCrash",
     "TwoPLExecutor",
+    "TxnPhase",
     "TxnRequest",
     "TxnState",
     "WriteKind",
     "next_txn_id",
+    "recover_database",
+    "recovery_program",
+    "resolve_in_doubt_local",
 ]

@@ -51,6 +51,9 @@ class AbortReason(enum.Enum):
     MIGRATED = "migrated"          # record moved mid-flight (retryable):
     # the read resolved against a placement epoch that a live migration
     # has since advanced; a retry re-resolves and finds the new home
+    PEER_DOWN = "peer_down"        # a participant worker died mid-txn
+    # (retryable): the mp runtime short-circuits verbs to dead workers;
+    # retries succeed once the parent respawns the worker
 
 
 class WriteKind(enum.Enum):

@@ -15,7 +15,10 @@ from ..analysis import ProcedureRegistry
 from ..replication import ReplicaManager
 from ..sim import Cluster, Coroutine
 from ..sim.codec import DispatchContext
-from ..storage import Catalog, PartitionStore, TableSpec
+from ..storage import (Catalog, PartitionStore, RecoveryStats, TableSpec,
+                       WalSpec, WriteAheadLog, as_wal_spec, wal_path)
+from .commit_fsm import CommitTable
+from .common import TXN_ID_NAMESPACE_SPAN
 
 
 RpcFactory = Callable[[int, int, Any], Coroutine]
@@ -29,7 +32,8 @@ class Database:
                  tables: Iterable[TableSpec],
                  registry: ProcedureRegistry,
                  n_replicas: int = 1,
-                 track_spans: bool = False):
+                 track_spans: bool = False,
+                 wal: WalSpec | str | None = None):
         if catalog.n_partitions != len(cluster):
             raise ValueError(
                 f"catalog has {catalog.n_partitions} partitions but the "
@@ -51,9 +55,33 @@ class Database:
         if n_replicas > 0:
             self.replicas = ReplicaManager(len(cluster), n_replicas,
                                            self.tables, now_fn=now_fn)
-        self.dispatch_context = DispatchContext(self.store, self.replicas)
+        self.recovery = RecoveryStats()
+        self.commit_table = CommitTable()
+        self.wal_spec = as_wal_spec(wal)
+        self._wals: dict[int, WriteAheadLog] = {}
+        if self.wal_spec.enabled:
+            if self.wal_spec.dir is None:
+                raise ValueError("a durability-enabled WalSpec needs a "
+                                 "directory (the harness assigns one "
+                                 "per run)")
+            for server in cluster.servers:
+                if self._owns is None or self._owns(server.id):
+                    self._wals[server.id] = WriteAheadLog(
+                        wal_path(self.wal_spec.dir, server.id),
+                        self.wal_spec, stats=self.recovery)
+        self.leases: dict[int, Any] = {}
+        """Controller-election lease cells, keyed by server id; filled
+        lazily by the ``lease_acquire`` verb handler."""
+        self.dispatch_context = DispatchContext(self.store, self.replicas,
+                                                commits=self.commit_table,
+                                                wal_of=self.wal_of,
+                                                leases=self.leases)
         """What this process's servers expose to decoded op descriptors
-        (see :mod:`repro.sim.codec`): the local stores and replicas."""
+        (see :mod:`repro.sim.codec`): the local stores, replicas, and
+        the durability layer's tables."""
+        hooks = getattr(cluster, "peer_down_hooks", None)
+        if hooks is not None:
+            hooks.append(self._release_dead_owner_locks)
         register_tables = getattr(cluster, "register_wire_tables", None)
         if register_tables is not None:
             # the packed wire codec interns table names; every worker
@@ -96,6 +124,58 @@ class Database:
     def store(self, partition: int) -> PartitionStore:
         """Primary store of ``partition``."""
         return self.cluster.server(partition).storage
+
+    # -- durability --------------------------------------------------------
+
+    def wal_of(self, server_id: int) -> WriteAheadLog | None:
+        """The server's write-ahead log; None when durability is off
+        (or the server belongs to another worker process)."""
+        return self._wals.get(server_id)
+
+    def wal_servers(self) -> list[int]:
+        """Server ids this process keeps logs for."""
+        return list(self._wals)
+
+    def close_wals(self) -> None:
+        for wal in self._wals.values():
+            wal.close()
+
+    def _release_dead_owner_locks(self, worker: int,
+                                  dead_gen: int | None = None) -> None:
+        """Reap locks stranded by a dead worker's transactions.
+
+        A crashed worker's coordinators never come back under the same
+        txn-id namespace (its replacement seeds a fresh generation), so
+        their locks on surviving servers would leak forever.  Prepared
+        in-doubt txns are exempt: their locks are part of the 2PC
+        contract and are released only when the decision is known.
+        Bounded by ``dead_gen``: the worker's *replacement* issues live
+        transactions under generation ``dead_gen + 1`` of the same
+        worker slot, and those must never be reaped.
+        """
+        n_workers = getattr(self.cluster, "n_workers", None)
+        if n_workers is None:
+            return
+        span = TXN_ID_NAMESPACE_SPAN
+        in_doubt = self.commit_table.in_doubt_txns()
+
+        def dead(owner: object) -> bool:
+            txn_id = owner if isinstance(owner, int) else (
+                owner[1] if isinstance(owner, tuple) and len(owner) == 2
+                and isinstance(owner[1], int) else None)
+            if txn_id is None or txn_id in in_doubt:
+                return False
+            # namespaces are worker + gen * n_workers: the modulo maps
+            # every generation back to its worker slot, the quotient is
+            # the generation itself
+            ns = (txn_id - 1) // span
+            if ns % n_workers != worker:
+                return False
+            return dead_gen is None or ns // n_workers <= dead_gen
+
+        for server in self.cluster.servers:
+            if self._owns is None or self._owns(server.id):
+                server.storage.release_where(dead)
 
     @property
     def n_partitions(self) -> int:

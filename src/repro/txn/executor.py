@@ -25,6 +25,7 @@ from ..sim import (All, BatchedOneSided, Compute, OneSided,
 from ..sim.codec import (DispatchContext, OpDescriptor, op_handler,
                          register_wire_atom)
 from ..storage import LockMode
+from .commit_fsm import apply_wire_writes
 from .common import (AbortReason, BufferedWrite, CommitLog, Outcome,
                      TxnRequest, WriteKind, next_txn_id)
 from .database import Database
@@ -326,6 +327,11 @@ class BaseExecutor:
             if status == "duplicate":
                 state.abort_reason = AbortReason.DUPLICATE_KEY
                 return False
+            if status == "peer_down":
+                # the runtime short-circuited a verb to a dead worker;
+                # retryable — the record's owner is being respawned
+                state.abort_reason = AbortReason.PEER_DOWN
+                return False
             if action == "read":
                 _, fields, version = result
                 table = state.locations[inst.name][0]
@@ -446,6 +452,16 @@ class BaseExecutor:
         for versions in results:
             state.write_versions.extend(versions)
 
+    def commit_op(self, pid: int, writes: list[BufferedWrite],
+                  txn_id: int) -> OpDescriptor:
+        """One partition's combined apply+release verb (for the commit
+        FSM's decision round)."""
+        return _commit_op(self.db, pid, writes, txn_id)
+
+    def release_op(self, pid: int, txn_id: int) -> OpDescriptor:
+        """One partition's bare release verb."""
+        return _release_op(self.db, pid, txn_id)
+
     def abort_release(self, state: TxnState) -> Generator:
         """Release every lock the transaction holds (its full rollback)."""
         if not state.touched:
@@ -565,19 +581,7 @@ def _commit_op(db: Database, pid: int, writes: list[BufferedWrite],
 def _do_commit(ctx: DispatchContext, d: OpDescriptor) -> list:
     store = ctx.store_of(d.partition)
     writes, txn_id = d.args
-    versions: list[tuple[tuple[str, Any], int]] = []
-    for kind, table, key, values in writes:
-        rid = (table, key)
-        if kind == "update":
-            store.write(table, key, values)
-            versions.append((rid, store.version_of(table, key)))
-        elif kind == "insert":
-            store.insert(table, key, values)
-            versions.append((rid, 0))
-        else:
-            old = store.version_of(table, key)
-            store.delete(table, key)
-            versions.append((rid, (old or 0) + 1))
+    versions = apply_wire_writes(store, writes)
     store.release_all(txn_id)
     return versions
 

@@ -25,6 +25,7 @@ from typing import Any, Callable, Generator
 from ..sim import Compute
 from ..sim.codec import DispatchContext, OpDescriptor, op_handler
 from ..storage import LockMode
+from .commit_fsm import CommitFsm
 from .common import AbortReason, TxnRequest, WriteKind
 from .database import Database
 from .executor import BaseExecutor, TxnState
@@ -37,17 +38,24 @@ class OccExecutor(BaseExecutor):
 
     def execute(self, request: TxnRequest) -> Generator:
         state = self.new_state(request)
+        fsm = CommitFsm(self, state)
         ok = yield from self.lock_read_phase(state, locking=False)
         if not ok:
             # read phase holds no locks: aborting costs nothing extra
+            fsm.mark_aborted()
             return self.finish(state)
         writes = self.evaluate_writes(state)
         ok = yield from self._validate(state, writes)
         if not ok:
-            yield from self.abort_release(state)
+            # validation precedes the prepare: nothing was logged or
+            # shipped, so this abort needs no decision record either
+            yield from fsm.abort()
             return self.finish(state)
-        yield from self.replicate(state, writes)
-        yield from self.commit_phase(state, writes)
+        ok = yield from fsm.prepare(writes)
+        if not ok:
+            yield from fsm.abort()
+            return self.finish(state)
+        yield from fsm.commit()
         return self.finish(state)
 
     # -- validation -------------------------------------------------------

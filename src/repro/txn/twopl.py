@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Generator
 
+from .commit_fsm import CommitFsm
 from .common import Outcome, TxnRequest
 from .executor import BaseExecutor
 
@@ -25,11 +26,15 @@ class TwoPLExecutor(BaseExecutor):
 
     def execute(self, request: TxnRequest) -> Generator:
         state = self.new_state(request)
+        fsm = CommitFsm(self, state)
         ok = yield from self.lock_read_phase(state)
         if not ok:
-            yield from self.abort_release(state)
+            yield from fsm.abort()
             return self.finish(state)
         writes = self.evaluate_writes(state)
-        yield from self.replicate(state, writes)
-        yield from self.commit_phase(state, writes)
+        ok = yield from fsm.prepare(writes)
+        if not ok:
+            yield from fsm.abort()
+            return self.finish(state)
+        yield from fsm.commit()
         return self.finish(state)

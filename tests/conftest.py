@@ -1,0 +1,36 @@
+"""Repo-wide test fixtures.
+
+The mp backend moves frames through named shared-memory rings
+(``/dev/shm/repro-<run_id>-...``).  Every test that touches the mp
+path must leave ``/dev/shm`` exactly as it found it — a leaked segment
+is host-global state that outlives the test process and eventually
+fills the tmpfs.  The autouse fixture below makes any leak a test
+failure at the test that caused it, not a mystery later.
+"""
+
+import os
+
+import pytest
+
+_SHM_DIR = "/dev/shm"
+_RING_PREFIX = "repro-"
+
+
+def _ring_segments() -> set:
+    try:
+        names = os.listdir(_SHM_DIR)
+    except OSError:  # no tmpfs here (macOS, containers without /dev/shm)
+        return set()
+    return {n for n in names if n.startswith(_RING_PREFIX)}
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_shm_rings():
+    """Fail any test that leaves a repro-* shared-memory ring behind."""
+    before = _ring_segments()
+    yield
+    leaked = _ring_segments() - before
+    assert not leaked, (
+        f"test leaked shared-memory ring segment(s) {sorted(leaked)}; "
+        f"mp runs must unlink their rings (transport.stop) or let the "
+        f"parent reclaim them via cleanup_rings_by_name")

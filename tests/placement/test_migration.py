@@ -179,3 +179,40 @@ def test_static_runs_never_classify_misses_as_migrated():
     db = run.database
     assert db.placement_epoch() == 0
     assert not db.moved_since("accounts", 1, 0)
+
+
+def test_lease_failover_is_counted_when_holder_stops_renewing():
+    """Deterministic leader-election handover on the simulator.
+
+    Candidate 0 wins the lease and renews every epoch until its (short)
+    horizon passes — the sim's stand-in for a dead worker's renewals
+    stopping.  Once the TTL lapses, candidate 1's next bid is granted,
+    and because earlier "held" replies disclosed who the leader was,
+    the grant is counted as a controller failover.  Steady-state
+    renewals must never count."""
+    from types import SimpleNamespace
+
+    from repro.placement import (MigrationExecutor, PlacementController,
+                                 PlacementStats, lease_controller_loop)
+
+    run = build_sim_run()
+    db = run.database
+    spec = PlacementSpec(kind="adaptive", epoch_us=1_000.0,
+                         lease_ttl_us=2_500.0,
+                         min_window_commits=10 ** 9)  # bid, never plan
+
+    def candidate(worker_id: int, horizon_us: float):
+        stats = PlacementStats(placement="adaptive")
+        migrator = MigrationExecutor(db, 0, spec, stats)
+        return lease_controller_loop(
+            db, {}, spec, PlacementController(spec), migrator, stats,
+            horizon_us, SimpleNamespace(worker_id=worker_id))
+
+    cluster = db.cluster
+    cluster.engine(0).spawn(candidate(0, horizon_us=5_000.0))
+    cluster.engine(0).spawn(candidate(1, horizon_us=20_000.0))
+    cluster.run()
+
+    assert db.recovery.controller_failovers == 1
+    holder, expires = db.leases[spec.controller_home]
+    assert holder == 1 and expires > 5_000.0

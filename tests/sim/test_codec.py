@@ -19,6 +19,9 @@ from repro.storage import LockMode
 from repro.txn.executor import (_commit_op, _lock_insert_op, _lock_read_op,
                                 _plain_read_op, _release_op,
                                 _replica_apply_op, _to_replica_write)
+from repro.placement.migration import _lease_acquire_op
+from repro.txn.commit_fsm import (_decision_op, _prepare_op,
+                                  _recover_query_op)
 from repro.txn.occ import _validate_read_op, _validate_write_op
 from repro.txn.common import BufferedWrite, WriteKind
 
@@ -155,12 +158,63 @@ def test_migrate_ops_round_trip(twin_dbs):
         assert db.store(src).read("accounts", KEY) is None
 
 
+def test_two_phase_commit_verbs_round_trip(twin_dbs):
+    """The commit FSM's prepare/decision verbs behave identically
+    through the wire: the stash fills, the decision applies and
+    releases, on both the direct and the round-tripped side."""
+    db_a, db_b = twin_dbs
+    pid = db_a.partition_of("accounts", KEY)
+    coordinator = (pid + 1) % db_a.n_partitions
+    writes = (("update", "accounts", KEY, {"balance": 3.0}),)
+
+    assert run_twin(_prepare_op(db_a, pid, writes, TXN, coordinator),
+                    db_a, db_b) == ("ok",)
+    for db in (db_a, db_b):
+        assert TXN in db.commit_table.in_doubt_txns()
+
+    run_twin(_decision_op(db_a, pid, TXN, True), db_a, db_b)
+    for db in (db_a, db_b):
+        assert db.store(pid).read("accounts", KEY)[0]["balance"] == 3.0
+        assert not db.commit_table.stashed_entries()
+
+
+def test_recover_query_round_trip(twin_dbs):
+    """Presumed abort over the wire: unknown txns answer 'unknown',
+    decided txns answer their recorded verdict."""
+    db_a, db_b = twin_dbs
+    pid = db_a.partition_of("accounts", KEY)
+    assert run_twin(_recover_query_op(db_a, pid, 424242),
+                    db_a, db_b) == ("unknown",)
+    for db in (db_a, db_b):
+        db.commit_table.record_decision(424242, True)
+        db.commit_table.record_decision(424243, False)
+    assert run_twin(_recover_query_op(db_a, pid, 424242),
+                    db_a, db_b) == ("committed",)
+    assert run_twin(_recover_query_op(db_a, pid, 424243),
+                    db_a, db_b) == ("aborted",)
+
+
+def test_lease_acquire_round_trip(twin_dbs):
+    """Controller-election lease grants behave identically wired:
+    vacancy and expiry grant, a live rival is refused."""
+    db_a, db_b = twin_dbs
+    assert run_twin(_lease_acquire_op(db_a, 0, 1, 0.0, 100.0),
+                    db_a, db_b) == ("granted", None)
+    assert run_twin(_lease_acquire_op(db_a, 0, 1, 50.0, 100.0),
+                    db_a, db_b) == ("granted", 1)  # renewal
+    assert run_twin(_lease_acquire_op(db_a, 0, 2, 60.0, 100.0),
+                    db_a, db_b) == ("held", 1)     # rival inside ttl
+    assert run_twin(_lease_acquire_op(db_a, 0, 2, 200.0, 100.0),
+                    db_a, db_b) == ("granted", 1)  # ttl lapsed: failover
+
+
 def test_every_registered_kind_is_exercised():
     """A new verb kind must come with a round-trip test above."""
     assert set(OP_HANDLERS) == {
         "lock_read", "plain_read", "lock_insert", "commit", "release",
         "validate_write", "validate_read", "replica_apply",
-        "migrate_install", "migrate_remove"}
+        "migrate_install", "migrate_remove",
+        "prepare", "decision", "recover_query", "lease_acquire"}
 
 
 # -- failure modes -----------------------------------------------------------
