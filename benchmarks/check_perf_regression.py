@@ -1,12 +1,20 @@
 #!/usr/bin/env python
 """Compare a pytest-benchmark JSON run against the committed baseline.
 
-The tracked figure is the harness's hot-path speed:
-``events_per_wall_second`` from ``RunResult.perf_summary()``, persisted
-into every benchmark's ``extra_info``.  CI's ``perf-tracking`` job runs
-``benchmarks/bench_effect_runtime.py --benchmark-json``, uploads the
-JSON artifact, then fails the build if the event rate regressed more
-than ``--max-regression`` (default 30%) below ``BENCH_BASELINE.json``.
+Two families of tracked figures, both read from each benchmark's
+``extra_info`` (fed by ``RunResult.perf_summary()``):
+
+* **rates** (higher is better): any ``*_per_second`` /
+  ``*_per_wall_second`` entry — the harness's hot-path speed.  Fails
+  when a rate drops more than ``--max-regression`` below baseline.
+* **latencies** (lower is better): any ``*_latency_us`` entry — the
+  open-loop percentile cells from ``bench_open_loop.py``, which are
+  deterministic on the sim backend.  Fails when a latency rises more
+  than ``--max-regression`` above baseline.
+
+CI's ``perf-tracking`` job runs the benchmark files with
+``--benchmark-json``, uploads the JSON artifact, then fails the build
+on any regressed, missing, or untracked cell.
 
 Re-baselining (after an intentional change, or when CI hardware moves):
 
@@ -28,7 +36,7 @@ import sys
 def extract_event_rates(results: dict) -> dict[str, float]:
     """Rate figures per benchmark: any ``*_per_second`` /
     ``*_per_wall_second`` entry in ``extra_info`` is a tracked rate
-    (events, codec round trips, ...)."""
+    (events, codec round trips, ...).  Higher is better."""
     rates: dict[str, float] = {}
     for bench in results.get("benchmarks", []):
         for key, value in bench.get("extra_info", {}).items():
@@ -38,36 +46,88 @@ def extract_event_rates(results: dict) -> dict[str, float]:
     return rates
 
 
+def extract_latency_cells(results: dict) -> dict[str, float]:
+    """Latency figures per benchmark: any ``*_latency_us`` entry in
+    ``extra_info`` is a tracked percentile cell.  Lower is better."""
+    cells: dict[str, float] = {}
+    for bench in results.get("benchmarks", []):
+        for key, value in bench.get("extra_info", {}).items():
+            if key.endswith("_latency_us") and value > 0:
+                cells[f"{bench['name']}:{key}"] = float(value)
+    return cells
+
+
+def compare(tracked: dict, current: dict, max_regression: float,
+            lower_is_better: bool, unit: str) -> bool:
+    """Print one line per cell; True when anything fails the gate."""
+    failed = False
+    for name, base in sorted(tracked.items()):
+        got = current.get(name)
+        if got is None:
+            print(f"MISSING  {name}: baseline {base:,.1f} {unit}, no "
+                  f"current measurement (benchmark renamed? re-baseline)")
+            failed = True
+            continue
+        change = (got - base) / base
+        if lower_is_better:
+            ceiling = base * (1.0 + max_regression)
+            ok = got <= ceiling
+            bound = f"ceiling {ceiling:,.1f}"
+        else:
+            floor = base * (1.0 - max_regression)
+            ok = got >= floor
+            bound = f"floor {floor:,.1f}"
+        status = "OK" if ok else "REGRESSED"
+        print(f"{status:9} {name}: {got:,.1f} {unit} vs baseline "
+              f"{base:,.1f} ({change:+.1%}, {bound})")
+        if not ok:
+            failed = True
+    for name in sorted(set(current) - set(tracked)):
+        print(f"UNTRACKED {name}: {current[name]:,.1f} {unit} measured "
+              f"but no baseline cell exists — register it by "
+              f"re-baselining (--write-baseline) so future regressions "
+              f"are caught")
+        failed = True
+    return failed
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("results", help="pytest-benchmark JSON output")
     parser.add_argument("baseline", nargs="?", default="BENCH_BASELINE.json")
     parser.add_argument("--max-regression", type=float, default=0.30,
-                        help="fail if any rate drops more than this "
-                             "fraction below baseline (default 0.30)")
+                        help="fail if any rate drops (or latency rises) "
+                             "more than this fraction from baseline "
+                             "(default 0.30)")
     parser.add_argument("--write-baseline", metavar="PATH",
                         help="write PATH from the results instead of "
                              "comparing")
     args = parser.parse_args(argv)
 
     with open(args.results) as fh:
-        rates = extract_event_rates(json.load(fh))
-    if not rates:
-        print("error: results carry no events_per_wall_second extra_info")
+        results = json.load(fh)
+    rates = extract_event_rates(results)
+    latencies = extract_latency_cells(results)
+    if not rates and not latencies:
+        print("error: results carry no *_per_second or *_latency_us "
+              "extra_info")
         return 2
 
     if args.write_baseline:
         baseline = {
             "tracked": rates,
-            "note": "harness hot-path event rates; regenerate with "
-                    "check_perf_regression.py --write-baseline after "
-                    "intentional perf changes",
+            "tracked_latency": latencies,
+            "note": "harness hot-path event rates (higher is better) "
+                    "and open-loop latency cells (lower is better); "
+                    "regenerate with check_perf_regression.py "
+                    "--write-baseline after intentional perf changes",
         }
         with open(args.write_baseline, "w") as fh:
             json.dump(baseline, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {args.write_baseline}: "
-              + ", ".join(f"{k}={v:,.0f}" for k, v in rates.items()))
+              + ", ".join(f"{k}={v:,.0f}"
+                          for k, v in {**rates, **latencies}.items()))
         return 0
 
     with open(args.baseline) as fh:
@@ -79,30 +139,17 @@ def main(argv: list[str] | None = None) -> int:
               f"{sorted(baseline_doc) if isinstance(baseline_doc, dict) else type(baseline_doc).__name__}); "
               f"regenerate it with --write-baseline")
         return 2
+    # absent in baselines written before latency tracking existed; an
+    # empty table simply marks every measured latency cell UNTRACKED
+    tracked_latency = baseline_doc.get("tracked_latency") or {}
 
-    failed = False
-    for name, base in sorted(tracked.items()):
-        current = rates.get(name)
-        if current is None:
-            print(f"MISSING  {name}: baseline {base:,.0f} ev/s, no "
-                  f"current measurement (benchmark renamed? re-baseline)")
-            failed = True
-            continue
-        change = (current - base) / base
-        floor = base * (1.0 - args.max_regression)
-        status = "OK" if current >= floor else "REGRESSED"
-        print(f"{status:9} {name}: {current:,.0f} ev/s vs baseline "
-              f"{base:,.0f} ({change:+.1%}, floor {floor:,.0f})")
-        if current < floor:
-            failed = True
-    for name in sorted(set(rates) - set(tracked)):
-        print(f"UNTRACKED {name}: {rates[name]:,.0f} ev/s measured but "
-              f"no baseline cell exists — register it by re-baselining "
-              f"(--write-baseline) so future regressions are caught")
-        failed = True
+    failed = compare(tracked, rates, args.max_regression,
+                     lower_is_better=False, unit="ev/s")
+    failed |= compare(tracked_latency, latencies, args.max_regression,
+                      lower_is_better=True, unit="us")
     if failed:
-        print(f"\nperf check failed: >{args.max_regression:.0%} below "
-              f"baseline. If intentional (or CI hardware changed), "
+        print(f"\nperf check failed: beyond {args.max_regression:.0%} "
+              f"of baseline. If intentional (or CI hardware changed), "
               f"re-baseline per the module docstring.")
         return 1
     return 0

@@ -19,6 +19,10 @@ Run from the command line::
     python -m repro.bench.experiments fig9a --quick --backend mp --wal group
     python -m repro.bench.experiments fig9a --quick --backend mp \\
         --wal group --mp-recovery --chaos-kill 1 --chaos-after 0.5
+    python -m repro.bench.experiments fig9a --arrivals poisson \\
+        --offered-load 200000 --deadline-us 4000
+    python -m repro.bench.experiments fig9a --arrivals tenants \\
+        --offered-load 1200000 --admission deadline
 
 ``--wal off|fsync|group`` selects the per-server write-ahead-log mode
 (commit decisions become durable; see ARCHITECTURE.md, "Durability &
@@ -36,6 +40,16 @@ plus ``worker-N.prof`` per mp worker process.
 ``--scheduler fifo|conflict`` selects the cross-transaction scheduling
 policy (:mod:`repro.sched`); unset and ``fifo`` reproduce the
 historical raw dispatch loop bit-for-bit.
+``--arrivals poisson|diurnal|flash|tenants`` switches the sweep to
+open-loop traffic (:mod:`repro.traffic`): requests enter on a seeded
+arrival schedule regardless of completion, and latency is measured
+from the scheduled arrival (coordinated-omission-safe).
+``--offered-load T`` sets the aggregate rate in txns/sec,
+``--deadline-us D`` the SLO deadline, and ``--admission
+none|deadline`` the shedding policy.  Unset, runs stay closed-loop and
+every figure is bit-identical to the historical output.  Open-loop
+throughput figures are NOT comparable to closed-loop ones — see
+EXPERIMENTS.md, "Open-loop traffic".
 ``--backend aio`` drives the same sweep through the asyncio runtime
 (real event loop, wall-clock time) instead of the simulator;
 ``--backend mp`` through the multiprocess runtime (one OS process per
@@ -60,6 +74,7 @@ from ..placement import PLACEMENTS
 from ..sched import SCHEDULERS
 from ..sim.mp_runtime import MP_CODECS, MP_TRANSPORTS
 from ..storage.wal import WAL_MODES
+from ..traffic import ADMISSIONS, ARRIVAL_PROCESSES, ArrivalSpec
 from .harness import BACKENDS, RunConfig
 from .setups import (build_instacart_layout, build_instacart_setup,
                      make_instacart_run, make_tpcc_run)
@@ -80,18 +95,22 @@ def instacart_config(n_partitions: int, quick: bool = False,
                      mp_transport: str = "tcp",
                      mp_codec: str = "packed",
                      profile_dir: str | None = None,
-                     durability: dict | None = None) -> RunConfig:
+                     durability: dict | None = None,
+                     traffic: dict | None = None) -> RunConfig:
     return RunConfig(n_partitions=n_partitions,
                      concurrent_per_engine=4,
                      horizon_us=4_000.0 if quick else 12_000.0,
                      warmup_us=500.0 if quick else 2_000.0,
-                     seed=seed, n_replicas=1, route_by_data=True,
+                     # open-loop arrivals pin each request to its
+                     # scheduled home; data-affinity routing is a
+                     # closed-loop worker concern (see repro.traffic)
+                     seed=seed, n_replicas=1, route_by_data=not traffic,
                      doorbell_batching=doorbell_batching,
                      backend=backend, mp_workers=mp_workers,
                      scheduler=scheduler, placement=placement,
                      mp_transport=mp_transport, mp_codec=mp_codec,
                      mp_profile_dir=profile_dir,
-                     **(durability or {}))
+                     **(durability or {}), **(traffic or {}))
 
 
 def instacart_sweep(partitions: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
@@ -107,7 +126,8 @@ def instacart_sweep(partitions: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
                     mp_transport: str = "tcp",
                     mp_codec: str = "packed",
                     profile_dir: str | None = None,
-                    durability: dict | None = None) -> list[dict]:
+                    durability: dict | None = None,
+                    traffic: dict | None = None) -> list[dict]:
     """One row per partition count with every layout's metrics.
 
     Feeds Fig. 7 (throughput), Fig. 8 (distributed ratio), the lookup
@@ -129,7 +149,7 @@ def instacart_sweep(partitions: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
                 instacart_config(k, quick, seed, doorbell_batching,
                                  backend, mp_workers, scheduler,
                                  placement, mp_transport, mp_codec,
-                                 profile_dir, durability))
+                                 profile_dir, durability, traffic))
             result = run.run()
             metrics = result.metrics
             row[f"{name}_throughput"] = result.throughput
@@ -193,7 +213,8 @@ def tpcc_config(n_partitions: int, concurrent: int, quick: bool = False,
                 mp_transport: str = "tcp",
                 mp_codec: str = "packed",
                 profile_dir: str | None = None,
-                durability: dict | None = None) -> RunConfig:
+                durability: dict | None = None,
+                traffic: dict | None = None) -> RunConfig:
     return RunConfig(n_partitions=n_partitions,
                      concurrent_per_engine=concurrent,
                      horizon_us=5_000.0 if quick else 15_000.0,
@@ -204,7 +225,7 @@ def tpcc_config(n_partitions: int, concurrent: int, quick: bool = False,
                      scheduler=scheduler, placement=placement,
                      mp_transport=mp_transport, mp_codec=mp_codec,
                      mp_profile_dir=profile_dir,
-                     **(durability or {}))
+                     **(durability or {}), **(traffic or {}))
 
 
 def fig9_rows(concurrency: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
@@ -217,7 +238,8 @@ def fig9_rows(concurrency: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
               mp_transport: str = "tcp",
               mp_codec: str = "packed",
               profile_dir: str | None = None,
-              durability: dict | None = None) -> list[dict]:
+              durability: dict | None = None,
+              traffic: dict | None = None) -> list[dict]:
     """Throughput + abort rates per executor per concurrency level."""
     rows = []
     for concurrent in concurrency:
@@ -227,7 +249,8 @@ def fig9_rows(concurrency: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
                 name, tpcc_config(n_partitions, concurrent, quick, seed,
                                   doorbell_batching, backend, mp_workers,
                                   scheduler, placement, mp_transport,
-                                  mp_codec, profile_dir, durability))
+                                  mp_codec, profile_dir, durability,
+                                  traffic))
             result = run.run()
             metrics = result.metrics
             row[f"{name}_throughput"] = result.throughput
@@ -284,7 +307,8 @@ def fig10_rows(percents: Sequence[int] = (0, 20, 40, 60, 80, 100),
                mp_transport: str = "tcp",
                mp_codec: str = "packed",
                profile_dir: str | None = None,
-               durability: dict | None = None) -> list[dict]:
+               durability: dict | None = None,
+               traffic: dict | None = None) -> list[dict]:
     """Throughput vs fraction of distributed transactions."""
     rows = []
     for percent in percents:
@@ -299,7 +323,8 @@ def fig10_rows(percents: Sequence[int] = (0, 20, 40, 60, 80, 100),
                 name, tpcc_config(n_partitions, concurrent, quick, seed,
                                   doorbell_batching, backend, mp_workers,
                                   scheduler, placement, mp_transport,
-                                  mp_codec, profile_dir, durability),
+                                  mp_codec, profile_dir, durability,
+                                  traffic),
                 workload=workload)
             result = run.run()
             row[f"{name}_{concurrent}_throughput"] = result.throughput
@@ -474,6 +499,10 @@ def main(argv: Iterable[str] | None = None) -> None:
     chaos_kill, args = _parse_option(args, "chaos-kill")
     chaos_after, args = _parse_option(args, "chaos-after")
     max_restarts, args = _parse_option(args, "max-restarts")
+    arrivals, args = _parse_option(args, "arrivals", ARRIVAL_PROCESSES)
+    offered_load, args = _parse_option(args, "offered-load")
+    deadline_us, args = _parse_option(args, "deadline-us")
+    admission, args = _parse_option(args, "admission", ADMISSIONS)
     quick = "--quick" in args
     doorbell = "--doorbell" in args
     mp_recovery = "--mp-recovery" in args
@@ -492,6 +521,21 @@ def main(argv: Iterable[str] | None = None) -> None:
             durability["mp_max_restarts"] = int(max_restarts)
     except ValueError as exc:
         raise SystemExit(f"bad durability knob: {exc}")
+    traffic: dict = {}
+    if arrivals:
+        traffic["arrivals"] = (ArrivalSpec(process=arrivals,
+                                           admission=admission)
+                               if admission else arrivals)
+    elif admission or offered_load or deadline_us:
+        raise SystemExit("--offered-load/--deadline-us/--admission need "
+                         "--arrivals PROCESS")
+    try:
+        if offered_load is not None:
+            traffic["offered_load"] = float(offered_load)
+        if deadline_us is not None:
+            traffic["deadline_us"] = float(deadline_us)
+    except ValueError as exc:
+        raise SystemExit(f"bad traffic knob: {exc}")
     wanted = set(args) or {"fig7"}
     if "all" in wanted:
         wanted = {"fig7", "fig8", "fig9a", "fig9b", "fig9c", "fig10",
@@ -522,6 +566,16 @@ def main(argv: Iterable[str] | None = None) -> None:
         print(f"(durability: {knobs} — commit decisions go through the "
               f"per-server WAL; dead mp workers are respawned and "
               f"replayed when mp_recovery is on)")
+    if traffic:
+        print(f"(open-loop traffic: arrivals={arrivals}"
+              + (f" offered_load={traffic['offered_load']:.0f}/s"
+                 if "offered_load" in traffic else "")
+              + (f" deadline={traffic['deadline_us']:.0f}us"
+                 if "deadline_us" in traffic else "")
+              + (f" admission={admission}" if admission else "")
+              + " — requests enter on a seeded schedule regardless of "
+              "completion; latency is measured from scheduled arrival "
+              "and throughput is NOT comparable to closed-loop figures)")
 
     def run_wanted() -> None:
         if wanted & {"fig7", "fig8", "lookup", "cost"}:
@@ -533,7 +587,8 @@ def main(argv: Iterable[str] | None = None) -> None:
                                    mp_transport=mp_transport,
                                    mp_codec=mp_codec,
                                    profile_dir=profile_dir,
-                                   durability=durability or None)
+                                   durability=durability or None,
+                                   traffic=traffic or None)
             if "fig7" in wanted:
                 print_fig7(rows)
             if "fig8" in wanted:
@@ -551,7 +606,8 @@ def main(argv: Iterable[str] | None = None) -> None:
                              placement=placement,
                              mp_transport=mp_transport, mp_codec=mp_codec,
                              profile_dir=profile_dir,
-                             durability=durability or None)
+                             durability=durability or None,
+                             traffic=traffic or None)
             if "fig9a" in wanted:
                 print_fig9a(rows)
             if "fig9b" in wanted:
@@ -568,7 +624,8 @@ def main(argv: Iterable[str] | None = None) -> None:
                                    mp_transport=mp_transport,
                                    mp_codec=mp_codec,
                                    profile_dir=profile_dir,
-                                   durability=durability or None))
+                                   durability=durability or None,
+                                   traffic=traffic or None))
         if "reorder" in wanted:
             print_reorder(reorder_ablation_rows(quick=quick,
                                                 doorbell_batching=doorbell,

@@ -192,6 +192,45 @@ class RunConfig:
     works unchanged on sim/aio/mp (on mp the controller runs in the
     worker owning its home engine and flips routing cluster-wide)."""
 
+    arrivals: "object | str | None" = None
+    """Open-loop traffic: ``None`` (closed-loop workers — bit-identical
+    to the historical behavior), an arrival-process name from
+    :data:`repro.traffic.ARRIVAL_PROCESSES` (``"poisson"``,
+    ``"diurnal"``, ``"flash"``, ``"tenants"``), or a full
+    :class:`~repro.traffic.ArrivalSpec`.  When set, requests enter at
+    generated timestamps regardless of completion and latency is
+    measured from the *scheduled* arrival (coordinated-omission-safe);
+    see :mod:`repro.traffic`.  Picklable, so the knob works unchanged
+    on sim/aio/mp (each mp worker regenerates its homes' schedules
+    deterministically)."""
+
+    offered_load: float | None = None
+    """Aggregate open-loop arrival rate in txns/sec (overrides the
+    arrival spec's default; ignored when :attr:`arrivals` is None)."""
+
+    deadline_us: float | None = None
+    """Default SLO deadline from scheduled arrival to commit (overrides
+    the arrival spec's default; ignored when :attr:`arrivals` is
+    None)."""
+
+    def arrival_spec(self):
+        """The effective open-loop arrival process for this run, or
+        None for the closed-loop default.  A string/spec
+        :attr:`arrivals` picks up the :attr:`offered_load` and
+        :attr:`deadline_us` overrides."""
+        from ..traffic import as_arrival_spec  # lazy: traffic imports
+        spec = as_arrival_spec(self.arrivals)  # bench.metrics
+        if spec is None:
+            return None
+        overrides = {}
+        if self.offered_load is not None:
+            overrides["offered_load"] = self.offered_load
+        if self.deadline_us is not None:
+            overrides["deadline_us"] = self.deadline_us
+        if overrides:
+            spec = dataclasses.replace(spec, **overrides)
+        return spec
+
     def wal_spec(self) -> WalSpec:
         """The effective durability policy for this run.
 
@@ -294,6 +333,8 @@ class RunResult:
         recovery = self.metrics.recovery_stats
         if recovery is not None and recovery.any_activity:
             summary["recovery"] = recovery.summary()
+        if self.metrics.open_loop is not None:
+            summary["open_loop"] = self.metrics.open_loop.summary()
         traffic = self.traffic_summary()
         if traffic is not None:
             summary["traffic"] = traffic
@@ -434,7 +475,10 @@ def _spawn_load(workload, executor: BaseExecutor, config: RunConfig,
                 cluster, metrics: Metrics,
                 homes: Iterable[int]) -> _LoadWiring:
     """Spawn the worker coroutines that generate load on ``homes`` (a
-    subset on mp workers, all engines elsewhere).
+    subset on mp workers, all engines elsewhere).  With
+    ``config.arrivals`` set, open-loop dispatchers replace the
+    closed-loop workers: requests enter on a pre-generated arrival
+    schedule regardless of completion (see :mod:`repro.traffic`).
 
     Every request passes through its engine's scheduler before any
     effect is emitted — admission, class serialization, and shedding
@@ -452,6 +496,11 @@ def _spawn_load(workload, executor: BaseExecutor, config: RunConfig,
     """
     db = executor.db
     schedulers = make_schedulers(executor, config, homes)
+    arrivals = config.arrival_spec()
+    if arrivals is not None and config.route_by_data:
+        raise ValueError("open-loop arrivals and route_by_data cannot "
+                         "be combined: the dispatcher issues requests "
+                         "on their scheduled home")
     placement = as_placement_spec(config.placement)
     placement_stats: PlacementStats | None = None
     telemetry: dict[int, AccessTelemetry] | None = None
@@ -531,9 +580,14 @@ def _spawn_load(workload, executor: BaseExecutor, config: RunConfig,
                 yield Sleep(scheduler.retry_backoff_us(
                     decision, rng, config.retry_backoff_us))
 
-    for home in homes:
-        for slot in range(config.concurrent_per_engine):
-            cluster.engine(home).spawn(worker(home, slot))
+    if arrivals is not None:
+        from ..traffic import spawn_open_loop  # lazy: avoids a cycle
+        spawn_open_loop(workload, executor, config, arrivals, cluster,
+                        metrics, homes, schedulers, telemetry)
+    else:
+        for home in homes:
+            for slot in range(config.concurrent_per_engine):
+                cluster.engine(home).spawn(worker(home, slot))
     if placement.adaptive:
         if getattr(cluster, "owns", None) is None:
             # single process: pin the loop to the controller engine —

@@ -9,6 +9,7 @@ second inside the measurement window.
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -19,6 +20,200 @@ from ..txn.common import AbortReason, Outcome
 
 APP_ABORTS = frozenset({AbortReason.LOGICAL, AbortReason.READ_MISS})
 """Abort reasons decided by the application, not by contention."""
+
+
+class LatencyHistogram:
+    """Log2-bucketed latency histogram with linear sub-buckets.
+
+    Values (microseconds) below ``2**SUBBUCKET_BITS`` land in exact
+    unit-wide buckets; above that, every power-of-two octave splits
+    into ``2**SUBBUCKET_BITS`` equal sub-buckets (the HdrHistogram
+    layout), bounding the relative quantile error at ``1 /
+    2**(SUBBUCKET_BITS+1)`` (~1.6%) at any magnitude.  Bucket counts
+    simply add, so merging is associative and commutative — mp workers
+    pickle theirs to the parent, which folds them in any order.
+    """
+
+    SUBBUCKET_BITS = 5
+
+    def __init__(self) -> None:
+        self.counts: dict[int, int] = {}
+        self.n = 0
+        self.total_us = 0.0
+        self.max_us = 0.0
+
+    @classmethod
+    def _index(cls, value: int) -> int:
+        sub = 1 << cls.SUBBUCKET_BITS
+        if value < sub:
+            return value
+        shift = value.bit_length() - (cls.SUBBUCKET_BITS + 1)
+        return (shift << cls.SUBBUCKET_BITS) + (value >> shift)
+
+    @classmethod
+    def _bucket_mid(cls, index: int) -> float:
+        """Midpoint of the half-open value range bucket ``index`` covers."""
+        sub = 1 << cls.SUBBUCKET_BITS
+        shift = max(0, index // sub - 1)
+        low = (index - shift * sub) << shift
+        return low + ((1 << shift) - 1) / 2.0
+
+    def record(self, latency_us: float) -> None:
+        value = max(0, int(latency_us))
+        index = self._index(value)
+        self.counts[index] = self.counts.get(index, 0) + 1
+        self.n += 1
+        self.total_us += latency_us
+        if latency_us > self.max_us:
+            self.max_us = latency_us
+
+    def merge_from(self, other: "LatencyHistogram") -> None:
+        for index, count in other.counts.items():
+            self.counts[index] = self.counts.get(index, 0) + count
+        self.n += other.n
+        self.total_us += other.total_us
+        self.max_us = max(self.max_us, other.max_us)
+
+    @classmethod
+    def merged(cls, parts: list["LatencyHistogram"]) -> "LatencyHistogram":
+        total = cls()
+        for part in parts:
+            total.merge_from(part)
+        return total
+
+    def mean_us(self) -> float:
+        return self.total_us / self.n if self.n else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The latency at quantile ``q`` (0 < q <= 1), bucket-midpoint
+        interpolated (exact for sub-``2**SUBBUCKET_BITS``-µs values)."""
+        if self.n == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self.n))
+        cumulative = 0
+        for index in sorted(self.counts):
+            cumulative += self.counts[index]
+            if cumulative >= rank:
+                return self._bucket_mid(index)
+        return self.max_us
+
+    def summary(self) -> dict:
+        """p50/p99/p999 report fields (µs on the backend's own clock)."""
+        return {
+            "count": self.n,
+            "mean_us": round(self.mean_us(), 1),
+            "p50_us": round(self.percentile(0.50), 1),
+            "p99_us": round(self.percentile(0.99), 1),
+            "p999_us": round(self.percentile(0.999), 1),
+            "max_us": round(self.max_us, 1),
+        }
+
+
+@dataclass
+class TenantTraffic:
+    """One tenant's open-loop accounting: arrivals in, SLO out.
+
+    Latency is recorded **from the scheduled arrival** to final
+    completion — queueing, dispatch lag, scheduler deferrals, and every
+    retry included — which is what makes the percentiles coordinated-
+    omission-safe: a stalled server inflates the recorded latency of
+    every request scheduled during the stall, exactly as real clients
+    would experience it.
+    """
+
+    deadline_us: float = 0.0
+    scheduled: int = 0
+    """Arrivals the generator produced for this tenant (the SLO
+    denominator — shed and failed requests count against attainment)."""
+
+    shed: int = 0
+    """Arrivals dropped before execution (admission or scheduler)."""
+
+    committed: int = 0
+    failed: int = 0
+    """Admitted requests that never committed (retries exhausted or the
+    run drained first)."""
+
+    in_slo: int = 0
+    """Committed within ``deadline_us`` of the scheduled arrival."""
+
+    histogram: LatencyHistogram = field(default_factory=LatencyHistogram)
+
+    def attainment(self) -> float:
+        """Fraction of *scheduled* arrivals that met their SLO."""
+        return self.in_slo / self.scheduled if self.scheduled else 0.0
+
+    def merge_from(self, other: "TenantTraffic") -> None:
+        self.deadline_us = max(self.deadline_us, other.deadline_us)
+        self.scheduled += other.scheduled
+        self.shed += other.shed
+        self.committed += other.committed
+        self.failed += other.failed
+        self.in_slo += other.in_slo
+        self.histogram.merge_from(other.histogram)
+
+
+@dataclass
+class OpenLoopStats:
+    """Per-tenant open-loop traffic counters, surfaced via ``Metrics``.
+
+    Mergeable and picklable: each mp worker accumulates its homes'
+    traffic and the parent folds the parts (histogram buckets add,
+    counters sum)."""
+
+    tenants: dict[str, TenantTraffic] = field(default_factory=dict)
+
+    def tenant(self, name: str, deadline_us: float = 0.0) -> TenantTraffic:
+        traffic = self.tenants.get(name)
+        if traffic is None:
+            traffic = self.tenants[name] = TenantTraffic(
+                deadline_us=deadline_us)
+        return traffic
+
+    def overall(self) -> LatencyHistogram:
+        return LatencyHistogram.merged(
+            [t.histogram for t in self.tenants.values()])
+
+    @property
+    def scheduled(self) -> int:
+        return sum(t.scheduled for t in self.tenants.values())
+
+    @property
+    def shed(self) -> int:
+        return sum(t.shed for t in self.tenants.values())
+
+    def merge_from(self, other: "OpenLoopStats") -> None:
+        for name, theirs in other.tenants.items():
+            self.tenant(name).merge_from(theirs)
+
+    @classmethod
+    def merged(cls, parts: list["OpenLoopStats"]) -> "OpenLoopStats":
+        total = cls()
+        for part in parts:
+            total.merge_from(part)
+        return total
+
+    def summary(self) -> dict:
+        """Report fields for ``RunResult.perf_summary()['open_loop']``."""
+        report = {
+            "scheduled": self.scheduled,
+            "shed": self.shed,
+            "latency": self.overall().summary(),
+            "tenants": {},
+        }
+        for name in sorted(self.tenants):
+            tenant = self.tenants[name]
+            report["tenants"][name] = {
+                "scheduled": tenant.scheduled,
+                "shed": tenant.shed,
+                "committed": tenant.committed,
+                "failed": tenant.failed,
+                "deadline_us": tenant.deadline_us,
+                "slo_attainment": round(tenant.attainment(), 4),
+                **{k: v for k, v in tenant.histogram.summary().items()
+                   if k != "count"},
+            }
+        return report
 
 
 @dataclass
@@ -49,6 +244,12 @@ class Metrics:
     in-doubt resolutions, controller failovers); filled by the harness
     from the database's shared ``RecoveryStats``."""
 
+    open_loop: OpenLoopStats | None = None
+    """Open-loop traffic counters (per-tenant CO-safe latency
+    histograms + SLO attainment); filled by the harness when
+    ``RunConfig.arrivals`` selects an arrival process, None on
+    closed-loop runs."""
+
     def add(self, outcome: Outcome) -> None:
         self.outcomes.append(outcome)
 
@@ -76,6 +277,10 @@ class Metrics:
                 if merged.recovery_stats is None:
                     merged.recovery_stats = RecoveryStats()
                 merged.recovery_stats.merge_from(part.recovery_stats)
+            if part.open_loop is not None:
+                if merged.open_loop is None:
+                    merged.open_loop = OpenLoopStats()
+                merged.open_loop.merge_from(part.open_loop)
         return merged
 
     def scheduler_summary(self) -> SchedulerStats | None:

@@ -8,7 +8,7 @@ schedulers from the picklable :class:`SchedulerSpec` carried in
 ``RunConfig``).  See ARCHITECTURE.md "Scheduling layer".
 """
 
-from .admission import AdmissionController
+from .admission import AdmissionController, DeadlineAdmission
 from .base import (SCHEDULERS, AdmitDecision, FifoScheduler, SchedAction,
                    SchedReason, Scheduler, SchedulerSpec, SchedulerStats,
                    as_spec)
@@ -19,6 +19,7 @@ __all__ = [
     "AdmitDecision",
     "CONTENTION_ABORTS",
     "ConflictClassScheduler",
+    "DeadlineAdmission",
     "FifoScheduler",
     "SCHEDULERS",
     "SchedAction",

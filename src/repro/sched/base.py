@@ -65,6 +65,19 @@ class SchedReason(enum.Enum):
     CLASS_OVERLOAD = "class_overload"
     """The class's wait queue hit the admission-control cap."""
 
+    DEADLINE_HOPELESS = "deadline_hopeless"
+    """The predicted wait exceeds the arrival's whole deadline budget —
+    executing it would only waste capacity on a guaranteed SLO miss."""
+
+    PRIORITY_SHED = "priority_shed"
+    """Shed to preserve capacity for higher-value work: the predicted
+    wait exceeds this arrival's priority-scaled deadline slice, though
+    a top-priority arrival would still have been admitted."""
+
+    QUEUE_FULL = "queue_full"
+    """The engine's open-loop in-flight cap was reached (the last-ditch
+    queue bound behind the deadline predictor)."""
+
 
 @dataclass
 class AdmitDecision:
@@ -113,6 +126,9 @@ class SchedulerStats:
     sheds: int = 0
     defer_reasons: dict[str, int] = field(default_factory=dict)
     shed_reasons: dict[str, int] = field(default_factory=dict)
+    tenant_sheds: dict[str, dict[str, int]] = field(default_factory=dict)
+    """Typed shed reasons per traffic tenant (open-loop runs only):
+    ``{tenant: {reason: count}}``.  Empty on closed-loop runs."""
     queue_depth: int = 0
     """Waiters deferred right now (ends at 0 for a drained run)."""
 
@@ -139,10 +155,14 @@ class SchedulerStats:
         book = self.defer_reasons
         book[reason.value] = book.get(reason.value, 0) + 1
 
-    def count_shed(self, reason: SchedReason) -> None:
+    def count_shed(self, reason: SchedReason,
+                   tenant: str | None = None) -> None:
         self.sheds += 1
         book = self.shed_reasons
         book[reason.value] = book.get(reason.value, 0) + 1
+        if tenant is not None:
+            by_tenant = self.tenant_sheds.setdefault(tenant, {})
+            by_tenant[reason.value] = by_tenant.get(reason.value, 0) + 1
 
     def mean_queueing_delay_us(self) -> float:
         if self.queued_admissions == 0:
@@ -157,6 +177,10 @@ class SchedulerStats:
         self.sheds += other.sheds
         for book, theirs in ((self.defer_reasons, other.defer_reasons),
                              (self.shed_reasons, other.shed_reasons)):
+            for reason, count in theirs.items():
+                book[reason] = book.get(reason, 0) + count
+        for tenant, theirs in other.tenant_sheds.items():
+            book = self.tenant_sheds.setdefault(tenant, {})
             for reason, count in theirs.items():
                 book[reason] = book.get(reason, 0) + count
         self.queue_depth = max(self.queue_depth, other.queue_depth)
@@ -178,7 +202,7 @@ class SchedulerStats:
 
     def summary(self) -> dict:
         """Flat report fields for ``RunResult.perf_summary()``."""
-        return {
+        report = {
             "scheduler": self.scheduler,
             "admitted": self.admitted,
             "deferrals": self.deferrals,
@@ -190,6 +214,11 @@ class SchedulerStats:
             "max_class_occupancy": self.max_class_occupancy,
             "window_widenings": self.window_widenings,
         }
+        if self.tenant_sheds:
+            report["tenant_sheds"] = {
+                tenant: dict(book)
+                for tenant, book in sorted(self.tenant_sheds.items())}
+        return report
 
 
 Fingerprint = Callable[[TxnRequest], tuple[Hashable, ...]]

@@ -1,0 +1,25 @@
+"""Open-loop traffic generation (the millions-of-users layer).
+
+Seeded arrival processes (:mod:`~repro.traffic.arrivals`) drive the
+benchmark harness open-loop — requests enter at generated timestamps
+regardless of completion (:mod:`~repro.traffic.openloop`) — with
+coordinated-omission-safe latency percentiles and per-tenant SLO
+attainment recorded in :class:`~repro.bench.metrics.OpenLoopStats`.
+Selected via ``RunConfig.arrivals`` / ``--arrivals``; see
+ARCHITECTURE.md "Traffic layer".
+"""
+
+from .arrivals import (ADMISSIONS, ARRIVAL_PROCESSES, Arrival, ArrivalSpec,
+                       TenantSpec, as_arrival_spec, schedule_for_home)
+from .openloop import spawn_open_loop
+
+__all__ = [
+    "ADMISSIONS",
+    "ARRIVAL_PROCESSES",
+    "Arrival",
+    "ArrivalSpec",
+    "TenantSpec",
+    "as_arrival_spec",
+    "schedule_for_home",
+    "spawn_open_loop",
+]

@@ -1,0 +1,151 @@
+"""Open-loop load generation: the arrival-schedule dispatch mode.
+
+The harness's closed-loop mode keeps ``concurrent_per_engine`` worker
+coroutines saturated; this module replaces them with one **dispatcher**
+coroutine per home engine that walks a pre-generated arrival schedule
+(:func:`~repro.traffic.arrivals.schedule_for_home`), sleeping until
+each scheduled instant and then spawning a request task — *without*
+waiting for it to finish.  Requests therefore enter at the offered
+rate whether or not the system keeps up, which is what exposes the
+saturation knee.
+
+Latency accounting is coordinated-omission-safe by construction: every
+request task records ``completion − scheduled arrival`` into its
+tenant's :class:`~repro.bench.metrics.LatencyHistogram`, so dispatch
+lag, admission queueing, scheduler deferrals, and retry backoffs all
+land in the percentiles.  Request *content* stays deterministic across
+backends because the dispatcher draws every workload request from a
+per-home RNG in schedule order, before any concurrency fans out.
+
+The same cross-transaction schedulers (:mod:`repro.sched`) mediate
+execution exactly as in closed-loop mode; ``admission="deadline"``
+additionally puts a :class:`~repro.sched.DeadlineAdmission` front door
+ahead of each engine, shedding unpayable and low-value arrivals before
+they consume capacity.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from .._util import make_rng
+from ..bench.metrics import APP_ABORTS, Metrics, OpenLoopStats
+from ..sched import DeadlineAdmission, SchedAction, Scheduler
+from ..sim import Sleep
+from .arrivals import Arrival, ArrivalSpec, schedule_for_home
+
+
+def spawn_open_loop(workload, executor, config, spec: ArrivalSpec,
+                    cluster, metrics: Metrics, homes: Iterable[int],
+                    schedulers: dict[int, Scheduler],
+                    telemetry) -> OpenLoopStats:
+    """Spawn one open-loop dispatcher per home engine.
+
+    Installs the run's :class:`OpenLoopStats` into ``metrics`` and
+    returns it.  ``schedulers`` and ``telemetry`` are the same wiring
+    the closed-loop path builds — open-loop runs compose with conflict
+    scheduling and adaptive placement unchanged.
+    """
+    stats = OpenLoopStats()
+    metrics.open_loop = stats
+    # tenants registered eagerly so a fully-shed tenant still reports
+    # its 0% attainment instead of vanishing from the summary
+    for tenant in spec.effective_tenants():
+        stats.tenant(tenant.name, tenant.deadline_us)
+    max_priority = spec.max_priority()
+    # divisor is the *global* load-generating home count (mp workers
+    # each see only their subset, but must split the offered load the
+    # same way the single-process run does)
+    n_homes = (len(config.homes) if config.homes is not None
+               else config.n_partitions)
+    for home in homes:
+        schedule = schedule_for_home(spec, home, n_homes,
+                                     config.seed, config.horizon_us)
+        admission = None
+        if spec.admission == "deadline":
+            admission = DeadlineAdmission(
+                schedulers[home].stats, max_priority=max_priority,
+                max_in_flight=spec.max_in_flight,
+                init_gap_us=spec.init_gap_us,
+                gap_ewma_alpha=spec.gap_ewma_alpha)
+        cluster.engine(home).spawn(
+            _dispatcher(workload, executor, config, cluster, metrics,
+                        stats, schedule, home, schedulers[home],
+                        admission, telemetry))
+    return stats
+
+
+def _dispatcher(workload, executor, config, cluster, metrics: Metrics,
+                stats: OpenLoopStats, schedule: list[Arrival], home: int,
+                scheduler: Scheduler, admission: DeadlineAdmission | None,
+                telemetry):
+    """Walk the schedule, admitting or shedding each arrival on time."""
+    rng = make_rng(config.seed, "open-loop", home)
+    engine = cluster.engine(home)
+    for index, arrival in enumerate(schedule):
+        tenant = stats.tenant(arrival.tenant, arrival.deadline_us)
+        tenant.scheduled += 1
+        delay = arrival.at - cluster.sim.now
+        if delay > 0:
+            yield Sleep(delay)
+        # drawn in schedule order on the dispatcher, so the request
+        # sequence is deterministic however execution interleaves
+        request = workload.next_request(home, rng)
+        if admission is not None:
+            if admission.admit(arrival, cluster.sim.now) is not None:
+                tenant.shed += 1
+                continue
+            admission.on_start()
+        task_rng = make_rng(config.seed, "open-loop-task", home, index)
+        engine.spawn(_request_task(request, arrival, executor, config,
+                                   cluster, metrics, stats, home,
+                                   scheduler, admission, telemetry,
+                                   task_rng))
+
+
+def _request_task(request, arrival: Arrival, executor, config, cluster,
+                  metrics: Metrics, stats: OpenLoopStats, home: int,
+                  scheduler: Scheduler,
+                  admission: DeadlineAdmission | None, telemetry,
+                  rng: random.Random):
+    """Execute one admitted arrival to completion; settle its SLO."""
+    tenant = stats.tenants[arrival.tenant]
+    decision = scheduler.admit(request, cluster.sim.now)
+    while decision.action is SchedAction.DEFER:
+        yield decision.wait_effect()
+        decision = scheduler.readmit(request, decision, cluster.sim.now)
+    if decision.action is SchedAction.SHED:
+        tenant.shed += 1
+        if admission is not None:
+            admission.on_finish(cluster.sim.now)
+        return
+    attempts = 0
+    while True:
+        outcome = yield from executor.execute(request)
+        metrics.add(outcome)
+        if telemetry is not None and outcome.committed:
+            telemetry[home].observe(outcome, cluster.sim.now)
+        attempts += 1
+        retryable = (not outcome.committed
+                     and outcome.reason not in APP_ABORTS
+                     and config.retry_aborts
+                     and attempts < config.max_attempts
+                     and cluster.sim.now < config.horizon_us)
+        scheduler.on_outcome(decision, outcome, cluster.sim.now,
+                             will_retry=retryable)
+        if not retryable:
+            break
+        yield Sleep(scheduler.retry_backoff_us(
+            decision, rng, config.retry_backoff_us))
+    now = cluster.sim.now
+    latency_us = now - arrival.at
+    tenant.histogram.record(latency_us)
+    if outcome.committed:
+        tenant.committed += 1
+        if arrival.deadline_us <= 0 or latency_us <= arrival.deadline_us:
+            tenant.in_slo += 1
+    else:
+        tenant.failed += 1
+    if admission is not None:
+        admission.on_finish(now)

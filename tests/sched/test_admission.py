@@ -48,3 +48,78 @@ def test_scheduler_sheds_when_class_queue_is_full():
                      Outcome(txn_id=1, proc="t", committed=True),
                      1.0, will_retry=False)
     assert sched.admit(req("hot"), 1.0).action is SchedAction.RUN
+
+
+# -- deadline/priority-aware admission (open-loop front door) ---------------
+
+def arrival(at=0.0, deadline_us=1_000.0, priority=1.0, tenant="t"):
+    from repro.traffic import Arrival
+    return Arrival(at=at, tenant=tenant, deadline_us=deadline_us,
+                   priority=priority)
+
+
+def deadline_ctl(**kwargs):
+    from repro.sched import DeadlineAdmission
+    defaults = dict(max_priority=4.0, max_in_flight=8,
+                    init_gap_us=100.0)
+    defaults.update(kwargs)
+    return DeadlineAdmission(SchedulerStats(), **defaults)
+
+
+def test_deadline_admits_when_wait_fits_budget():
+    ctl = deadline_ctl()
+    # empty system: predicted wait 0, everything fits
+    assert ctl.admit(arrival(priority=0.5), now=0.0) is None
+
+
+def test_hopeless_deadline_is_shed_even_at_top_priority():
+    ctl = deadline_ctl()
+    for _ in range(5):
+        ctl.on_start()  # predicted wait: 5 * 100us = 500us
+    verdict = ctl.admit(arrival(deadline_us=300.0, priority=4.0),
+                        now=0.0)
+    assert verdict is SchedReason.DEADLINE_HOPELESS
+
+
+def test_low_priority_is_shed_before_high():
+    ctl = deadline_ctl()
+    for _ in range(5):
+        ctl.on_start()  # predicted wait 500us
+    # budget 1000us: gold (full budget) fits, standard (1000 * 1/4 =
+    # 250us slice) does not
+    assert ctl.admit(arrival(priority=4.0, tenant="gold"),
+                     now=0.0) is None
+    verdict = ctl.admit(arrival(priority=1.0, tenant="standard"),
+                        now=0.0)
+    assert verdict is SchedReason.PRIORITY_SHED
+    assert ctl.stats.tenant_sheds["standard"] == {"priority_shed": 1}
+
+
+def test_dispatch_lag_counts_against_budget():
+    ctl = deadline_ctl()
+    for _ in range(5):
+        ctl.on_start()  # predicted wait 500us
+    # scheduled at t=0 with a 1000us deadline, picked up at t=800:
+    # only 200us of budget left
+    verdict = ctl.admit(arrival(at=0.0, deadline_us=1_000.0,
+                                priority=4.0), now=800.0)
+    assert verdict is SchedReason.DEADLINE_HOPELESS
+
+
+def test_in_flight_cap_sheds_queue_full():
+    ctl = deadline_ctl(max_in_flight=2)
+    ctl.on_start()
+    ctl.on_start()
+    verdict = ctl.admit(arrival(priority=4.0), now=0.0)
+    assert verdict is SchedReason.QUEUE_FULL
+
+
+def test_completion_gap_ewma_tracks_drain_rate():
+    ctl = deadline_ctl(gap_ewma_alpha=0.5)
+    ctl.on_start()
+    ctl.on_finish(now=100.0)   # first completion only seeds the clock
+    assert ctl.gap_ewma_us == 100.0
+    ctl.on_start()
+    ctl.on_finish(now=120.0)   # observed gap 20us, EWMA moves halfway
+    assert ctl.gap_ewma_us == 60.0
+    assert ctl.in_flight == 0
