@@ -33,7 +33,7 @@ import os
 import sys
 import tempfile
 
-from repro.bench import RunConfig
+from repro.bench import RunConfig, install_summary_json
 from repro.bench.setups import make_ycsb_run
 from repro.workloads.ycsb import YcsbWorkload
 
@@ -132,7 +132,11 @@ def test_group_commit_wal_cell(benchmark):
 
 def main(argv=None) -> None:
     args = list(sys.argv[1:] if argv is None else argv)
-    print_rows(grid_rows(quick="--quick" in args))
+    args, flush_summaries = install_summary_json(args)
+    try:
+        print_rows(grid_rows(quick="--quick" in args))
+    finally:
+        flush_summaries()
 
 
 if __name__ == "__main__":

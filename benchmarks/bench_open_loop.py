@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import sys
 
-from repro.bench import RunConfig
+from repro.bench import RunConfig, install_summary_json
 from repro.bench.setups import make_ycsb_run
 from repro.traffic import ArrivalSpec
 
@@ -163,6 +163,7 @@ def print_admission(rows: list[dict]) -> None:
 
 def main(argv=None) -> None:
     args = list(sys.argv[1:] if argv is None else argv)
+    args, flush_summaries = install_summary_json(args)
     quick = "--quick" in args
     backend = "sim"
     for i, arg in enumerate(args):
@@ -177,10 +178,13 @@ def main(argv=None) -> None:
     loads = QUICK_LOADS if quick else OFFERED_LOADS
     schedulers = ("fifo",) if quick else SCHEDULERS
     placements = (None,) if quick else PLACEMENTS
-    print_sweep(sweep_rows(loads=loads, schedulers=schedulers,
-                           placements=placements, quick=quick,
-                           backend=backend))
-    print_admission(admission_rows(quick=quick, backend=backend))
+    try:
+        print_sweep(sweep_rows(loads=loads, schedulers=schedulers,
+                               placements=placements, quick=quick,
+                               backend=backend))
+        print_admission(admission_rows(quick=quick, backend=backend))
+    finally:
+        flush_summaries()
 
 
 # -- pytest-benchmark cells (perf-tracked in BENCH_BASELINE.json) -------------

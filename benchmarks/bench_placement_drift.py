@@ -33,7 +33,8 @@ from __future__ import annotations
 import sys
 
 from repro.analysis import ProcedureRegistry
-from repro.bench import RunConfig, build_database, run_benchmark
+from repro.bench import (RunConfig, build_database,
+                         install_summary_json, run_benchmark)
 from repro.bench.harness import mp_benchmark_driver, run_mp_benchmark
 from repro.core import (ChillerPartitionerConfig, HotRecordTable,
                         StatsService, partition_workload,
@@ -220,6 +221,7 @@ def print_rows(rows: list[dict]) -> None:
 
 def main(argv=None) -> None:
     args = list(sys.argv[1:] if argv is None else argv)
+    args, flush_summaries = install_summary_json(args)
     quick = "--quick" in args
     backend = "sim"
     for i, arg in enumerate(args):
@@ -230,7 +232,10 @@ def main(argv=None) -> None:
     if backend != "sim":
         print(f"(backend {backend}: wall-clock figures — see "
               f"EXPERIMENTS.md; sim figures are the calibrated ones)")
-    print_rows(drift_rows(quick=quick, backend=backend))
+    try:
+        print_rows(drift_rows(quick=quick, backend=backend))
+    finally:
+        flush_summaries()
 
 
 # -- pytest-benchmark cells (perf-tracked in BENCH_BASELINE.json) -------------

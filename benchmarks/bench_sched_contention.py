@@ -27,7 +27,8 @@ from __future__ import annotations
 
 import sys
 
-from repro.bench import RunConfig, build_database, run_benchmark
+from repro.bench import (RunConfig, build_database,
+                         install_summary_json, run_benchmark)
 from repro.bench.harness import mp_benchmark_driver, run_mp_benchmark
 from repro.partitioning import HashScheme
 from repro.sim import MpRunSpec, current_worker_cluster
@@ -140,6 +141,7 @@ def print_sweep(rows: list[dict]) -> None:
 
 def main(argv=None) -> None:
     args = list(sys.argv[1:] if argv is None else argv)
+    args, flush_summaries = install_summary_json(args)
     quick = "--quick" in args
     backend = "sim"
     for i, arg in enumerate(args):
@@ -152,8 +154,11 @@ def main(argv=None) -> None:
               f"EXPERIMENTS.md; sim figures are the calibrated ones)")
     thetas = (0.9, 1.2) if quick else THETAS
     executors = ("2pl",) if quick else EXECUTORS
-    print_sweep(sweep_rows(thetas=thetas, executors=executors,
-                           quick=quick, backend=backend))
+    try:
+        print_sweep(sweep_rows(thetas=thetas, executors=executors,
+                               quick=quick, backend=backend))
+    finally:
+        flush_summaries()
 
 
 # -- pytest-benchmark cells (perf-tracked in BENCH_BASELINE.json) -------------

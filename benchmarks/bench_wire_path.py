@@ -33,7 +33,7 @@ import os
 import sys
 import time
 
-from repro.bench import RunConfig
+from repro.bench import RunConfig, install_summary_json
 from repro.bench.setups import make_ycsb_run
 from repro.sim.codec import (FRAME_PICKLE, FRAME_VERBS, FrameCodec,
                              WireVerbReply, WireVerbs)
@@ -127,13 +127,17 @@ def print_rows(rows: list[dict]) -> None:
 
 def main(argv=None) -> None:
     args = list(sys.argv[1:] if argv is None else argv)
+    args, flush_summaries = install_summary_json(args)
     quick = "--quick" in args
     for name, rates in (("pickle", codec_rates(False)),
                         ("packed", codec_rates(True))):
         print(f"codec {name:>7}: {rates['roundtrips_per_second']:>9,.0f} "
               f"roundtrips/s  chain {rates['chain_bytes']}B "
               f"reply {rates['reply_bytes']}B")
-    print_rows(grid_rows(quick=quick))
+    try:
+        print_rows(grid_rows(quick=quick))
+    finally:
+        flush_summaries()
 
 
 # -- pytest-benchmark cells (perf-tracked in BENCH_BASELINE.json) -------------

@@ -1,7 +1,8 @@
 """Benchmark harness: driver, metrics, and per-figure experiments."""
 
 from .harness import (BACKENDS, RunConfig, RunResult, build_database,
-                      make_cluster, mp_benchmark_driver, run_benchmark,
+                      install_summary_json, make_cluster,
+                      mp_benchmark_driver, run_benchmark,
                       run_mp_benchmark)
 from .metrics import Metrics
 
@@ -11,6 +12,7 @@ __all__ = [
     "RunConfig",
     "RunResult",
     "build_database",
+    "install_summary_json",
     "make_cluster",
     "mp_benchmark_driver",
     "run_benchmark",

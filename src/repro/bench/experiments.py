@@ -23,6 +23,9 @@ Run from the command line::
         --offered-load 200000 --deadline-us 4000
     python -m repro.bench.experiments fig9a --arrivals tenants \\
         --offered-load 1200000 --admission deadline
+    python -m repro.bench.experiments fig9a --quick --trace \\
+        --trace-out /tmp/fig9a.json --trace-sample 1
+    python -m repro.bench.experiments fig9a --quick --summary-json /tmp/s.json
 
 ``--wal off|fsync|group`` selects the per-server write-ahead-log mode
 (commit decisions become durable; see ARCHITECTURE.md, "Durability &
@@ -50,6 +53,13 @@ none|deadline`` the shedding policy.  Unset, runs stay closed-loop and
 every figure is bit-identical to the historical output.  Open-loop
 throughput figures are NOT comparable to closed-loop ones — see
 EXPERIMENTS.md, "Open-loop traffic".
+``--trace`` records per-phase transaction spans (:mod:`repro.obs`) on
+every run of the sweep; ``--trace-sample N`` traces every Nth
+transaction per engine, and ``--trace-out PATH`` (implies ``--trace``)
+writes the last run's spans as Chrome ``trace_event`` JSON for
+``ui.perfetto.dev``.  ``--summary-json PATH`` collects every run's
+``perf_summary()`` — including the trace/exemplar sections when
+tracing — into one JSON array.
 ``--backend aio`` drives the same sweep through the asyncio runtime
 (real event loop, wall-clock time) instead of the simulator;
 ``--backend mp`` through the multiprocess runtime (one OS process per
@@ -75,7 +85,7 @@ from ..sched import SCHEDULERS
 from ..sim.mp_runtime import MP_CODECS, MP_TRANSPORTS
 from ..storage.wal import WAL_MODES
 from ..traffic import ADMISSIONS, ARRIVAL_PROCESSES, ArrivalSpec
-from .harness import BACKENDS, RunConfig
+from .harness import BACKENDS, RunConfig, install_summary_json
 from .setups import (build_instacart_layout, build_instacart_setup,
                      make_instacart_run, make_tpcc_run)
 
@@ -96,7 +106,8 @@ def instacart_config(n_partitions: int, quick: bool = False,
                      mp_codec: str = "packed",
                      profile_dir: str | None = None,
                      durability: dict | None = None,
-                     traffic: dict | None = None) -> RunConfig:
+                     traffic: dict | None = None,
+                     tracing: dict | None = None) -> RunConfig:
     return RunConfig(n_partitions=n_partitions,
                      concurrent_per_engine=4,
                      horizon_us=4_000.0 if quick else 12_000.0,
@@ -110,7 +121,8 @@ def instacart_config(n_partitions: int, quick: bool = False,
                      scheduler=scheduler, placement=placement,
                      mp_transport=mp_transport, mp_codec=mp_codec,
                      mp_profile_dir=profile_dir,
-                     **(durability or {}), **(traffic or {}))
+                     **(durability or {}), **(traffic or {}),
+                     **(tracing or {}))
 
 
 def instacart_sweep(partitions: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
@@ -127,7 +139,8 @@ def instacart_sweep(partitions: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
                     mp_codec: str = "packed",
                     profile_dir: str | None = None,
                     durability: dict | None = None,
-                    traffic: dict | None = None) -> list[dict]:
+                    traffic: dict | None = None,
+                    tracing: dict | None = None) -> list[dict]:
     """One row per partition count with every layout's metrics.
 
     Feeds Fig. 7 (throughput), Fig. 8 (distributed ratio), the lookup
@@ -149,7 +162,8 @@ def instacart_sweep(partitions: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
                 instacart_config(k, quick, seed, doorbell_batching,
                                  backend, mp_workers, scheduler,
                                  placement, mp_transport, mp_codec,
-                                 profile_dir, durability, traffic))
+                                 profile_dir, durability, traffic,
+                                 tracing))
             result = run.run()
             metrics = result.metrics
             row[f"{name}_throughput"] = result.throughput
@@ -214,7 +228,8 @@ def tpcc_config(n_partitions: int, concurrent: int, quick: bool = False,
                 mp_codec: str = "packed",
                 profile_dir: str | None = None,
                 durability: dict | None = None,
-                traffic: dict | None = None) -> RunConfig:
+                traffic: dict | None = None,
+                tracing: dict | None = None) -> RunConfig:
     return RunConfig(n_partitions=n_partitions,
                      concurrent_per_engine=concurrent,
                      horizon_us=5_000.0 if quick else 15_000.0,
@@ -225,7 +240,8 @@ def tpcc_config(n_partitions: int, concurrent: int, quick: bool = False,
                      scheduler=scheduler, placement=placement,
                      mp_transport=mp_transport, mp_codec=mp_codec,
                      mp_profile_dir=profile_dir,
-                     **(durability or {}), **(traffic or {}))
+                     **(durability or {}), **(traffic or {}),
+                     **(tracing or {}))
 
 
 def fig9_rows(concurrency: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
@@ -239,7 +255,8 @@ def fig9_rows(concurrency: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
               mp_codec: str = "packed",
               profile_dir: str | None = None,
               durability: dict | None = None,
-              traffic: dict | None = None) -> list[dict]:
+              traffic: dict | None = None,
+              tracing: dict | None = None) -> list[dict]:
     """Throughput + abort rates per executor per concurrency level."""
     rows = []
     for concurrent in concurrency:
@@ -250,7 +267,7 @@ def fig9_rows(concurrency: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
                                   doorbell_batching, backend, mp_workers,
                                   scheduler, placement, mp_transport,
                                   mp_codec, profile_dir, durability,
-                                  traffic))
+                                  traffic, tracing))
             result = run.run()
             metrics = result.metrics
             row[f"{name}_throughput"] = result.throughput
@@ -308,7 +325,8 @@ def fig10_rows(percents: Sequence[int] = (0, 20, 40, 60, 80, 100),
                mp_codec: str = "packed",
                profile_dir: str | None = None,
                durability: dict | None = None,
-               traffic: dict | None = None) -> list[dict]:
+               traffic: dict | None = None,
+               tracing: dict | None = None) -> list[dict]:
     """Throughput vs fraction of distributed transactions."""
     rows = []
     for percent in percents:
@@ -324,7 +342,7 @@ def fig10_rows(percents: Sequence[int] = (0, 20, 40, 60, 80, 100),
                                   doorbell_batching, backend, mp_workers,
                                   scheduler, placement, mp_transport,
                                   mp_codec, profile_dir, durability,
-                                  traffic),
+                                  traffic, tracing),
                 workload=workload)
             result = run.run()
             row[f"{name}_{concurrent}_throughput"] = result.throughput
@@ -503,9 +521,13 @@ def main(argv: Iterable[str] | None = None) -> None:
     offered_load, args = _parse_option(args, "offered-load")
     deadline_us, args = _parse_option(args, "deadline-us")
     admission, args = _parse_option(args, "admission", ADMISSIONS)
+    trace_out, args = _parse_option(args, "trace-out")
+    trace_sample, args = _parse_option(args, "trace-sample")
+    args, flush_summaries = install_summary_json(args)
     quick = "--quick" in args
     doorbell = "--doorbell" in args
     mp_recovery = "--mp-recovery" in args
+    trace = "--trace" in args or trace_out is not None
     args = [a for a in args if not a.startswith("--")]
     durability: dict = {}
     if wal:
@@ -536,6 +558,19 @@ def main(argv: Iterable[str] | None = None) -> None:
             traffic["deadline_us"] = float(deadline_us)
     except ValueError as exc:
         raise SystemExit(f"bad traffic knob: {exc}")
+    tracing: dict = {}
+    if trace:
+        tracing["trace"] = True
+        if trace_out is not None:
+            tracing["trace_out"] = trace_out
+        try:
+            if trace_sample is not None:
+                tracing["trace_sample"] = int(trace_sample)
+        except ValueError:
+            raise SystemExit(f"--trace-sample needs an integer, got "
+                             f"{trace_sample!r}")
+    elif trace_sample is not None:
+        raise SystemExit("--trace-sample needs --trace")
     wanted = set(args) or {"fig7"}
     if "all" in wanted:
         wanted = {"fig7", "fig8", "fig9a", "fig9b", "fig9c", "fig10",
@@ -576,6 +611,13 @@ def main(argv: Iterable[str] | None = None) -> None:
               + " — requests enter on a seeded schedule regardless of "
               "completion; latency is measured from scheduled arrival "
               "and throughput is NOT comparable to closed-loop figures)")
+    if trace:
+        print("(tracing: per-phase spans recorded"
+              + (f", every {tracing['trace_sample']}th txn"
+                 if "trace_sample" in tracing else "")
+              + (f", Perfetto JSON of the last run to {trace_out}"
+                 if trace_out else "")
+              + " — see perf_summary()['trace'] / ['exemplars'])")
 
     def run_wanted() -> None:
         if wanted & {"fig7", "fig8", "lookup", "cost"}:
@@ -588,7 +630,8 @@ def main(argv: Iterable[str] | None = None) -> None:
                                    mp_codec=mp_codec,
                                    profile_dir=profile_dir,
                                    durability=durability or None,
-                                   traffic=traffic or None)
+                                   traffic=traffic or None,
+                                   tracing=tracing or None)
             if "fig7" in wanted:
                 print_fig7(rows)
             if "fig8" in wanted:
@@ -607,7 +650,8 @@ def main(argv: Iterable[str] | None = None) -> None:
                              mp_transport=mp_transport, mp_codec=mp_codec,
                              profile_dir=profile_dir,
                              durability=durability or None,
-                             traffic=traffic or None)
+                             traffic=traffic or None,
+                             tracing=tracing or None)
             if "fig9a" in wanted:
                 print_fig9a(rows)
             if "fig9b" in wanted:
@@ -625,7 +669,8 @@ def main(argv: Iterable[str] | None = None) -> None:
                                    mp_codec=mp_codec,
                                    profile_dir=profile_dir,
                                    durability=durability or None,
-                                   traffic=traffic or None))
+                                   traffic=traffic or None,
+                                   tracing=tracing or None))
         if "reorder" in wanted:
             print_reorder(reorder_ablation_rows(quick=quick,
                                                 doorbell_batching=doorbell,
@@ -638,7 +683,10 @@ def main(argv: Iterable[str] | None = None) -> None:
                 mp_workers=workers, scheduler=scheduler))
 
     if profile_dir is None:
-        run_wanted()
+        try:
+            run_wanted()
+        finally:
+            flush_summaries()
         return
     # --profile DIR: cProfile the parent (the whole sweep; on the sim
     # backend that IS the run) and have each mp worker dump its own
@@ -657,6 +705,7 @@ def main(argv: Iterable[str] | None = None) -> None:
         print(f"(cProfile dumps in {profile_dir}: parent.prof"
               + (", worker-N.prof per mp worker" if backend == "mp"
                  else "") + ")")
+        flush_summaries()
 
 
 if __name__ == "__main__":

@@ -21,7 +21,7 @@ import time
 import uuid
 from collections import deque
 from dataclasses import dataclass, replace
-from typing import Iterable
+from typing import Callable, Iterable
 
 from .._util import make_rng
 from ..analysis import ProcedureRegistry
@@ -213,6 +213,23 @@ class RunConfig:
     the arrival spec's default; ignored when :attr:`arrivals` is
     None)."""
 
+    trace: bool = False
+    """Per-phase span tracing (:mod:`repro.obs`).  Off (default) keeps
+    every backend on the module-level no-op tracer — zero allocation,
+    bit-identical event streams, byte-identical wire frames.  On, each
+    process records sampled transactions' phase spans into preallocated
+    rings, harvested into ``metrics.trace`` at quiescence (mp workers
+    ship theirs to the parent like any other metric)."""
+
+    trace_sample: int = 1
+    """Trace every Nth transaction per engine (1 = all).  Sampling is
+    deterministic (a per-tracer counter), so repeated runs trace the
+    same population."""
+
+    trace_out: str | None = None
+    """When tracing, write the merged spans to this path as Chrome
+    ``trace_event`` JSON (loadable in ``ui.perfetto.dev``)."""
+
     def arrival_spec(self):
         """The effective open-loop arrival process for this run, or
         None for the closed-loop default.  A string/spec
@@ -338,6 +355,13 @@ class RunResult:
         traffic = self.traffic_summary()
         if traffic is not None:
             summary["traffic"] = traffic
+        trace = self.metrics.trace
+        if trace is not None:
+            from ..obs.export import exemplar_summary  # lazy: obs is
+            summary["trace"] = trace.summary()         # optional wiring
+            exemplars = exemplar_summary(trace)
+            if exemplars:
+                summary["exemplars"] = exemplars
         return summary
 
     def traffic_summary(self) -> dict | None:
@@ -356,6 +380,73 @@ class RunResult:
                 str(server): phases for server, phases
                 in stats.bytes_by_server_phase().items()},
         }
+
+
+SUMMARY_HOOK: "Callable[[RunResult], None] | None" = None
+"""When set, every completed run (single-process and mp alike) is
+passed through this hook before being returned.  The experiments and
+bench CLIs install a collector here to implement ``--summary-json``
+without threading a sink through every figure function."""
+
+
+def install_summary_json(args: list[str],
+                         ) -> "tuple[list[str], Callable[[], None]]":
+    """CLI helper behind every driver's ``--summary-json PATH`` flag.
+
+    Strips the flag from ``args``, installs a :data:`SUMMARY_HOOK`
+    collector, and returns ``(rest_args, flush)``; ``flush()`` —
+    call it when the sweep ends, ideally in a ``finally`` — writes the
+    collected per-run ``perf_summary()`` dicts as one JSON array and
+    uninstalls the hook.  Without the flag, ``flush`` is a no-op.
+    """
+    path: str | None = None
+    rest: list[str] = []
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg == "--summary-json":
+            if i + 1 >= len(args):
+                raise SystemExit("--summary-json needs a path")
+            path = args[i + 1]
+            i += 2
+            continue
+        if arg.startswith("--summary-json="):
+            path = arg.split("=", 1)[1]
+            i += 1
+            continue
+        rest.append(arg)
+        i += 1
+    if path is None:
+        return rest, lambda: None
+    collected: list[dict] = []
+
+    def hook(result: RunResult) -> None:
+        collected.append(result.perf_summary())
+
+    global SUMMARY_HOOK
+    SUMMARY_HOOK = hook
+
+    def flush() -> None:
+        global SUMMARY_HOOK
+        SUMMARY_HOOK = None
+        import json
+        with open(path, "w") as fh:
+            json.dump(collected, fh, indent=1)
+        print(f"(wrote {len(collected)} run summaries to {path})")
+
+    return rest, flush
+
+
+def _finish_run(result: RunResult) -> RunResult:
+    """Common run epilogue: trace export and the summary hook."""
+    config = result.config
+    if (config.trace and config.trace_out
+            and result.metrics.trace is not None):
+        from ..obs.export import write_trace_json  # lazy: optional
+        write_trace_json(result.metrics.trace, config.trace_out)
+    if SUMMARY_HOOK is not None:
+        SUMMARY_HOOK(result)
+    return result
 
 
 def make_cluster(config: RunConfig):
@@ -439,9 +530,11 @@ def run_benchmark(workload, executor: BaseExecutor,
                                for home, sched in wiring.schedulers.items()}
     metrics.placement_stats = wiring.placement_stats
     metrics.recovery_stats = db.recovery
-    return RunResult(metrics=metrics, database=db,
-                     history=executor.history, config=config,
-                     end_time=cluster.sim.now)
+    if config.trace:
+        metrics.trace = db.tracer.harvest()
+    return _finish_run(RunResult(metrics=metrics, database=db,
+                                 history=executor.history, config=config,
+                                 end_time=cluster.sim.now))
 
 
 def make_schedulers(executor: BaseExecutor, config: RunConfig,
@@ -495,6 +588,15 @@ def _spawn_load(workload, executor: BaseExecutor, config: RunConfig,
     controller loop is spawned alongside the load.
     """
     db = executor.db
+    tracer = None
+    if config.trace:
+        from ..obs.tracer import Tracer  # lazy: obs is optional wiring
+        tracer = Tracer(sample_every=config.trace_sample)
+        db.tracer = tracer  # shadows the class-level no-op
+        for server in cluster.servers:
+            runtime = getattr(server.engine, "runtime", None)
+            if runtime is not None:
+                runtime.tracer = tracer
     schedulers = make_schedulers(executor, config, homes)
     arrivals = config.arrival_spec()
     if arrivals is not None and config.route_by_data:
@@ -554,16 +656,25 @@ def _spawn_load(workload, executor: BaseExecutor, config: RunConfig,
                 request = next_routed(home, rng)
             else:
                 request = workload.next_request(home, rng)
+            trace = tracer.new_trace(home) if tracer is not None else 0
+            t_admit = cluster.sim.now
             decision = scheduler.admit(request, cluster.sim.now)
             while decision.action is SchedAction.DEFER:
                 yield decision.wait_effect()
                 decision = scheduler.readmit(request, decision,
                                              cluster.sim.now)
             if decision.action is SchedAction.SHED:
+                if trace:
+                    tracer.span(trace, 0, 0, home, "shed", t_admit,
+                                cluster.sim.now, "shed")
                 continue  # typed reason already recorded in the stats
+            if trace and cluster.sim.now > t_admit:
+                tracer.span(trace, 0, 0, home, "queue_wait", t_admit,
+                            cluster.sim.now)
             attempts = 0
             while True:
-                outcome = yield from executor.execute(request)
+                outcome = yield from executor.execute(request, trace=trace,
+                                                      attempt=attempts)
                 metrics.add(outcome)
                 if telemetry is not None and outcome.committed:
                     telemetry[home].observe(outcome, cluster.sim.now)
@@ -579,6 +690,9 @@ def _spawn_load(workload, executor: BaseExecutor, config: RunConfig,
                     break
                 yield Sleep(scheduler.retry_backoff_us(
                     decision, rng, config.retry_backoff_us))
+            if trace:
+                tracer.exemplar(f"home-{home}", trace,
+                                cluster.sim.now - t_admit)
 
     if arrivals is not None:
         from ..traffic import spawn_open_loop  # lazy: avoids a cycle
@@ -654,6 +768,10 @@ def mp_benchmark_driver(run_obj, cluster, worker_id: int):
             for home, sched in wiring.schedulers.items()}
         metrics.placement_stats = wiring.placement_stats
         metrics.recovery_stats = run_obj.executor.db.recovery
+        if config.trace:
+            # rings ride home inside the metrics payload and merge in
+            # the parent exactly like every other per-worker counter
+            metrics.trace = run_obj.executor.db.tracer.harvest()
         return {"metrics": metrics, "end_time": cluster.sim.now,
                 "stats": cluster.network.stats}
 
@@ -682,6 +800,7 @@ def run_mp_benchmark(spec: MpRunSpec, config: RunConfig,
         # read it (the template's own counters are all zero)
         for payload in payloads:
             database.cluster.network.stats.merge_from(payload["stats"])
-    return RunResult(metrics=metrics, database=database, history=None,
-                     config=config,
-                     end_time=max(p["end_time"] for p in payloads))
+    return _finish_run(RunResult(metrics=metrics, database=database,
+                                 history=None, config=config,
+                                 end_time=max(p["end_time"]
+                                              for p in payloads)))

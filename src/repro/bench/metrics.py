@@ -250,6 +250,12 @@ class Metrics:
     ``RunConfig.arrivals`` selects an arrival process, None on
     closed-loop runs."""
 
+    trace: "TraceData | None" = None
+    """Harvested phase spans + tail exemplars
+    (:class:`repro.obs.TraceData`); filled by the harness when
+    ``RunConfig.trace`` is on, None otherwise.  mp workers each ship
+    theirs and the parent folds them below, like every other stat."""
+
     def add(self, outcome: Outcome) -> None:
         self.outcomes.append(outcome)
 
@@ -281,6 +287,11 @@ class Metrics:
                 if merged.open_loop is None:
                     merged.open_loop = OpenLoopStats()
                 merged.open_loop.merge_from(part.open_loop)
+            if part.trace is not None:
+                if merged.trace is None:
+                    from ..obs.tracer import TraceData
+                    merged.trace = TraceData()
+                merged.trace.merge_from(part.trace)
         return merged
 
     def scheduler_summary(self) -> SchedulerStats | None:

@@ -94,8 +94,9 @@ class ChillerExecutor(BaseExecutor):
 
     # -- coordinator ---------------------------------------------------------
 
-    def execute(self, request: TxnRequest) -> Generator:
-        state = self.new_state(request)
+    def execute(self, request: TxnRequest, trace: int = 0,
+                attempt: int = 0) -> Generator:
+        state = self.new_state(request, trace, attempt)
         plan = self.make_planner(request.home).plan(state.instances,
                                                     request.params)
         if not plan.two_region:
@@ -198,6 +199,13 @@ class ChillerExecutor(BaseExecutor):
         sequentially in the inner region".
         """
         cfg = self.cfg
+        tr = self.db.tracer
+        # the inner host's span joins the coordinator's tree via the
+        # task trace context (carried by the RPC envelope on every
+        # backend), read while this handler task is current
+        trace = (self.db.cluster.engine(server_id).runtime.current_trace
+                 if tr.enabled else 0)
+        t0 = self.db.cluster.sim.now if trace else 0.0
         store = self.db.store(server_id)
         proc = self.db.registry.get(req.proc)
         by_name = {inst.name: inst
@@ -217,6 +225,10 @@ class ChillerExecutor(BaseExecutor):
             lambda: self._inner_critical_section(store, instances, req),
             kind="inner_commit")
         status, ctx_delta, reads, versions, writes = result
+        if trace:
+            tr.span(trace, req.txn_id, 0, server_id, "commit", t0,
+                    self.db.cluster.sim.now,
+                    "ok" if status == "ok" else status)
         if status == "ok":
             self._replicate_inner(server_id, req, writes)
         return (status, ctx_delta, reads, versions)

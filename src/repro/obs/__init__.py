@@ -1,0 +1,19 @@
+"""Observability: phase-span tracing, tail exemplars, trace export.
+
+See :mod:`repro.obs.tracer` for the ring-buffer span log and
+:mod:`repro.obs.export` for critical-path reduction and Perfetto
+export.  The rest of the codebase imports :data:`NOOP_TRACER` (the
+disabled fast path) and guards every emission site on
+``tracer.enabled``.
+"""
+
+from .tracer import (NOOP_TRACER, PHASES, VERB_PHASES, SpanRing,
+                     TraceData, Tracer)
+from .export import (critical_path, exemplar_summary, to_trace_events,
+                     trace_tree, write_trace_json)
+
+__all__ = [
+    "NOOP_TRACER", "PHASES", "VERB_PHASES", "SpanRing", "TraceData",
+    "Tracer", "critical_path", "exemplar_summary", "to_trace_events",
+    "trace_tree", "write_trace_json",
+]

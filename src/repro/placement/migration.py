@@ -143,6 +143,20 @@ class MigrationExecutor:
     def migrate(self, table: str, key, dst: int,
                 epoch: int) -> Generator:
         """One move as a locking transaction; returns True if applied."""
+        tr = self.db.tracer
+        if not tr.enabled:
+            return (yield from self._migrate(table, key, dst, epoch))
+        # background moves trace under their own ids (same per-home
+        # sampled counter as requests)
+        trace = tr.new_trace(self.home)
+        t0 = self.db.cluster.sim.now
+        applied = yield from self._migrate(table, key, dst, epoch)
+        tr.span(trace, 0, 0, self.home, "migrate", t0,
+                self.db.cluster.sim.now, "ok" if applied else "skipped")
+        return applied
+
+    def _migrate(self, table: str, key, dst: int,
+                 epoch: int) -> Generator:
         db = self.db
         stats = self.stats
         if table in db.catalog.replicated_tables:

@@ -227,6 +227,7 @@ class WireVerbs:
     token: int
     specs: tuple  # of OpSpec
     batched: bool
+    trace: int = 0  # tracing context; 0 = untraced (the common case)
 
 
 @dataclass(frozen=True)
@@ -242,6 +243,7 @@ class WireRpc:
 
     token: int
     payload: Any
+    trace: int = 0
 
 
 @dataclass(frozen=True)
@@ -265,9 +267,13 @@ class WireOneWay:
 # table-name strings) that both ends already agree on.  The packed
 # codec strips all of it.  A frame's first byte selects the format:
 #
-#   FRAME_PICKLE (0)      pickle of (src, dst, wire) — anything
-#   FRAME_VERBS (1)       packed WireVerbs whose specs are all hot verbs
-#   FRAME_VERB_REPLY (2)  packed WireVerbReply
+#   FRAME_PICKLE (0)        pickle of (src, dst, wire) — anything
+#   FRAME_VERBS (1)         packed WireVerbs whose specs are all hot verbs
+#   FRAME_VERB_REPLY (2)    packed WireVerbReply
+#   FRAME_VERBS_TRACED (3)  FRAME_VERBS + an 8-byte trace id after the
+#                           header; emitted only for traced requests, so
+#                           tracing-off frames are byte-identical to
+#                           before the field existed
 #
 # The packed formats never carry a string the peer can intern instead:
 # verb kinds index :data:`HOT_VERBS`, table names index the per-run
@@ -290,6 +296,7 @@ breaks any mixed-version pairing."""
 FRAME_PICKLE = 0
 FRAME_VERBS = 1
 FRAME_VERB_REPLY = 2
+FRAME_VERBS_TRACED = 3
 
 WIRE_ATOMS: list = []
 """Interned wire constants (e.g. lock modes): small hashable singletons
@@ -373,8 +380,13 @@ class FrameCodec:
     def _encode_verbs(self, src: int, dst: int, wire: WireVerbs) -> bytes:
         verb_id = self._verb_id
         table_id = self._table_id
-        out = [_S_HDR.pack(FRAME_VERBS, src, dst, wire.token,
-                           wire.batched, len(wire.specs))]
+        if wire.trace:
+            out = [_S_HDR.pack(FRAME_VERBS_TRACED, src, dst, wire.token,
+                               wire.batched, len(wire.specs)),
+                   _S_Q.pack(wire.trace)]
+        else:
+            out = [_S_HDR.pack(FRAME_VERBS, src, dst, wire.token,
+                               wire.batched, len(wire.specs))]
         for kind, partition, table, key, args in wire.specs:
             vid = verb_id.get(kind)
             if vid is None:
@@ -447,7 +459,11 @@ class FrameCodec:
             return pickle.loads(body[1:])
         _tag, src, dst, token, batched, count = _S_HDR.unpack_from(body, 0)
         offset = _S_HDR.size
-        if tag == FRAME_VERBS:
+        if tag == FRAME_VERBS or tag == FRAME_VERBS_TRACED:
+            trace = 0
+            if tag == FRAME_VERBS_TRACED:
+                trace = _S_Q.unpack_from(body, offset)[0]
+                offset += _S_Q.size
             specs = []
             for _ in range(count):
                 vid, partition, tid = _S_SPEC.unpack_from(body, offset)
@@ -457,7 +473,8 @@ class FrameCodec:
                 specs.append((HOT_VERBS[vid], partition,
                               None if tid == 0xFF else self.tables[tid],
                               key, args))
-            return src, dst, WireVerbs(token, tuple(specs), bool(batched))
+            return src, dst, WireVerbs(token, tuple(specs), bool(batched),
+                                       trace)
         if tag == FRAME_VERB_REPLY:
             values = []
             for _ in range(count):

@@ -47,6 +47,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from ..obs.tracer import VERB_PHASES
 from .aio_runtime import AioClock, AioNetwork
 from .cluster import Server
 from .codec import (PEER_DOWN, CodecError, FrameCodec, WireOneWay, WireRpc,
@@ -217,7 +218,8 @@ class MpServerRuntime(EffectRuntimeBase):
         self._next_token += 1
         self._verb_pending[token] = (cont, batched, dst_worker, len(ops))
         return self._cluster.transport.send(
-            self.server_id, target, WireVerbs(token, specs, batched),
+            self.server_id, target,
+            WireVerbs(token, specs, batched, self.current_trace),
             what=effect)
 
     # -- messages ----------------------------------------------------------
@@ -236,7 +238,8 @@ class MpServerRuntime(EffectRuntimeBase):
                 remote=target != self.server_id, server=self.server_id)
             self._cluster.deliver_local(
                 target, self.server_id,
-                _RpcRequest(self.server_id, effect.payload, cont))
+                _RpcRequest(self.server_id, effect.payload, cont,
+                            self.current_trace))
             return
         dst_worker = self._cluster.owner_of(target)
         if self._cluster.peer_is_down(dst_worker):
@@ -246,7 +249,8 @@ class MpServerRuntime(EffectRuntimeBase):
         self._next_token += 1
         self._rpc_pending[token] = (cont, dst_worker)
         sent = self._cluster.transport.send(
-            self.server_id, target, WireRpc(token, effect.payload),
+            self.server_id, target,
+            WireRpc(token, effect.payload, self.current_trace),
             what=effect.describe())
         self.network.stats.record_message(kind, sent, remote=True,
                                           server=self.server_id)
@@ -287,10 +291,18 @@ class MpServerRuntime(EffectRuntimeBase):
     def on_transport(self, src: int, wire: Any) -> None:
         """Handle one decoded wire envelope addressed to this server."""
         if isinstance(wire, WireVerbs):
+            traced = wire.trace and self.tracer.enabled
+            t0 = self._cluster.sim.now if traced else 0.0
             values = []
             for spec in wire.specs:
                 op = decode_op(spec).bind(self.dispatch_context)
                 values.append(op())
+            if traced:
+                # server-side half of the trace tree: which participant
+                # executed the verbs, attributed by verb kind
+                self.tracer.span(wire.trace, 0, 0, self.server_id,
+                                 VERB_PHASES.get(wire.specs[0][0], "read"),
+                                 t0, self._cluster.sim.now)
             if self._cluster.peer_is_down(self._cluster.owner_of(src)):
                 return  # the requester died since asking
             self._cluster.transport.send(
@@ -321,7 +333,8 @@ class MpServerRuntime(EffectRuntimeBase):
                 self.network.stats.record_message(
                     "rpc_reply", sent, remote=True, server=self.server_id)
 
-            self.spawn(self.rpc_handler(src, wire.payload), on_done=reply)
+            self.spawn(self.rpc_handler(src, wire.payload), on_done=reply,
+                       trace=wire.trace)
         elif isinstance(wire, WireRpcReply):
             entry = self._rpc_pending.pop(wire.token, None)
             if entry is not None:

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Sequence
 
+from ..obs.tracer import NOOP_TRACER
 from .cpu import Core
 from .effects import (All, Await, BatchedOneSided, Compute, Coroutine,
                       Effect, OneSided, OneWay, Rpc, Sleep)
@@ -44,11 +45,13 @@ from .network import Network
 
 
 class _Task:
-    __slots__ = ("gen", "on_done")
+    __slots__ = ("gen", "on_done", "trace")
 
-    def __init__(self, gen: Coroutine, on_done: Callable[[Any], None] | None):
+    def __init__(self, gen: Coroutine, on_done: Callable[[Any], None] | None,
+                 trace: int = 0):
         self.gen = gen
         self.on_done = on_done
+        self.trace = trace
 
 
 def _payload_kind(payload: Any, default: str) -> str:
@@ -73,7 +76,8 @@ class EffectRuntimeBase:
     """
 
     __slots__ = ("server_id", "active_tasks", "rpc_handler",
-                 "dispatch_context")
+                 "dispatch_context", "tracer", "current_trace",
+                 "_current_task")
 
     def __init__(self, server_id: int):
         self.server_id = server_id
@@ -83,17 +87,40 @@ class EffectRuntimeBase:
         """The :class:`~repro.sim.codec.DispatchContext` op descriptors
         arriving over a serialization boundary are re-bound to;
         installed by the database layer when it wires storage."""
+        self.tracer = NOOP_TRACER
+        """Per-run span sink (see :mod:`repro.obs`); the module-level
+        no-op unless the harness installs a live tracer."""
+        self.current_trace = 0
+        """Trace id of the task being advanced right now (0 = untraced).
+        Re-established from the task on every resume, so continuations
+        and RPC handlers inherit the context of the request they serve."""
+        self._current_task: _Task | None = None
 
     # -- task scheduling -------------------------------------------------
 
     def spawn(self, gen: Coroutine,
-              on_done: Callable[[Any], None] | None = None) -> None:
+              on_done: Callable[[Any], None] | None = None,
+              trace: int = 0) -> None:
         """Start driving a coroutine; ``on_done`` receives its return."""
         self.active_tasks += 1
         self._task_started()
-        self._advance(_Task(gen, on_done), None)
+        self._advance(_Task(gen, on_done, trace), None)
+
+    def set_trace(self, trace: int) -> None:
+        """Attach ``trace`` to the currently-advancing task.
+
+        Called by the transaction layer when a request's trace id is
+        allocated after its task already started (retries reuse the
+        task); sticks to the task so later resumes keep the context.
+        """
+        task = self._current_task
+        if task is not None:
+            task.trace = trace
+        self.current_trace = trace
 
     def _advance(self, task: _Task, value: Any) -> None:
+        self._current_task = task
+        self.current_trace = task.trace
         try:
             effect = task.gen.send(value)
         except StopIteration as stop:
@@ -238,7 +265,8 @@ class EffectRuntimeBase:
 
     def send_rpc(self, effect: Rpc, cont: Callable[[Any], None]) -> None:
         self.send_payload(effect.target,
-                          _RpcRequest(self.server_id, effect.payload, cont),
+                          _RpcRequest(self.server_id, effect.payload, cont,
+                                      self.current_trace),
                           kind=_payload_kind(effect.payload, "rpc"),
                           size_of=effect.payload)
 
@@ -259,7 +287,8 @@ class EffectRuntimeBase:
             self.spawn(handler_gen,
                        on_done=lambda reply: self.send_payload(
                            src, _RpcReply(payload, reply),
-                           kind="rpc_reply", size_of=reply))
+                           kind="rpc_reply", size_of=reply),
+                       trace=payload.trace)
         elif isinstance(payload, _RpcReply):
             payload.request.cont(payload.value)
         elif isinstance(payload, OneWay):
@@ -381,12 +410,14 @@ class EffectRuntime(EffectRuntimeBase):
 
 
 class _RpcRequest:
-    __slots__ = ("src", "payload", "cont")
+    __slots__ = ("src", "payload", "cont", "trace")
 
-    def __init__(self, src: int, payload: Any, cont: Callable[[Any], None]):
+    def __init__(self, src: int, payload: Any, cont: Callable[[Any], None],
+                 trace: int = 0):
         self.src = src
         self.payload = payload
         self.cont = cont
+        self.trace = trace
 
 
 class _RpcReply:

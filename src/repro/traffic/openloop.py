@@ -83,6 +83,7 @@ def _dispatcher(workload, executor, config, cluster, metrics: Metrics,
     """Walk the schedule, admitting or shedding each arrival on time."""
     rng = make_rng(config.seed, "open-loop", home)
     engine = cluster.engine(home)
+    tracer = executor.db.tracer
     for index, arrival in enumerate(schedule):
         tenant = stats.tenant(arrival.tenant, arrival.deadline_us)
         tenant.scheduled += 1
@@ -92,37 +93,51 @@ def _dispatcher(workload, executor, config, cluster, metrics: Metrics,
         # drawn in schedule order on the dispatcher, so the request
         # sequence is deterministic however execution interleaves
         request = workload.next_request(home, rng)
+        trace = tracer.new_trace(home) if tracer.enabled else 0
         if admission is not None:
             if admission.admit(arrival, cluster.sim.now) is not None:
                 tenant.shed += 1
+                if trace:
+                    tracer.span(trace, 0, 0, home, "shed", arrival.at,
+                                cluster.sim.now, "shed")
                 continue
             admission.on_start()
         task_rng = make_rng(config.seed, "open-loop-task", home, index)
         engine.spawn(_request_task(request, arrival, executor, config,
                                    cluster, metrics, stats, home,
                                    scheduler, admission, telemetry,
-                                   task_rng))
+                                   task_rng, trace))
 
 
 def _request_task(request, arrival: Arrival, executor, config, cluster,
                   metrics: Metrics, stats: OpenLoopStats, home: int,
                   scheduler: Scheduler,
                   admission: DeadlineAdmission | None, telemetry,
-                  rng: random.Random):
+                  rng: random.Random, trace: int = 0):
     """Execute one admitted arrival to completion; settle its SLO."""
     tenant = stats.tenants[arrival.tenant]
+    tracer = executor.db.tracer
     decision = scheduler.admit(request, cluster.sim.now)
     while decision.action is SchedAction.DEFER:
         yield decision.wait_effect()
         decision = scheduler.readmit(request, decision, cluster.sim.now)
     if decision.action is SchedAction.SHED:
         tenant.shed += 1
+        if trace:
+            tracer.span(trace, 0, 0, home, "shed", arrival.at,
+                        cluster.sim.now, "shed")
         if admission is not None:
             admission.on_finish(cluster.sim.now)
         return
+    if trace and cluster.sim.now > arrival.at:
+        # dispatch lag + admission queueing, measured from the
+        # *scheduled* arrival so exemplars explain CO-safe latency
+        tracer.span(trace, 0, 0, home, "queue_wait", arrival.at,
+                    cluster.sim.now)
     attempts = 0
     while True:
-        outcome = yield from executor.execute(request)
+        outcome = yield from executor.execute(request, trace=trace,
+                                              attempt=attempts)
         metrics.add(outcome)
         if telemetry is not None and outcome.committed:
             telemetry[home].observe(outcome, cluster.sim.now)
@@ -141,6 +156,10 @@ def _request_task(request, arrival: Arrival, executor, config, cluster,
     now = cluster.sim.now
     latency_us = now - arrival.at
     tenant.histogram.record(latency_us)
+    if trace:
+        # top-K slowest traces per tenant: what perf_summary() uses to
+        # attribute p99/p999 to a dominant phase
+        tracer.exemplar(arrival.tenant, trace, latency_us)
     if outcome.committed:
         tenant.committed += 1
         if arrival.deadline_us <= 0 or latency_us <= arrival.deadline_us:

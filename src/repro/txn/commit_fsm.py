@@ -217,10 +217,17 @@ class CommitFsm:
         ex, state = self.ex, self.state
         self.writes = writes
         if self.wal is not None:
+            t0 = ex.span_start(state)
             ok = yield from self._durable_prepare(writes)
+            if t0 is not None:
+                ex.emit_span(state, "prepare", t0, ok)
             if not ok:
                 return False
+        t0 = ex.span_start(state)
         yield from ex.replicate(state, writes)
+        if (t0 is not None and writes and ex.cfg.replicate
+                and ex.db.replicas is not None):
+            ex.emit_span(state, "replicate", t0)
         self._transition(TxnPhase.PREPARED)
         return True
 
@@ -257,25 +264,29 @@ class CommitFsm:
         """PREPARED -> COMMITTED: log the decision (the commit point),
         then apply + release everywhere."""
         ex, state = self.ex, self.state
+        t0 = ex.span_start(state)
         if self.wal is None:
             self._transition(TxnPhase.COMMITTED)
             yield from ex.commit_phase(state, self.writes)
-            return
-        crash_point("coord:before_decision")
-        # the forced sync is the commit point: once this record is
-        # durable the txn is committed no matter who dies next
-        self.wal.append((R_DECISION, state.txn_id, True), sync=True)
-        ex.db.commit_table.record_decision(state.txn_id, True)
-        self._transition(TxnPhase.COMMITTED)
-        yield Compute(self.wal.append_cost_us(sync=True))
-        crash_point("coord:after_decision")
-        yield from self._decision_round(True)
-        self.wal.append((R_END, state.txn_id))
+        else:
+            crash_point("coord:before_decision")
+            # the forced sync is the commit point: once this record is
+            # durable the txn is committed no matter who dies next
+            self.wal.append((R_DECISION, state.txn_id, True), sync=True)
+            ex.db.commit_table.record_decision(state.txn_id, True)
+            self._transition(TxnPhase.COMMITTED)
+            yield Compute(self.wal.append_cost_us(sync=True))
+            crash_point("coord:after_decision")
+            yield from self._decision_round(True)
+            self.wal.append((R_END, state.txn_id))
+        if t0 is not None:
+            ex.emit_span(state, "commit", t0)
 
     def abort(self) -> Generator:
         """-> ABORTED: log the (presumed) abort if a prepare was logged,
         release every participant."""
         ex, state = self.ex, self.state
+        t0 = ex.span_start(state)
         if self.wal is not None and self._logged_prepare:
             # unforced: presumed abort means absence already implies it
             self.wal.append((R_DECISION, state.txn_id, False))
@@ -287,6 +298,8 @@ class CommitFsm:
             yield from ex.abort_release(state)
         if self.wal is not None and self._logged_prepare:
             self.wal.append((R_END, state.txn_id))
+        if t0 is not None:
+            ex.emit_span(state, "release", t0, ok=False)
 
     def mark_aborted(self) -> None:
         """Transition-only abort for failures that hold nothing (OCC's

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable
 
 from ..analysis import ProcedureRegistry
+from ..obs.tracer import NOOP_TRACER
 from ..replication import ReplicaManager
 from ..sim import Cluster, Coroutine
 from ..sim.codec import DispatchContext
@@ -27,6 +28,12 @@ RpcFactory = Callable[[int, int, Any], Coroutine]
 
 class Database:
     """A distributed in-memory database over a simulated cluster."""
+
+    tracer = NOOP_TRACER
+    """Span sink for the observability layer (:mod:`repro.obs`).  A
+    class attribute so every database is born with the zero-cost no-op;
+    the harness overwrites it (per instance) when a run asks for
+    ``trace=True``."""
 
     def __init__(self, cluster: Cluster, catalog: Catalog,
                  tables: Iterable[TableSpec],

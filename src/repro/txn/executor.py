@@ -104,6 +104,12 @@ class TxnState:
     """Placement epoch captured at start; read misses on records that
     migrated past this epoch abort as MIGRATED (retryable) instead of
     READ_MISS (an application abort)."""
+    trace: int = 0
+    """Observability trace id (0 = untraced); rides the runtime's task
+    context and the mp wire frames so every phase span this transaction
+    emits — on any server — stitches into one tree."""
+    attempt: int = 0
+    """Retry ordinal of the driving request (0 = first attempt)."""
 
     @property
     def params(self) -> Any:
@@ -133,15 +139,21 @@ class BaseExecutor:
 
     # -- state setup ------------------------------------------------------
 
-    def new_state(self, request: TxnRequest) -> TxnState:
+    def new_state(self, request: TxnRequest, trace: int = 0,
+                  attempt: int = 0) -> TxnState:
         proc = self.db.registry.get(request.proc)
         instances = proc.instantiate(request.params)
         state = TxnState(txn_id=next_txn_id(), request=request,
                          instances=instances,
                          start=self.db.cluster.sim.now,
-                         epoch=self.db.placement_epoch())
+                         epoch=self.db.placement_epoch(),
+                         trace=trace, attempt=attempt)
         state.pending_checks = [inst for inst in instances
                                 if inst.spec.kind is OpKind.CHECK]
+        if trace:
+            # bind the context to the driving task so RPCs and (on mp)
+            # wire frames issued on its behalf carry the trace id
+            self.db.cluster.engine(request.home).runtime.set_trace(trace)
         return state
 
     # -- pre-execution read/write-set estimation -----------------------------
@@ -245,7 +257,29 @@ class BaseExecutor:
                 cost += cfg.cpu_op_us
         return cost
 
-    # -- layered lock+read phase ---------------------------------------------
+    # -- phase spans -------------------------------------------------------
+
+    def emit_span(self, state: TxnState, phase: str, t0: float,
+                  ok: bool = True) -> None:
+        """Record one coordinator-side phase span for a traced txn.
+
+        Pure bookkeeping — no effects, no RNG — so emission never
+        perturbs the sim event stream.  Callers guard with
+        :meth:`span_start` returning a non-None t0.
+        """
+        self.db.tracer.span(
+            state.trace, state.txn_id, state.attempt, state.request.home,
+            phase, t0, self.db.cluster.sim.now,
+            "ok" if ok else (state.abort_reason.name.lower()
+                             if state.abort_reason else "abort"))
+
+    def span_start(self, state: TxnState) -> float | None:
+        """Phase start timestamp, or None when this txn is untraced."""
+        if self.db.tracer.enabled and state.trace:
+            return self.db.cluster.sim.now
+        return None
+
+    # -- layered lock+read phase (wrapped for tracing) ---------------------
 
     def lock_read_phase(self, state: TxnState,
                         ops: Iterable[OpInstance] | None = None,
@@ -256,6 +290,16 @@ class BaseExecutor:
         locks and inserts defer entirely to validation.  Returns True on
         success; on failure ``state.abort_reason`` is set.
         """
+        t0 = self.span_start(state)
+        if t0 is None:
+            return (yield from self._lock_read_phase(state, ops, locking))
+        ok = yield from self._lock_read_phase(state, ops, locking)
+        self.emit_span(state, "lock" if locking else "read", t0, ok)
+        return ok
+
+    def _lock_read_phase(self, state: TxnState,
+                         ops: Iterable[OpInstance] | None,
+                         locking: bool) -> Generator:
         if ops is None:
             ops = state.instances
         pending = [inst for inst in ops

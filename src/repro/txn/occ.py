@@ -36,8 +36,9 @@ class OccExecutor(BaseExecutor):
 
     name = "occ"
 
-    def execute(self, request: TxnRequest) -> Generator:
-        state = self.new_state(request)
+    def execute(self, request: TxnRequest, trace: int = 0,
+                attempt: int = 0) -> Generator:
+        state = self.new_state(request, trace, attempt)
         fsm = CommitFsm(self, state)
         ok = yield from self.lock_read_phase(state, locking=False)
         if not ok:
@@ -45,7 +46,10 @@ class OccExecutor(BaseExecutor):
             fsm.mark_aborted()
             return self.finish(state)
         writes = self.evaluate_writes(state)
+        t0 = self.span_start(state)
         ok = yield from self._validate(state, writes)
+        if t0 is not None:
+            self.emit_span(state, "validate", t0, ok)
         if not ok:
             # validation precedes the prepare: nothing was logged or
             # shipped, so this abort needs no decision record either

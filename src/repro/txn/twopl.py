@@ -24,8 +24,9 @@ class TwoPLExecutor(BaseExecutor):
 
     name = "2pl"
 
-    def execute(self, request: TxnRequest) -> Generator:
-        state = self.new_state(request)
+    def execute(self, request: TxnRequest, trace: int = 0,
+                attempt: int = 0) -> Generator:
+        state = self.new_state(request, trace, attempt)
         fsm = CommitFsm(self, state)
         ok = yield from self.lock_read_phase(state)
         if not ok:

@@ -87,3 +87,34 @@ def test_restart_budget_exhaustion_is_fatal(tmp_path):
     with pytest.raises(MpRunError, match="died before reporting"):
         run.run()
     assert no_leaked_workers()
+
+
+def test_merged_stats_count_each_generation_once(tmp_path):
+    """Stats-merging regression for worker restart: a killed worker's
+    payload is never collected (only its replacement reports), so the
+    merged SchedulerStats/RecoveryStats must count each engine and
+    each replay exactly once.  A double-fold of the dead generation's
+    counters alongside its replacement's would show up here as a
+    duplicate engine entry, recoveries=2, or more admissions than the
+    same payloads' recorded attempts."""
+    config = chaos_config(tmp_path)
+    run = make_ycsb_run("2pl", config, workload=small_workload())
+    result = run.run()
+    metrics = result.metrics
+
+    # exactly one scheduler entry per engine, whichever generation
+    # owned it at quiescence
+    assert set(metrics.scheduler_stats) == set(range(config.n_partitions))
+    sched = metrics.scheduler_summary()
+    assert sched.completed <= sched.admitted
+    # every admitted request records >= 1 attempt in the same worker's
+    # payload; double-merged scheduler counters would overshoot the
+    # concatenated outcome list
+    assert sched.admitted <= metrics.attempts
+
+    # one SIGKILL, one respawn, one WAL replay -- exactly
+    recovery = metrics.recovery_stats
+    assert recovery is not None
+    assert recovery.recoveries == 1
+    assert result.perf_summary()["recovery"]["recoveries"] == 1
+    assert no_leaked_workers()

@@ -16,8 +16,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sim.codec import (FRAME_PICKLE, FRAME_VERB_REPLY, FRAME_VERBS,
-                             HOT_VERBS, WIRE_PICKLE_PROTOCOL, CodecError,
-                             FrameCodec, WireRpc, WireVerbReply, WireVerbs,
+                             FRAME_VERBS_TRACED, HOT_VERBS,
+                             WIRE_PICKLE_PROTOCOL, CodecError, FrameCodec,
+                             WireRpc, WireVerbReply, WireVerbs,
                              register_wire_atom)
 from repro.storage import LockMode
 
@@ -267,3 +268,68 @@ def test_packed_reply_is_smaller_than_pickled():
     packed = make_codec(packed=True).encode(2, 0, wire, "reply")
     pickled = make_codec(packed=False).encode(2, 0, wire, "reply")
     assert len(packed) < len(pickled), (len(packed), len(pickled))
+
+
+# -- trace context on the wire ------------------------------------------------
+# Trace ids (repro.obs) ride the packed frames under a separate tag
+# (FRAME_VERBS_TRACED) so untraced frames stay byte-identical to the
+# pre-tracing format; the pickle escape hatch carries the dataclass
+# field for free.  Both paths must round-trip the id exactly.
+
+traced_verbs_frames = st.builds(
+    WireVerbs,
+    token=st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1),
+    specs=st.tuples(specs) | st.tuples(specs, specs, specs),
+    batched=st.booleans(),
+    trace=st.integers(min_value=0, max_value=2 ** 63 - 1),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(wire=traced_verbs_frames)
+def test_trace_context_round_trips_both_codecs(wire):
+    for packed in (True, False):
+        codec = make_codec(packed=packed)
+        _, got = roundtrip(codec, wire)
+        assert got == wire
+        assert got.trace == wire.trace
+
+
+@pytest.mark.parametrize("packed", [True, False])
+@pytest.mark.parametrize("kind", HOT_VERBS)
+def test_every_hot_verb_carries_trace(kind, packed):
+    codec = make_codec(packed=packed)
+    wire = WireVerbs(9, ((kind, 3, "accounts", (0, "k"), (17,)),), False,
+                     trace=(5 << 40) | 123)
+    body, got = roundtrip(codec, wire)
+    if packed:
+        assert body[0] == FRAME_VERBS_TRACED
+    assert got == wire
+
+
+def test_untraced_packed_frame_bytes_unchanged():
+    """trace=0 keeps the original FRAME_VERBS layout: the tracing
+    field must not cost untraced runs a single wire byte."""
+    codec = make_codec()
+    untraced = WireVerbs(9, (("lock_read", 3, "accounts", 1,
+                              (LockMode.EXCLUSIVE, 5)),), False)
+    traced = WireVerbs(9, untraced.specs, False, trace=1)
+    body_untraced = codec.encode(0, 1, untraced, "frame")
+    body_traced = codec.encode(0, 1, traced, "frame")
+    assert body_untraced[0] == FRAME_VERBS
+    assert body_traced[0] == FRAME_VERBS_TRACED
+    assert len(body_traced) == len(body_untraced) + 8
+    assert codec.decode(body_untraced)[2].trace == 0
+    assert codec.decode(body_traced)[2].trace == 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(trace=st.integers(min_value=0, max_value=2 ** 63 - 1))
+def test_wire_rpc_carries_trace_via_pickle(trace):
+    """Cross-worker RPC envelopes always pickle; the trace field rides
+    along on both codec modes unchanged."""
+    wire = WireRpc(7, ("inner", {"warehouse": 3}), trace)
+    for packed in (True, False):
+        _, got = roundtrip(make_codec(packed=packed), wire)
+        assert got == wire
+        assert got.trace == trace
