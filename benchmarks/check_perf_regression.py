@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Compare a pytest-benchmark JSON run against the committed baseline.
 
-Two families of tracked figures, both read from each benchmark's
+Three families of tracked figures, all read from each benchmark's
 ``extra_info`` (fed by ``RunResult.perf_summary()``):
 
 * **rates** (higher is better): any ``*_per_second`` /
@@ -11,10 +11,19 @@ Two families of tracked figures, both read from each benchmark's
   open-loop percentile cells from ``bench_open_loop.py``, which are
   deterministic on the sim backend.  Fails when a latency rises more
   than ``--max-regression`` above baseline.
+* **timeline counts** (lower is better, zero-safe): any
+  ``timeline_*_depth`` / ``timeline_*_count`` / ``timeline_*_samples``
+  entry — figures derived from the live metrics timeline
+  (``bench_timeline_overhead.py``), e.g. max queue depth, watchdog
+  stall count, dropped samples.  A zero baseline is a hard invariant:
+  the cell fails on *any* nonzero observation (a stall or a dropped
+  sample is a regression no matter how small), so these cells cannot
+  use the ratio math of the other two families.
 
 CI's ``perf-tracking`` job runs the benchmark files with
 ``--benchmark-json``, uploads the JSON artifact, then fails the build
-on any regressed, missing, or untracked cell.
+on any regressed, missing, or untracked cell.  Every failure line
+carries the offending cell's baseline and observed values.
 
 Re-baselining (after an intentional change, or when CI hardware moves):
 
@@ -31,6 +40,8 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+
+TIMELINE_SUFFIXES = ("_depth", "_count", "_samples")
 
 
 def extract_event_rates(results: dict) -> dict[str, float]:
@@ -57,16 +68,32 @@ def extract_latency_cells(results: dict) -> dict[str, float]:
     return cells
 
 
+def extract_timeline_cells(results: dict) -> dict[str, float]:
+    """Timeline-derived count figures: any ``timeline_*`` entry ending
+    in ``_depth`` / ``_count`` / ``_samples``.  Lower is better, and —
+    unlike rates and latencies — zero is a meaningful (and common)
+    value, so zeros are tracked rather than skipped."""
+    cells: dict[str, float] = {}
+    for bench in results.get("benchmarks", []):
+        for key, value in bench.get("extra_info", {}).items():
+            if (key.startswith("timeline_")
+                    and key.endswith(TIMELINE_SUFFIXES) and value >= 0):
+                cells[f"{bench['name']}:{key}"] = float(value)
+    return cells
+
+
 def compare(tracked: dict, current: dict, max_regression: float,
-            lower_is_better: bool, unit: str) -> bool:
-    """Print one line per cell; True when anything fails the gate."""
-    failed = False
+            lower_is_better: bool, unit: str) -> list[str]:
+    """Print one line per cell; returns a failure string (baseline vs
+    observed) per cell that fails the gate."""
+    failures: list[str] = []
     for name, base in sorted(tracked.items()):
         got = current.get(name)
         if got is None:
             print(f"MISSING  {name}: baseline {base:,.1f} {unit}, no "
                   f"current measurement (benchmark renamed? re-baseline)")
-            failed = True
+            failures.append(f"{name}: baseline {base:,.1f} {unit}, "
+                            f"observed nothing (cell missing)")
             continue
         change = (got - base) / base
         if lower_is_better:
@@ -81,14 +108,57 @@ def compare(tracked: dict, current: dict, max_regression: float,
         print(f"{status:9} {name}: {got:,.1f} {unit} vs baseline "
               f"{base:,.1f} ({change:+.1%}, {bound})")
         if not ok:
-            failed = True
+            failures.append(f"{name}: baseline {base:,.1f} {unit}, "
+                            f"observed {got:,.1f} ({change:+.1%}, "
+                            f"{bound})")
+    failures.extend(report_untracked(tracked, current, unit))
+    return failures
+
+
+def compare_counts(tracked: dict, current: dict,
+                   max_regression: float) -> list[str]:
+    """The zero-safe lower-is-better gate for timeline count cells.
+
+    A positive baseline gets the usual ceiling
+    (``base * (1 + max_regression)``); a **zero** baseline is an
+    invariant — any nonzero observation fails, with no ratio math
+    (which would divide by zero) involved."""
+    failures: list[str] = []
+    for name, base in sorted(tracked.items()):
+        got = current.get(name)
+        if got is None:
+            print(f"MISSING  {name}: baseline {base:,.1f}, no current "
+                  f"measurement (benchmark renamed? re-baseline)")
+            failures.append(f"{name}: baseline {base:,.1f}, observed "
+                            f"nothing (cell missing)")
+            continue
+        ceiling = base * (1.0 + max_regression)
+        ok = got <= ceiling
+        status = "OK" if ok else "REGRESSED"
+        if base > 0:
+            detail = f"({(got - base) / base:+.1%}, ceiling {ceiling:,.1f}"
+        else:
+            detail = "(baseline 0 is an invariant: any occurrence fails"
+        print(f"{status:9} {name}: {got:,.1f} vs baseline {base:,.1f} "
+              f"{detail})")
+        if not ok:
+            failures.append(f"{name}: baseline {base:,.1f}, observed "
+                            f"{got:,.1f} {detail})")
+    failures.extend(report_untracked(tracked, current, "count"))
+    return failures
+
+
+def report_untracked(tracked: dict, current: dict,
+                     unit: str) -> list[str]:
+    failures = []
     for name in sorted(set(current) - set(tracked)):
         print(f"UNTRACKED {name}: {current[name]:,.1f} {unit} measured "
               f"but no baseline cell exists — register it by "
               f"re-baselining (--write-baseline) so future regressions "
               f"are caught")
-        failed = True
-    return failed
+        failures.append(f"{name}: no baseline, observed "
+                        f"{current[name]:,.1f} {unit} (untracked cell)")
+    return failures
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -96,9 +166,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("results", help="pytest-benchmark JSON output")
     parser.add_argument("baseline", nargs="?", default="BENCH_BASELINE.json")
     parser.add_argument("--max-regression", type=float, default=0.30,
-                        help="fail if any rate drops (or latency rises) "
-                             "more than this fraction from baseline "
-                             "(default 0.30)")
+                        help="fail if any rate drops (or latency/count "
+                             "rises) more than this fraction from "
+                             "baseline (default 0.30)")
     parser.add_argument("--write-baseline", metavar="PATH",
                         help="write PATH from the results instead of "
                              "comparing")
@@ -108,26 +178,31 @@ def main(argv: list[str] | None = None) -> int:
         results = json.load(fh)
     rates = extract_event_rates(results)
     latencies = extract_latency_cells(results)
-    if not rates and not latencies:
-        print("error: results carry no *_per_second or *_latency_us "
-              "extra_info")
+    timeline = extract_timeline_cells(results)
+    if not rates and not latencies and not timeline:
+        print("error: results carry no *_per_second, *_latency_us, or "
+              "timeline_* extra_info")
         return 2
 
     if args.write_baseline:
         baseline = {
             "tracked": rates,
             "tracked_latency": latencies,
-            "note": "harness hot-path event rates (higher is better) "
-                    "and open-loop latency cells (lower is better); "
-                    "regenerate with check_perf_regression.py "
-                    "--write-baseline after intentional perf changes",
+            "tracked_timeline": timeline,
+            "note": "harness hot-path event rates (higher is better), "
+                    "open-loop latency cells (lower is better), and "
+                    "timeline count cells (lower is better, zero "
+                    "baseline = invariant); regenerate with "
+                    "check_perf_regression.py --write-baseline after "
+                    "intentional perf changes",
         }
         with open(args.write_baseline, "w") as fh:
             json.dump(baseline, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {args.write_baseline}: "
               + ", ".join(f"{k}={v:,.0f}"
-                          for k, v in {**rates, **latencies}.items()))
+                          for k, v in {**rates, **latencies,
+                                       **timeline}.items()))
         return 0
 
     with open(args.baseline) as fh:
@@ -139,18 +214,25 @@ def main(argv: list[str] | None = None) -> int:
               f"{sorted(baseline_doc) if isinstance(baseline_doc, dict) else type(baseline_doc).__name__}); "
               f"regenerate it with --write-baseline")
         return 2
-    # absent in baselines written before latency tracking existed; an
-    # empty table simply marks every measured latency cell UNTRACKED
+    # absent in baselines written before latency/timeline tracking
+    # existed; an empty table simply marks every measured cell of that
+    # family UNTRACKED
     tracked_latency = baseline_doc.get("tracked_latency") or {}
+    tracked_timeline = baseline_doc.get("tracked_timeline") or {}
 
-    failed = compare(tracked, rates, args.max_regression,
-                     lower_is_better=False, unit="ev/s")
-    failed |= compare(tracked_latency, latencies, args.max_regression,
-                      lower_is_better=True, unit="us")
-    if failed:
-        print(f"\nperf check failed: beyond {args.max_regression:.0%} "
-              f"of baseline. If intentional (or CI hardware changed), "
-              f"re-baseline per the module docstring.")
+    failures = compare(tracked, rates, args.max_regression,
+                       lower_is_better=False, unit="ev/s")
+    failures += compare(tracked_latency, latencies, args.max_regression,
+                        lower_is_better=True, unit="us")
+    failures += compare_counts(tracked_timeline, timeline,
+                               args.max_regression)
+    if failures:
+        print(f"\nperf check failed: {len(failures)} cell(s) beyond "
+              f"{args.max_regression:.0%} of baseline:")
+        for failure in failures:
+            print(f"  - {failure}")
+        print("If intentional (or CI hardware changed), re-baseline "
+              "per the module docstring.")
         return 1
     return 0
 

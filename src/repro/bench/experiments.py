@@ -26,6 +26,11 @@ Run from the command line::
     python -m repro.bench.experiments fig9a --quick --trace \\
         --trace-out /tmp/fig9a.json --trace-sample 1
     python -m repro.bench.experiments fig9a --quick --summary-json /tmp/s.json
+    python -m repro.bench.experiments fig9a --quick --metrics-interval 500
+    python -m repro.bench.experiments fig9a --quick --backend mp \\
+        --metrics-interval 50000 --metrics-port 9100 --watch
+    python -m repro.bench.experiments fig9a --quick \\
+        --metrics-interval 500 --metrics-csv /tmp/fig9a.timeline.csv
 
 ``--wal off|fsync|group`` selects the per-server write-ahead-log mode
 (commit decisions become durable; see ARCHITECTURE.md, "Durability &
@@ -60,6 +65,16 @@ writes the last run's spans as Chrome ``trace_event`` JSON for
 ``ui.perfetto.dev``.  ``--summary-json PATH`` collects every run's
 ``perf_summary()`` — including the trace/exemplar sections when
 tracing — into one JSON array.
+``--metrics-interval US`` turns on the live metrics timeline
+(:mod:`repro.obs.timeline`): every US microseconds (simulated on sim,
+wall clock on aio/mp) each run samples delta counters per server and
+the health watchdog checks for stalls, queue saturation, SLO burn,
+lease flaps, and restart storms (``perf_summary()['timeline']`` /
+``['health']``).  ``--metrics-port P`` serves live Prometheus text on
+``127.0.0.1:P/metrics`` (aio/mp), ``--metrics-csv PATH`` writes the
+last run's timeline as CSV, ``--watch`` prints a sparkline dashboard
+after each run, and ``--watchdog-abort`` lets a fatal rule abort a
+wedged run early.
 ``--backend aio`` drives the same sweep through the asyncio runtime
 (real event loop, wall-clock time) instead of the simulator;
 ``--backend mp`` through the multiprocess runtime (one OS process per
@@ -107,7 +122,8 @@ def instacart_config(n_partitions: int, quick: bool = False,
                      profile_dir: str | None = None,
                      durability: dict | None = None,
                      traffic: dict | None = None,
-                     tracing: dict | None = None) -> RunConfig:
+                     tracing: dict | None = None,
+                     observability: dict | None = None) -> RunConfig:
     return RunConfig(n_partitions=n_partitions,
                      concurrent_per_engine=4,
                      horizon_us=4_000.0 if quick else 12_000.0,
@@ -122,7 +138,7 @@ def instacart_config(n_partitions: int, quick: bool = False,
                      mp_transport=mp_transport, mp_codec=mp_codec,
                      mp_profile_dir=profile_dir,
                      **(durability or {}), **(traffic or {}),
-                     **(tracing or {}))
+                     **(tracing or {}), **(observability or {}))
 
 
 def instacart_sweep(partitions: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
@@ -140,7 +156,8 @@ def instacart_sweep(partitions: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
                     profile_dir: str | None = None,
                     durability: dict | None = None,
                     traffic: dict | None = None,
-                    tracing: dict | None = None) -> list[dict]:
+                    tracing: dict | None = None,
+                    observability: dict | None = None) -> list[dict]:
     """One row per partition count with every layout's metrics.
 
     Feeds Fig. 7 (throughput), Fig. 8 (distributed ratio), the lookup
@@ -163,7 +180,7 @@ def instacart_sweep(partitions: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
                                  backend, mp_workers, scheduler,
                                  placement, mp_transport, mp_codec,
                                  profile_dir, durability, traffic,
-                                 tracing))
+                                 tracing, observability))
             result = run.run()
             metrics = result.metrics
             row[f"{name}_throughput"] = result.throughput
@@ -229,7 +246,8 @@ def tpcc_config(n_partitions: int, concurrent: int, quick: bool = False,
                 profile_dir: str | None = None,
                 durability: dict | None = None,
                 traffic: dict | None = None,
-                tracing: dict | None = None) -> RunConfig:
+                tracing: dict | None = None,
+                observability: dict | None = None) -> RunConfig:
     return RunConfig(n_partitions=n_partitions,
                      concurrent_per_engine=concurrent,
                      horizon_us=5_000.0 if quick else 15_000.0,
@@ -241,7 +259,7 @@ def tpcc_config(n_partitions: int, concurrent: int, quick: bool = False,
                      mp_transport=mp_transport, mp_codec=mp_codec,
                      mp_profile_dir=profile_dir,
                      **(durability or {}), **(traffic or {}),
-                     **(tracing or {}))
+                     **(tracing or {}), **(observability or {}))
 
 
 def fig9_rows(concurrency: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
@@ -256,7 +274,8 @@ def fig9_rows(concurrency: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
               profile_dir: str | None = None,
               durability: dict | None = None,
               traffic: dict | None = None,
-              tracing: dict | None = None) -> list[dict]:
+              tracing: dict | None = None,
+              observability: dict | None = None) -> list[dict]:
     """Throughput + abort rates per executor per concurrency level."""
     rows = []
     for concurrent in concurrency:
@@ -267,7 +286,7 @@ def fig9_rows(concurrency: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
                                   doorbell_batching, backend, mp_workers,
                                   scheduler, placement, mp_transport,
                                   mp_codec, profile_dir, durability,
-                                  traffic, tracing))
+                                  traffic, tracing, observability))
             result = run.run()
             metrics = result.metrics
             row[f"{name}_throughput"] = result.throughput
@@ -326,7 +345,8 @@ def fig10_rows(percents: Sequence[int] = (0, 20, 40, 60, 80, 100),
                profile_dir: str | None = None,
                durability: dict | None = None,
                traffic: dict | None = None,
-               tracing: dict | None = None) -> list[dict]:
+               tracing: dict | None = None,
+               observability: dict | None = None) -> list[dict]:
     """Throughput vs fraction of distributed transactions."""
     rows = []
     for percent in percents:
@@ -342,7 +362,7 @@ def fig10_rows(percents: Sequence[int] = (0, 20, 40, 60, 80, 100),
                                   doorbell_batching, backend, mp_workers,
                                   scheduler, placement, mp_transport,
                                   mp_codec, profile_dir, durability,
-                                  traffic, tracing),
+                                  traffic, tracing, observability),
                 workload=workload)
             result = run.run()
             row[f"{name}_{concurrent}_throughput"] = result.throughput
@@ -523,11 +543,16 @@ def main(argv: Iterable[str] | None = None) -> None:
     admission, args = _parse_option(args, "admission", ADMISSIONS)
     trace_out, args = _parse_option(args, "trace-out")
     trace_sample, args = _parse_option(args, "trace-sample")
+    metrics_interval, args = _parse_option(args, "metrics-interval")
+    metrics_port, args = _parse_option(args, "metrics-port")
+    metrics_csv, args = _parse_option(args, "metrics-csv")
     args, flush_summaries = install_summary_json(args)
     quick = "--quick" in args
     doorbell = "--doorbell" in args
     mp_recovery = "--mp-recovery" in args
     trace = "--trace" in args or trace_out is not None
+    watch = "--watch" in args
+    watchdog_abort = "--watchdog-abort" in args
     args = [a for a in args if not a.startswith("--")]
     durability: dict = {}
     if wal:
@@ -571,6 +596,29 @@ def main(argv: Iterable[str] | None = None) -> None:
                              f"{trace_sample!r}")
     elif trace_sample is not None:
         raise SystemExit("--trace-sample needs --trace")
+    observability: dict = {}
+    if metrics_interval is not None:
+        try:
+            observability["metrics_interval"] = float(metrics_interval)
+        except ValueError:
+            raise SystemExit(f"--metrics-interval needs a number "
+                             f"(microseconds), got {metrics_interval!r}")
+        if metrics_port is not None:
+            try:
+                observability["metrics_port"] = int(metrics_port)
+            except ValueError:
+                raise SystemExit(f"--metrics-port needs an integer, "
+                                 f"got {metrics_port!r}")
+        if metrics_csv is not None:
+            observability["metrics_csv"] = metrics_csv
+        if watch:
+            observability["metrics_watch"] = True
+        if watchdog_abort:
+            observability["watchdog_abort"] = True
+    elif (metrics_port is not None or metrics_csv is not None
+          or watch or watchdog_abort):
+        raise SystemExit("--metrics-port/--metrics-csv/--watch/"
+                         "--watchdog-abort need --metrics-interval US")
     wanted = set(args) or {"fig7"}
     if "all" in wanted:
         wanted = {"fig7", "fig8", "fig9a", "fig9b", "fig9c", "fig10",
@@ -618,6 +666,17 @@ def main(argv: Iterable[str] | None = None) -> None:
               + (f", Perfetto JSON of the last run to {trace_out}"
                  if trace_out else "")
               + " — see perf_summary()['trace'] / ['exemplars'])")
+    if observability:
+        unit = "simulated us" if backend == "sim" else "wall-clock us"
+        print(f"(live metrics: timeline sampled every "
+              f"{observability['metrics_interval']:.0f} {unit}"
+              + (f", Prometheus on port {observability['metrics_port']}"
+                 if "metrics_port" in observability else "")
+              + (f", CSV of the last run to {metrics_csv}"
+                 if metrics_csv else "")
+              + (", watchdog aborts wedged runs" if watchdog_abort
+                 else "")
+              + " — see perf_summary()['timeline'] / ['health'])")
 
     def run_wanted() -> None:
         if wanted & {"fig7", "fig8", "lookup", "cost"}:
@@ -631,7 +690,8 @@ def main(argv: Iterable[str] | None = None) -> None:
                                    profile_dir=profile_dir,
                                    durability=durability or None,
                                    traffic=traffic or None,
-                                   tracing=tracing or None)
+                                   tracing=tracing or None,
+                                   observability=observability or None)
             if "fig7" in wanted:
                 print_fig7(rows)
             if "fig8" in wanted:
@@ -651,7 +711,8 @@ def main(argv: Iterable[str] | None = None) -> None:
                              profile_dir=profile_dir,
                              durability=durability or None,
                              traffic=traffic or None,
-                             tracing=tracing or None)
+                             tracing=tracing or None,
+                             observability=observability or None)
             if "fig9a" in wanted:
                 print_fig9a(rows)
             if "fig9b" in wanted:
@@ -670,7 +731,8 @@ def main(argv: Iterable[str] | None = None) -> None:
                                    profile_dir=profile_dir,
                                    durability=durability or None,
                                    traffic=traffic or None,
-                                   tracing=tracing or None))
+                                   tracing=tracing or None,
+                                   observability=observability or None))
         if "reorder" in wanted:
             print_reorder(reorder_ablation_rows(quick=quick,
                                                 doorbell_batching=doorbell,

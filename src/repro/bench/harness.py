@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 import random
+import sys
 import tempfile
 import time
 import uuid
@@ -230,6 +231,39 @@ class RunConfig:
     """When tracing, write the merged spans to this path as Chrome
     ``trace_event`` JSON (loadable in ``ui.perfetto.dev``)."""
 
+    metrics_interval: float | None = None
+    """Live metrics timeline (:mod:`repro.obs.timeline`): sample
+    period in microseconds — simulated µs on the sim backend (pure
+    bookkeeping; the event stream stays bit-identical), wall-clock µs
+    on aio/mp.  None (default) disables the timeline: no sampler, no
+    watchdog, no per-event probe."""
+
+    metrics_ring: int = 4096
+    """Timeline samples retained per server (oldest dropped, counted)."""
+
+    health_rules: tuple | None = None
+    """Watchdog rules (:class:`repro.obs.HealthRule` tuple) evaluated
+    each interval; None uses :func:`repro.obs.default_rules`.  Only
+    consulted when :attr:`metrics_interval` is set."""
+
+    watchdog_abort: bool = False
+    """Let a *fatal* health rule abort a wedged run early by raising
+    :class:`repro.obs.WatchdogAbort` out of the run loop."""
+
+    metrics_port: int | None = None
+    """Serve live Prometheus text exposition on
+    ``http://127.0.0.1:<port>/metrics`` for the duration of the run
+    (aio/mp only — the sim backend has no wall clock to scrape
+    against).  0 binds an ephemeral port."""
+
+    metrics_csv: str | None = None
+    """Write the merged timeline to this path as wide-format CSV at
+    the end of the run."""
+
+    metrics_watch: bool = False
+    """Print the terminal sparkline dashboard
+    (:func:`repro.obs.render_watch`) when the run finishes."""
+
     def arrival_spec(self):
         """The effective open-loop arrival process for this run, or
         None for the closed-loop default.  A string/spec
@@ -362,6 +396,11 @@ class RunResult:
             exemplars = exemplar_summary(trace)
             if exemplars:
                 summary["exemplars"] = exemplars
+        timeline = self.metrics.timeline
+        if timeline is not None:
+            summary["timeline"] = timeline.summary()
+            summary["health"] = [event.as_dict()
+                                 for event in timeline.health]
         return summary
 
     def traffic_summary(self) -> dict | None:
@@ -438,15 +477,109 @@ def install_summary_json(args: list[str],
 
 
 def _finish_run(result: RunResult) -> RunResult:
-    """Common run epilogue: trace export and the summary hook."""
+    """Common run epilogue: trace/timeline export and the summary hook."""
     config = result.config
-    if (config.trace and config.trace_out
-            and result.metrics.trace is not None):
+    trace = result.metrics.trace
+    if trace is not None and trace.dropped > 0:
+        print(f"warning: {trace.dropped} trace span(s) dropped (ring "
+              f"capacity exceeded) — the trace is truncated; raise the "
+              f"tracer ring capacity or sample with trace_sample",
+              file=sys.stderr)
+    if config.trace and config.trace_out and trace is not None:
         from ..obs.export import write_trace_json  # lazy: optional
-        write_trace_json(result.metrics.trace, config.trace_out)
+        write_trace_json(trace, config.trace_out)
+    timeline = result.metrics.timeline
+    if timeline is not None:
+        from ..obs.expose import render_watch, write_timeline_csv
+        if config.metrics_csv:
+            write_timeline_csv(timeline, config.metrics_csv)
+        if config.metrics_watch:
+            print(render_watch(timeline, timeline.health))
     if SUMMARY_HOOK is not None:
         SUMMARY_HOOK(result)
     return result
+
+
+@dataclass
+class _TimelineWiring:
+    """Live-run observability state `_install_timeline` hands back."""
+
+    timeline: object
+    sampler: object
+    watchdog: object
+    http: object | None = None
+
+
+def _install_timeline(config: RunConfig, cluster, db, metrics: Metrics,
+                      wiring) -> "_TimelineWiring | None":
+    """Attach the metrics timeline sampler + health watchdog to a
+    single-process (sim/aio) run.  Returns None when the timeline is
+    off — nothing is allocated and no hook is installed."""
+    if not config.metrics_interval:
+        return None
+    from ..obs.health import HealthWatchdog
+    from ..obs.timeline import Timeline, TimelineSampler
+    timeline = Timeline(config.metrics_interval,
+                        ring=config.metrics_ring)
+    sampler = TimelineSampler(
+        config.metrics_interval, metrics, wiring.schedulers,
+        network=cluster.network.stats, recovery=db.recovery,
+        placement=wiring.placement_stats,
+        events_fired=lambda: cluster.sim.events_fired)
+    watchdog = HealthWatchdog(rules=config.health_rules,
+                              interval_us=config.metrics_interval,
+                              abort=config.watchdog_abort)
+
+    def tick(now_us: float) -> None:
+        rows = sampler.tick(now_us)
+        if rows:
+            timeline.add_rows(rows)
+            watchdog.ingest(rows)
+            watchdog.evaluate(now_us)
+
+    obs = _TimelineWiring(timeline, sampler, watchdog)
+    if config.backend == "sim":
+        # pure bookkeeping after each fired event: bit-identical
+        cluster.sim.probe = tick
+    else:
+        cluster.on_tick = lambda: tick(cluster.sim.now)
+        cluster.tick_interval_s = config.metrics_interval / 1e6
+        if config.metrics_port is not None:
+            from ..obs.expose import MetricsHttpServer, to_prometheus
+            obs.http = MetricsHttpServer(
+                config.metrics_port,
+                lambda: to_prometheus(timeline, watchdog.events))
+            obs.http.start()
+    return obs
+
+
+def _detach_timeline(config: RunConfig, cluster,
+                     obs: "_TimelineWiring") -> None:
+    if config.backend == "sim":
+        cluster.sim.probe = None
+    else:
+        cluster.on_tick = None
+    if obs.http is not None:
+        obs.http.stop()
+
+
+def _harvest_timeline(obs: "_TimelineWiring", metrics: Metrics,
+                      now_us: float) -> None:
+    """Flush the final partial interval and hang the merged timeline
+    (health events included) off the run's metrics."""
+    rows = obs.sampler.flush(now_us)
+    if rows:
+        obs.timeline.add_rows(rows)
+        obs.watchdog.ingest(rows)
+        obs.watchdog.evaluate(now_us, allow_abort=False)
+    obs.timeline.health = obs.watchdog.events
+    metrics.timeline = obs.timeline
+
+
+def _watchdog_event(exc: BaseException):
+    """The HealthEvent behind a watchdog abort, or None."""
+    from ..obs.health import WatchdogAbort
+    return exc.event if isinstance(exc, WatchdogAbort) else None
 
 
 def make_cluster(config: RunConfig):
@@ -521,9 +654,19 @@ def run_benchmark(workload, executor: BaseExecutor,
                  else range(config.n_partitions))
     wiring = _spawn_load(workload, executor, config, cluster, metrics,
                          homes)
+    obs = _install_timeline(config, cluster, db, metrics, wiring)
     events_before = cluster.sim.events_fired
     wall_start = time.perf_counter()
-    cluster.run()
+    try:
+        cluster.run()
+    except Exception as exc:
+        if obs is None or _watchdog_event(exc) is None:
+            raise
+        # the watchdog killed a wedged run: keep the partial metrics,
+        # the event itself rides perf_summary()["health"]
+    finally:
+        if obs is not None:
+            _detach_timeline(config, cluster, obs)
     metrics.wall_seconds = time.perf_counter() - wall_start
     metrics.events_processed = cluster.sim.events_fired - events_before
     metrics.scheduler_stats = {home: sched.stats
@@ -532,6 +675,8 @@ def run_benchmark(workload, executor: BaseExecutor,
     metrics.recovery_stats = db.recovery
     if config.trace:
         metrics.trace = db.tracer.harvest()
+    if obs is not None:
+        _harvest_timeline(obs, metrics, cluster.sim.now)
     return _finish_run(RunResult(metrics=metrics, database=db,
                                  history=executor.history, config=config,
                                  end_time=cluster.sim.now))
@@ -759,6 +904,19 @@ def mp_benchmark_driver(run_obj, cluster, worker_id: int):
              if cluster.owns(h)]
     wiring = _spawn_load(run_obj.workload, run_obj.executor, config,
                          cluster, metrics, homes)
+    if config.metrics_interval:
+        from ..obs.timeline import TimelineSampler
+        # rows ship to the parent live (metrics_sample messages) so
+        # the merged timeline survives this worker being killed; the
+        # finalize payload deliberately carries no timeline
+        cluster.metrics_sampler = TimelineSampler(
+            config.metrics_interval, metrics, wiring.schedulers,
+            network=cluster.network.stats,
+            recovery=run_obj.executor.db.recovery,
+            placement=wiring.placement_stats,
+            events_fired=lambda: cluster.sim.events_fired,
+            gen=getattr(cluster, "generation", 0))
+        cluster.metrics_interval_s = config.metrics_interval / 1e6
 
     def finalize() -> dict:
         metrics.wall_seconds = cluster.sim.now / 1e6
@@ -793,8 +951,47 @@ def run_mp_benchmark(spec: MpRunSpec, config: RunConfig,
         # recorded into the shared config (it rides in spec.args too)
         # so workers and the parent derive the same shm ring names
         config.mp_run_id = uuid.uuid4().hex[:12]
-    payloads = run_mp_workers(spec, config)
+    obs = None
+    on_sample = on_tick = tick_s = None
+    if config.metrics_interval:
+        from ..obs.health import HealthWatchdog
+        from ..obs.timeline import Timeline
+        timeline = Timeline(config.metrics_interval,
+                            ring=config.metrics_ring)
+        watchdog = HealthWatchdog(rules=config.health_rules,
+                                  interval_us=config.metrics_interval,
+                                  abort=config.watchdog_abort)
+        obs = _TimelineWiring(timeline, None, watchdog)
+        run_t0 = time.monotonic()
+
+        def on_sample(worker_id: int, rows: list) -> None:
+            # stamp last-seen with the *parent's* clock: worker sample
+            # timestamps start after the build phase, so comparing
+            # them against the parent clock in evaluate() would read
+            # the whole build time as silence
+            timeline.add_rows(rows)
+            watchdog.ingest(rows, at_us=(time.monotonic() - run_t0) * 1e6)
+
+        def on_tick() -> None:
+            watchdog.evaluate((time.monotonic() - run_t0) * 1e6)
+
+        tick_s = config.metrics_interval / 1e6
+        if config.metrics_port is not None:
+            from ..obs.expose import MetricsHttpServer, to_prometheus
+            obs.http = MetricsHttpServer(
+                config.metrics_port,
+                lambda: to_prometheus(timeline, watchdog.events))
+            obs.http.start()
+    try:
+        payloads = run_mp_workers(spec, config, on_sample=on_sample,
+                                  on_tick=on_tick, tick_s=tick_s)
+    finally:
+        if obs is not None and obs.http is not None:
+            obs.http.stop()
     metrics = Metrics.merged([p["metrics"] for p in payloads])
+    if obs is not None:
+        obs.timeline.health = obs.watchdog.events
+        metrics.timeline = obs.timeline
     if database is not None:
         # surface the measured traffic where every backend's consumers
         # read it (the template's own counters are all zero)

@@ -193,6 +193,14 @@ class OpenLoopStats:
             total.merge_from(part)
         return total
 
+    def timeline_snapshot(self) -> dict[str, dict[str, float]]:
+        """Cumulative per-tenant counters for the live metrics
+        timeline (diffed into per-interval deltas by the sampler)."""
+        return {name: {"scheduled": t.scheduled, "shed": t.shed,
+                       "committed": t.committed, "failed": t.failed,
+                       "in_slo": t.in_slo}
+                for name, t in self.tenants.items()}
+
     def summary(self) -> dict:
         """Report fields for ``RunResult.perf_summary()['open_loop']``."""
         report = {
@@ -256,6 +264,14 @@ class Metrics:
     ``RunConfig.trace`` is on, None otherwise.  mp workers each ship
     theirs and the parent folds them below, like every other stat."""
 
+    timeline: "object | None" = None
+    """Merged live metrics timeline (:class:`repro.obs.Timeline`, with
+    the watchdog's events on ``timeline.health``); filled by the
+    harness when ``RunConfig.metrics_interval`` is set.  On mp runs
+    workers ship sample rows live over the control pipe and the
+    *parent* owns the one merged timeline, so it survives worker
+    deaths — it does not ride the worker payloads."""
+
     def add(self, outcome: Outcome) -> None:
         self.outcomes.append(outcome)
 
@@ -292,6 +308,12 @@ class Metrics:
                     from ..obs.tracer import TraceData
                     merged.trace = TraceData()
                 merged.trace.merge_from(part.trace)
+            if part.timeline is not None:
+                if merged.timeline is None:
+                    from ..obs.timeline import Timeline
+                    merged.timeline = Timeline(
+                        part.timeline.interval_us, part.timeline.ring)
+                merged.timeline.merge_from(part.timeline)
         return merged
 
     def scheduler_summary(self) -> SchedulerStats | None:

@@ -1,0 +1,274 @@
+"""Exposition for the live metrics timeline: Prometheus, CSV, sparklines.
+
+Three renderings of one :class:`~repro.obs.timeline.Timeline`:
+
+* :func:`to_prometheus` — the text exposition format scrapers expect:
+  cumulative counters as ``*_total`` with ``server`` (and ``reason`` /
+  ``tenant``) labels, gauges as last-seen values.  On the aio/mp
+  backends ``RunConfig(metrics_port=...)`` serves it live from a
+  stdlib :class:`MetricsHttpServer` during the run; the sim backend
+  has no wall clock to scrape against, so there it is an end-of-run
+  artifact only.
+* :func:`timeline_csv` / :func:`write_timeline_csv` — one wide row per
+  sample for pandas/gnuplot post-processing
+  (``RunConfig(metrics_csv=...)``).
+* :func:`render_watch` — a compact terminal dashboard of Unicode
+  sparklines (``RunConfig(metrics_watch=True)`` / ``--watch``), the
+  thirty-second answer to "when did this run go bad?".
+
+Everything here is read-only over an already-collected timeline; no
+rendering path touches the run's hot loops.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Iterable
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+WATCH_SERIES = ("commits", "aborts", "completed", "sheds",
+                "queue_depth", "wal_fsyncs", "wire_bytes")
+
+
+def _metric_name(key: str, prefix: str) -> str:
+    return f"{prefix}_{_NAME_RE.sub('_', key)}"
+
+
+def to_prometheus(timeline, health: Iterable = (),
+                  prefix: str = "repro") -> str:
+    """Render the timeline in Prometheus text exposition format.
+
+    Counter keys containing a ``.`` split into a labeled family:
+    ``aborts.lock_timeout`` becomes
+    ``repro_aborts_by_reason_total{reason="lock_timeout"}``.
+    """
+    out = io.StringIO()
+
+    # cumulative counters, per server
+    plain: dict[str, dict[int, float]] = {}
+    labeled: dict[str, dict[tuple[int, str], float]] = {}
+    for server in timeline.servers():
+        for row in timeline.rows(server):
+            for key, value in row.counters.items():
+                if "." in key:
+                    family, label = key.split(".", 1)
+                    book = labeled.setdefault(family, {})
+                    book[(server, label)] = \
+                        book.get((server, label), 0.0) + value
+                else:
+                    book = plain.setdefault(key, {})
+                    book[server] = book.get(server, 0.0) + value
+
+    for key in sorted(plain):
+        name = _metric_name(key, prefix) + "_total"
+        out.write(f"# TYPE {name} counter\n")
+        for server in sorted(plain[key]):
+            out.write(f'{name}{{server="{server}"}} '
+                      f'{plain[key][server]:g}\n')
+    for family in sorted(labeled):
+        name = _metric_name(family, prefix) + "_by_reason_total"
+        out.write(f"# TYPE {name} counter\n")
+        for server, label in sorted(labeled[family]):
+            out.write(f'{name}{{server="{server}",'
+                      f'reason="{label}"}} '
+                      f'{labeled[family][(server, label)]:g}\n')
+
+    # gauges: last observed value per server
+    gauge_keys = sorted({key for row in timeline.rows()
+                         for key in row.gauges})
+    for key in gauge_keys:
+        name = _metric_name(key, prefix)
+        out.write(f"# TYPE {name} gauge\n")
+        for server in timeline.servers():
+            out.write(f'{name}{{server="{server}"}} '
+                      f'{timeline.gauge_last(key, server):g}\n')
+
+    # per-tenant open-loop counters
+    tenants = timeline.tenant_totals()
+    if tenants:
+        keys = sorted({key for book in tenants.values()
+                       for key in book})
+        for key in keys:
+            name = _metric_name(f"tenant_{key}", prefix) + "_total"
+            out.write(f"# TYPE {name} counter\n")
+            for tenant in sorted(tenants):
+                value = tenants[tenant].get(key, 0.0)
+                out.write(f'{name}{{tenant="{tenant}"}} {value:g}\n')
+
+    # watchdog events, by kind
+    kinds: dict[str, int] = {}
+    for event in health:
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
+    name = f"{prefix}_health_events_total"
+    out.write(f"# TYPE {name} counter\n")
+    if kinds:
+        for kind in sorted(kinds):
+            out.write(f'{name}{{kind="{kind}"}} {kinds[kind]}\n')
+    else:
+        out.write(f'{name}{{kind="none"}} 0\n')
+
+    name = f"{prefix}_timeline_dropped_samples_total"
+    out.write(f"# TYPE {name} counter\n")
+    out.write(f"{name} {timeline.dropped}\n")
+    return out.getvalue()
+
+
+# -- CSV ----------------------------------------------------------------------
+
+def timeline_csv(timeline) -> str:
+    """One wide row per sample: ``t_us,server,gen`` then the union of
+    counter, gauge, and flattened ``tenant/counter`` columns."""
+    rows = timeline.rows()
+    counter_keys: set[str] = set()
+    gauge_keys: set[str] = set()
+    tenant_keys: set[str] = set()
+    for row in rows:
+        counter_keys.update(row.counters)
+        gauge_keys.update(row.gauges)
+        for tenant, book in row.tenants.items():
+            tenant_keys.update(f"{tenant}/{key}" for key in book)
+    columns = (sorted(counter_keys) + sorted(gauge_keys)
+               + sorted(tenant_keys))
+    out = io.StringIO()
+    out.write(",".join(["t_us", "server", "gen"] + columns) + "\n")
+    for row in rows:
+        cells = [f"{row.t_us:g}", str(row.server), str(row.gen)]
+        for key in sorted(counter_keys):
+            cells.append(f"{row.counters.get(key, 0):g}")
+        for key in sorted(gauge_keys):
+            cells.append(f"{row.gauges.get(key, 0):g}")
+        for key in sorted(tenant_keys):
+            tenant, _, counter = key.partition("/")
+            cells.append(
+                f"{row.tenants.get(tenant, {}).get(counter, 0):g}")
+        out.write(",".join(cells) + "\n")
+    return out.getvalue()
+
+
+def write_timeline_csv(timeline, path: str) -> None:
+    with open(path, "w") as f:
+        f.write(timeline_csv(timeline))
+
+
+# -- terminal sparklines ------------------------------------------------------
+
+def sparkline(values: Iterable[float]) -> str:
+    values = list(values)
+    if not values:
+        return ""
+    top = max(values)
+    if top <= 0:
+        return SPARK_BLOCKS[0] * len(values)
+    scale = len(SPARK_BLOCKS) - 1
+    return "".join(SPARK_BLOCKS[min(scale, int(v / top * scale))]
+                   for v in values)
+
+
+def _binned(timeline, name: str) -> list[float]:
+    """Sum one series across servers into interval-aligned bins."""
+    bins: dict[int, float] = {}
+    for t_us, value in timeline.series(name):
+        index = int(t_us // timeline.interval_us)
+        bins[index] = bins.get(index, 0.0) + value
+    if not bins:
+        return []
+    lo, hi = min(bins), max(bins)
+    return [bins.get(i, 0.0) for i in range(lo, hi + 1)]
+
+
+def render_watch(timeline, health: Iterable = (),
+                 width: int = 60) -> str:
+    """The ``--watch`` dashboard: one sparkline per key series."""
+    lines = [f"timeline: {len(timeline.rows())} samples x "
+             f"{timeline.interval_us:g}us across "
+             f"{len(timeline.servers())} server(s)"
+             + (f", {timeline.dropped} dropped" if timeline.dropped
+                else "")]
+    for name in WATCH_SERIES:
+        values = _binned(timeline, name)
+        if not values or not any(values):
+            continue
+        if len(values) > width:     # downsample by summing runs
+            step = -(-len(values) // width)
+            values = [sum(values[i:i + step])
+                      for i in range(0, len(values), step)]
+        lines.append(f"  {name:>12} |{sparkline(values)}| "
+                     f"peak {max(values):,.0f}")
+    health = list(health)
+    if health:
+        lines.append(f"  health: {len(health)} event(s)")
+        for event in health[:8]:
+            lines.append(f"    [{event.kind}] t={event.t_us:,.0f}us "
+                         f"{event.message}")
+        if len(health) > 8:
+            lines.append(f"    ... and {len(health) - 8} more")
+    else:
+        lines.append("  health: ok")
+    return "\n".join(lines)
+
+
+# -- live HTTP endpoint (aio/mp) ----------------------------------------------
+
+class MetricsHttpServer:
+    """Serves ``GET /metrics`` from a provider callable.
+
+    Stdlib-only (``http.server``), daemon-threaded, bound to
+    localhost.  Port 0 binds an ephemeral port (the scrape tests use
+    this); ``url`` reports the bound address.
+    """
+
+    def __init__(self, port: int, provider: Callable[[], str],
+                 host: str = "127.0.0.1"):
+        self.provider = provider
+        self.host = host
+        self.port = port
+        self._httpd = None
+        self._thread = None
+
+    def start(self) -> int:
+        provider = self.provider
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self):
+                if self.path.rstrip("/") not in ("", "/metrics"):
+                    self.send_error(404)
+                    return
+                body = provider().encode()
+                self.send_response(200)
+                self.send_header("Content-Type",
+                                 "text/plain; version=0.0.4; "
+                                 "charset=utf-8")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args):
+                pass
+
+        self._httpd = ThreadingHTTPServer((self.host, self.port),
+                                          Handler)
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="metrics-http",
+                                        daemon=True)
+        self._thread.start()
+        return self.port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

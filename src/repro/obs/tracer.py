@@ -112,7 +112,11 @@ class TraceData:
             del mine[self.exemplar_k:]
 
     def summary(self) -> dict:
+        # "dropped_spans" duplicates "dropped" under the name the
+        # Perfetto export and report tooling key on, so a truncated
+        # trace is loud everywhere the summary travels
         return {"spans": len(self.spans), "dropped": self.dropped,
+                "dropped_spans": self.dropped,
                 "traces": len({s[0] for s in self.spans})}
 
 

@@ -200,6 +200,14 @@ class PlacementStats:
             total.merge_from(part)
         return total
 
+    def timeline_snapshot(self) -> dict[str, float]:
+        """Cumulative counters for the live metrics timeline."""
+        return {"placement_epochs": self.epochs,
+                "placement_plans": self.plans,
+                "moves_applied": self.moves_applied,
+                "moves_conflicted": self.moves_conflicted,
+                "flips_applied": self.flips_applied}
+
     def summary(self) -> dict:
         """Flat report fields for ``RunResult.perf_summary()``."""
         return {

@@ -200,6 +200,15 @@ class SchedulerStats:
             total.merge_from(part)
         return total
 
+    def timeline_snapshot(self) -> dict[str, float]:
+        """Cumulative counters for the live metrics timeline
+        (:mod:`repro.obs.timeline` diffs successive snapshots into
+        per-interval deltas; gauges are read directly)."""
+        return {"admitted": self.admitted,
+                "completed": self.completed,
+                "deferrals": self.deferrals,
+                "sheds": self.sheds}
+
     def summary(self) -> dict:
         """Flat report fields for ``RunResult.perf_summary()``."""
         report = {

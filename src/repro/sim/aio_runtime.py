@@ -643,6 +643,12 @@ class AioCluster:
                 raise ValueError(f"unknown aio transport {transport!r}")
         self.transport = transport
         self.run_timeout_s = run_timeout_s
+        self.on_tick: Callable[[], Any] | None = None
+        """Observer called every ``tick_interval_s`` of wall clock
+        while the loop runs (the metrics timeline sampler installs
+        itself here).  An exception from it is fatal to the run, so a
+        health watchdog abort propagates out of :meth:`run`."""
+        self.tick_interval_s: float | None = None
         self.loop: asyncio.AbstractEventLoop | None = None
         self._pending_spawns: list[tuple] = []
         self._active = 0
@@ -734,9 +740,22 @@ class AioCluster:
         # callback exceptions (Compute/Sleep continuations stepping onto
         # a bug) land in the loop's handler; treat them as fatal too
         self.loop.set_exception_handler(self._loop_exception)
+        tick_handle: asyncio.TimerHandle | None = None
         try:
             await self.transport.start(self.loop)
             self.clock.start()
+            if self.on_tick is not None and self.tick_interval_s:
+                def _tick() -> None:
+                    nonlocal tick_handle
+                    try:
+                        self.on_tick()
+                    except BaseException as exc:  # noqa: BLE001
+                        self._fatal(exc)
+                        return
+                    tick_handle = self.loop.call_later(
+                        self.tick_interval_s, _tick)
+                tick_handle = self.loop.call_later(
+                    self.tick_interval_s, _tick)
             pending, self._pending_spawns = self._pending_spawns, []
             for runtime, gen, on_done in pending:
                 runtime.spawn(gen, on_done)
@@ -747,6 +766,8 @@ class AioCluster:
             else:
                 await asyncio.wait_for(self._drain(), self.run_timeout_s)
         finally:
+            if tick_handle is not None:
+                tick_handle.cancel()
             await self.transport.stop()
             self.loop = None
             self._idle = None

@@ -424,6 +424,11 @@ class MpWorkerCluster:
         self.peer_down_hooks: list[Callable] = []
         """Called as ``hook(worker, dead_generation)`` when a peer dies
         (the database layer reaps the dead generation's locks here)."""
+        self.metrics_sampler = None
+        """Timeline sampler the bench driver installs when
+        ``metrics_interval`` is set; :func:`_serve_worker` ships its
+        rows to the parent as ``metrics_sample`` messages."""
+        self.metrics_interval_s: float = 0.0
         self._down_workers: set[int] = set()
         self.servers = [Server(i, MpEngine(self, i))
                         for i in range(n_servers)]
@@ -989,12 +994,31 @@ async def _serve_worker(cluster: MpWorkerCluster, conn,
         except (EOFError, OSError):
             stop.set()  # parent died: shut down rather than linger
 
+    sampler = cluster.metrics_sampler
+    sample_handle: asyncio.TimerHandle | None = None
+
+    def ship_samples(rows) -> None:
+        if rows:
+            conn.send(("metrics_sample", worker_id, rows))
+
+    def on_sample_timer() -> None:
+        nonlocal sample_handle
+        try:
+            ship_samples(sampler.tick(cluster.clock.now))
+        except (BrokenPipeError, OSError):
+            return  # parent gone; stop sampling, stop handles exit
+        sample_handle = loop.call_later(cluster.metrics_interval_s,
+                                        on_sample_timer)
+
     loop.add_reader(conn.fileno(), on_parent_message)
     try:
         await transport.start(loop)
         # a respawned generation rejoins the fleet's elapsed timeline
         # instead of re-admitting a full horizon from zero
         cluster.clock.start(cluster.resume_at_us)
+        if sampler is not None and cluster.metrics_interval_s:
+            sample_handle = loop.call_later(cluster.metrics_interval_s,
+                                            on_sample_timer)
         pending, cluster._pending_spawns = cluster._pending_spawns, []
         for runtime, gen, on_done in pending:
             runtime.spawn(gen, on_done)
@@ -1007,6 +1031,14 @@ async def _serve_worker(cluster: MpWorkerCluster, conn,
         # snapshot the finalize payload ships to the parent
         cluster.network.stats.wire_bytes_sent += getattr(
             transport, "wire_bytes_sent", 0)
+        if sample_handle is not None:
+            sample_handle.cancel()
+            sample_handle = None
+        if sampler is not None:
+            # final partial interval, flushed in pipe order before the
+            # done payload so the parent's timeline is complete when
+            # the quiescence merge runs
+            ship_samples(sampler.flush(cluster.clock.now))
         conn.send(("done", worker_id, finalize()))
         # keep serving foreign requests until every worker reported done
         # and the parent broadcast the stop
@@ -1016,6 +1048,8 @@ async def _serve_worker(cluster: MpWorkerCluster, conn,
                and not (cluster._active == 0 and transport.idle())):
             await asyncio.sleep(0.01)
     finally:
+        if sample_handle is not None:
+            sample_handle.cancel()
         loop.remove_reader(conn.fileno())
         await transport.stop()
         cluster.loop = None
@@ -1038,7 +1072,10 @@ def _spawn_worker(ctx, spec: MpRunSpec, config: Any, worker_id: int,
     return proc, parent_conn
 
 
-def run_mp_workers(spec: MpRunSpec, config: Any) -> list[Any]:
+def run_mp_workers(spec: MpRunSpec, config: Any, *,
+                   on_sample: Callable[[int, list], None] | None = None,
+                   on_tick: Callable[[], None] | None = None,
+                   tick_s: float | None = None) -> list[Any]:
     """Spawn the workers, run the spec, return per-worker payloads.
 
     ``config`` is duck-typed (the bench layer's ``RunConfig``): the
@@ -1047,6 +1084,13 @@ def run_mp_workers(spec: MpRunSpec, config: Any) -> list[Any]:
     to every worker's builder.  Teardown is unconditional — whatever
     happens, every worker process is joined (terminated, then killed if
     necessary) before this returns or raises.
+
+    ``on_sample(worker_id, rows)`` receives each ``metrics_sample``
+    message a worker ships (timeline rows, when the run has the
+    metrics timeline on); ``on_tick`` is invoked about every
+    ``tick_s`` seconds of wall clock between waits (the health
+    watchdog evaluates here).  An exception from either aborts the
+    run like a worker error would.
 
     With ``mp_recovery`` on, a worker that dies mid-run (crash or
     SIGKILL — ``mp_chaos_kill_worker`` injects one deliberately) is
@@ -1094,6 +1138,7 @@ def run_mp_workers(spec: MpRunSpec, config: Any) -> list[Any]:
 
         results: dict[int, Any] = {}
         pending = set(workers)
+        next_tick = (time.monotonic() + tick_s) if tick_s else None
         while pending:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
@@ -1101,9 +1146,13 @@ def run_mp_workers(spec: MpRunSpec, config: Any) -> list[Any]:
                     f"timed out waiting for {len(pending)} worker(s) to "
                     f"report 'done' (raise RunConfig.mp_run_timeout_s if "
                     f"the run is legitimately long)")
+            wait_s = remaining
+            if next_tick is not None:
+                wait_s = min(wait_s,
+                             max(0.0, next_tick - time.monotonic()))
             by_conn = {workers[w][1]: w for w in pending}
             ready = multiprocessing.connection.wait(list(by_conn),
-                                                    timeout=remaining)
+                                                    timeout=wait_s)
             for conn in ready:
                 w = by_conn[conn]
                 try:
@@ -1121,11 +1170,23 @@ def run_mp_workers(spec: MpRunSpec, config: Any) -> list[Any]:
                     continue
                 if msg[0] == "error":
                     raise MpRunError(f"worker {msg[1]} failed:\n{msg[2]}")
+                if msg[0] == "metrics_sample":
+                    if on_sample is not None:
+                        on_sample(msg[1], msg[2])
+                    continue
                 if msg[0] != "done":
                     raise MpRunError(f"protocol error: expected 'done', "
                                      f"worker sent {msg[0]!r}")
                 results[w] = msg[2]
                 pending.discard(w)
+            # evaluate only after draining the ready connections: a
+            # blocking restart leaves minutes of queued samples in the
+            # survivors' pipes, and ticking before reading them would
+            # misread that backlog as silence
+            if next_tick is not None and time.monotonic() >= next_tick:
+                if on_tick is not None:
+                    on_tick()
+                next_tick = time.monotonic() + tick_s
 
         for _proc, parent in workers.values():
             try:

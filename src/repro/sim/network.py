@@ -290,6 +290,13 @@ class NetworkStats:
         self.one_sided_batched_verbs += n_verbs
         return total
 
+    def timeline_snapshot(self) -> dict[str, float]:
+        """Cumulative counters for the live metrics timeline."""
+        return {"wire_verbs": self.one_sided_remote,
+                "wire_messages": self.messages,
+                "wire_bytes": sum(self.bytes_by_kind.values()),
+                "wire_bytes_sent": self.wire_bytes_sent}
+
     def merge_from(self, other: "NetworkStats") -> None:
         """Fold another process's counters into this one (mp runs merge
         each worker's stats into the parent-side result)."""

@@ -152,6 +152,16 @@ class RecoveryStats:
         return (self.wal_appends > 0 or self.recoveries > 0
                 or self.controller_failovers > 0)
 
+    def timeline_snapshot(self) -> dict[str, float]:
+        """Cumulative counters for the live metrics timeline."""
+        return {"wal_appends": self.wal_appends,
+                "wal_fsyncs": self.wal_fsyncs,
+                "wal_bytes": self.wal_bytes,
+                "recoveries": self.recoveries,
+                "txns_redone": self.txns_redone,
+                "in_doubt_resolved": self.in_doubt_resolved,
+                "controller_failovers": self.controller_failovers}
+
     def summary(self) -> dict:
         """Flat report fields for ``RunResult.perf_summary()``."""
         return {

@@ -1,0 +1,174 @@
+"""Unit tests for the live metrics timeline: rings, deltas, merge."""
+
+from types import SimpleNamespace
+
+from repro.obs import Timeline, TimelineSample, TimelineSampler
+
+
+def row(t_us, server=0, gen=0, counters=None, gauges=None, final=False):
+    return TimelineSample(t_us=t_us, server=server, gen=gen,
+                          counters=counters or {}, gauges=gauges or {},
+                          final=final)
+
+
+# -- Timeline ---------------------------------------------------------------
+
+def test_rings_are_per_server_and_bounded():
+    tl = Timeline(10.0, ring=3)
+    for i in range(5):
+        tl.add(row(float(i), server=0))
+    tl.add(row(0.0, server=1))
+    assert tl.servers() == [0, 1]
+    assert tl.dropped == 2
+    assert [r.t_us for r in tl.rows(0)] == [2.0, 3.0, 4.0]
+    assert len(tl.rows(1)) == 1
+
+
+def test_rows_interleave_time_ordered():
+    tl = Timeline(10.0)
+    tl.add(row(20.0, server=1))
+    tl.add(row(10.0, server=0))
+    tl.add(row(20.0, server=0))
+    assert [(r.t_us, r.server) for r in tl.rows()] == \
+        [(10.0, 0), (20.0, 0), (20.0, 1)]
+
+
+def test_series_and_cumulative_are_monotone():
+    tl = Timeline(10.0)
+    for i, commits in enumerate([3, 0, 5]):
+        tl.add(row(10.0 * (i + 1), counters={"commits": commits}))
+    assert tl.series("commits") == [(10.0, 3), (20.0, 0), (30.0, 5)]
+    cumulative = [v for _, v in tl.cumulative("commits")]
+    assert cumulative == [3, 3, 8]
+    assert cumulative == sorted(cumulative)
+
+
+def test_series_falls_back_to_gauges():
+    tl = Timeline(10.0)
+    tl.add(row(10.0, gauges={"queue_depth": 4.0}))
+    assert tl.series("queue_depth") == [(10.0, 4.0)]
+    assert tl.gauge_max("queue_depth") == 4.0
+    assert tl.gauge_last("queue_depth", 0) == 4.0
+
+
+def test_totals_and_tenant_totals_sum_all_servers():
+    tl = Timeline(10.0)
+    tl.add(row(10.0, server=0, counters={"commits": 2}))
+    a = row(10.0, server=1, counters={"commits": 3})
+    a.tenants["gold"] = {"scheduled": 5, "in_slo": 4}
+    tl.add(a)
+    assert tl.totals()["commits"] == 5
+    assert tl.tenant_totals() == {"gold": {"scheduled": 5, "in_slo": 4}}
+
+
+def test_merge_preserves_rows_dropped_and_health():
+    a = Timeline(10.0)
+    a.add(row(10.0, server=0, counters={"commits": 1}))
+    a.dropped = 2
+    b = Timeline(10.0)
+    b.add(row(10.0, server=1, counters={"commits": 4}))
+    b.health.append("event")
+    merged = Timeline.merged([a, b])
+    assert merged.servers() == [0, 1]
+    assert merged.totals()["commits"] == 5
+    assert merged.dropped == 2
+    assert merged.health == ["event"]
+
+
+def test_summary_reports_the_headline_numbers():
+    tl = Timeline(10.0)
+    tl.add(row(10.0, counters={"commits": 7, "aborts": 1, "sheds": 2},
+               gauges={"queue_depth": 9.0}))
+    summary = tl.summary()
+    assert summary["samples"] == 1 and summary["servers"] == 1
+    assert summary["commits"] == 7 and summary["aborts"] == 1
+    assert summary["sheds"] == 2 and summary["max_queue_depth"] == 9
+
+
+# -- TimelineSampler --------------------------------------------------------
+
+def fake_sched(admitted=0, completed=0, queue_depth=0):
+    stats = SimpleNamespace(
+        queue_depth=queue_depth, max_queue_depth=queue_depth,
+        timeline_snapshot=lambda: {"admitted": admitted,
+                                   "completed": completed})
+    return SimpleNamespace(stats=stats)
+
+
+def fake_metrics(outcomes=()):
+    return SimpleNamespace(outcomes=list(outcomes), open_loop=None)
+
+
+def outcome(committed=True, reason=None):
+    return SimpleNamespace(committed=committed, reason=reason)
+
+
+def test_tick_fires_only_on_interval_boundaries():
+    sampler = TimelineSampler(100.0, fake_metrics(), {0: fake_sched()})
+    assert sampler.tick(50.0) == []
+    rows = sampler.tick(100.0)
+    assert len(rows) == 1 and rows[0].t_us == 100.0
+    assert sampler.tick(150.0) == []
+    # a late tick lands in whatever interval the clock reached
+    assert sampler.tick(350.0)[0].t_us == 350.0
+
+
+def test_counters_are_deltas_not_cumulative():
+    sched = fake_sched()
+    sampler = TimelineSampler(100.0, fake_metrics(), {0: sched})
+    sched.stats.timeline_snapshot = lambda: {"completed": 5}
+    first = sampler.tick(100.0)[0]
+    sched.stats.timeline_snapshot = lambda: {"completed": 8}
+    second = sampler.tick(200.0)[0]
+    assert first.counters["completed"] == 5
+    assert second.counters["completed"] == 3
+
+
+def test_process_counters_ride_only_the_primary_row():
+    metrics = fake_metrics([outcome(), outcome(),
+                            outcome(False, "lock_conflict")])
+    sampler = TimelineSampler(100.0, metrics,
+                              {2: fake_sched(), 5: fake_sched()})
+    rows = sampler.tick(100.0)
+    by_server = {r.server: r for r in rows}
+    assert sampler.primary == 2
+    assert by_server[2].counters["commits"] == 2
+    assert by_server[2].counters["aborts"] == 1
+    assert by_server[2].counters["aborts.lock_conflict"] == 1
+    assert "commits" not in by_server[5].counters
+
+
+def test_outcome_scan_never_double_counts():
+    metrics = fake_metrics([outcome()])
+    sampler = TimelineSampler(100.0, metrics, {0: fake_sched()})
+    assert sampler.tick(100.0)[0].counters["commits"] == 1
+    metrics.outcomes.append(outcome())
+    assert sampler.tick(200.0)[0].counters["commits"] == 1
+
+
+def test_flush_marks_rows_final():
+    sampler = TimelineSampler(100.0, fake_metrics(), {0: fake_sched()})
+    assert all(not r.final for r in sampler.tick(100.0))
+    assert all(r.final for r in sampler.flush(150.0))
+
+
+def test_a_homeless_process_still_emits_a_liveness_row():
+    sampler = TimelineSampler(100.0, fake_metrics([outcome()]), {})
+    rows = sampler.tick(100.0)
+    assert len(rows) == 1
+    assert rows[0].counters["commits"] == 1
+
+
+def test_source_snapshots_flow_through():
+    network = SimpleNamespace(
+        timeline_snapshot=lambda: {"wire_bytes": 640.0})
+    sampler = TimelineSampler(100.0, fake_metrics(), {0: fake_sched()},
+                              network=network,
+                              events_fired=lambda: 42)
+    first = sampler.tick(100.0)[0]
+    assert first.counters["wire_bytes"] == 640.0
+    assert first.counters["events"] == 42
+    second = sampler.tick(200.0)[0]
+    # unchanged sources contribute no delta keys
+    assert "wire_bytes" not in second.counters
+    assert "events" not in second.counters

@@ -1,0 +1,122 @@
+"""Timeline through the harness: sim runs end to end with
+``metrics_interval`` set.
+
+The fast (sim-backend) half of the observability acceptance: samples
+are collected after fired events, harvested into ``metrics.timeline``,
+surfaced in ``perf_summary()["timeline"]`` / ``["health"]``, written
+as CSV — and, the load-bearing guarantee, sampling never moves a
+simulator event.  The mp half (live shipping, merge under worker
+death, overhead bounds) lives in ``tests/obs/test_watchdog_chaos.py``
+and ``benchmarks/bench_timeline_overhead.py``.
+"""
+
+import pytest
+
+from repro.analysis import ProcedureRegistry
+from repro.bench import RunConfig, run_benchmark
+from repro.obs import HealthEvent, HealthRule, WatchdogAbort
+from repro.partitioning import HashScheme
+from repro.sim import Cluster
+from repro.storage import Catalog
+from repro.txn import Database, TwoPLExecutor
+from repro.workloads.bank import BankWorkload
+
+
+def build(workload, config):
+    cluster = Cluster(config.n_partitions, config.network_config())
+    registry = ProcedureRegistry()
+    for proc in workload.procedures():
+        registry.register(proc)
+    db = Database(cluster, Catalog(config.n_partitions,
+                                   HashScheme(config.n_partitions)),
+                  workload.tables(), registry,
+                  n_replicas=config.n_replicas)
+    workload.populate(db.loader())
+    return db
+
+
+def run_bank(**overrides):
+    defaults = dict(n_partitions=2, concurrent_per_engine=2,
+                    horizon_us=2_000.0, warmup_us=0.0, n_replicas=0)
+    defaults.update(overrides)
+    config = RunConfig(**defaults)
+    workload = BankWorkload(n_accounts=50)
+    db = build(workload, config)
+    return run_benchmark(workload, TwoPLExecutor(db), config)
+
+
+def digest(result):
+    metrics = result.metrics
+    return (metrics.commits, metrics.aborts, metrics.attempts,
+            metrics.events_processed, result.end_time)
+
+
+def test_timeline_off_allocates_nothing():
+    result = run_bank()
+    assert result.metrics.timeline is None
+    summary = result.perf_summary()
+    assert "timeline" not in summary and "health" not in summary
+
+
+def test_timeline_does_not_perturb_the_sim():
+    assert digest(run_bank()) == digest(run_bank(metrics_interval=200.0))
+
+
+def test_timeline_collects_samples_and_matches_final_metrics():
+    result = run_bank(metrics_interval=200.0)
+    timeline = result.metrics.timeline
+    assert timeline is not None
+    assert timeline.servers() == [0, 1]
+    # ~10 intervals over the 2ms horizon, plus the final flush
+    assert len(timeline.rows()) >= 10
+    # the timeline's cumulative view lands exactly on the aggregates
+    totals = timeline.totals()
+    assert totals["commits"] == result.metrics.commits
+    assert totals.get("aborts", 0) == result.metrics.aborts
+    for server, stats in result.metrics.scheduler_stats.items():
+        completed = sum(r.counters.get("completed", 0)
+                        for r in timeline.rows(server))
+        assert completed == stats.completed
+
+    summary = result.perf_summary()
+    assert summary["timeline"]["samples"] == len(timeline.rows())
+    assert summary["timeline"]["commits"] == result.metrics.commits
+    assert summary["health"] == []
+
+
+def test_timeline_csv_lands_on_disk(tmp_path):
+    path = tmp_path / "timeline.csv"
+    result = run_bank(metrics_interval=200.0, metrics_csv=str(path))
+    lines = path.read_text().splitlines()
+    assert lines[0].startswith("t_us,server,gen")
+    assert len(lines) == len(result.metrics.timeline.rows()) + 1
+
+
+def test_watchdog_abort_kills_a_wedged_run():
+    # a rule that fires on the first sample (any queue depth >= 0):
+    # the run must stop at the first interval, not the horizon, and
+    # still return its partial metrics with the event on record
+    rules = (HealthRule("queue_saturation", threshold=0.0, window=1,
+                        fatal=True),)
+    result = run_bank(metrics_interval=200.0, health_rules=rules,
+                      watchdog_abort=True)
+    assert result.end_time < 2_000.0
+    health = result.perf_summary()["health"]
+    assert health and health[0]["kind"] == "queue_saturation"
+    assert result.metrics.timeline.rows()
+
+
+def test_watchdog_abort_exception_carries_the_event():
+    with pytest.raises(WatchdogAbort) as err:
+        raise WatchdogAbort(HealthEvent("stall", 1.0, 0, 0.0, 0.0,
+                                        "wedged"))
+    assert err.value.event.kind == "stall"
+    assert "wedged" in str(err.value)
+
+
+def test_health_events_survive_into_perf_summary():
+    rules = (HealthRule("queue_saturation", threshold=0.0, window=1),)
+    result = run_bank(metrics_interval=200.0, health_rules=rules)
+    health = result.perf_summary()["health"]
+    assert health and health[0]["kind"] == "queue_saturation"
+    assert result.metrics.timeline.health

@@ -109,7 +109,8 @@ def test_merge_concatenates_spans_and_truncates_exemplars():
     assert a.dropped == 3
     assert a.exemplars["gold"] == [(50.0, 1), (40.0, 3)]  # 20.0 evicted
     assert a.exemplars["free"] == [(9.0, 4)]
-    assert a.summary() == {"spans": 2, "dropped": 3, "traces": 2}
+    assert a.summary() == {"spans": 2, "dropped": 3,
+                           "dropped_spans": 3, "traces": 2}
 
 
 # -- export -----------------------------------------------------------------
